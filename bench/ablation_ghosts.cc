@@ -1,0 +1,139 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. Step 3c rejection test  (reject ghosts that fail to cut exposure)
+//   2. Semantic coherence      (ghost words from ONE masking topic vs
+//                               TrackMeNot-style uniform-random words)
+//   3. Ghost length rule       (multiples of |qu| vs a short fixed length)
+//
+// Beyond the exposure/cycle metrics, each variant reports a *coherence*
+// score: the mean over ghost queries of max_t Pr(t|qg). A realistic,
+// semantically coherent query concentrates its posterior on one topic
+// (Def. 3); a random-word ghost does not, which is exactly how an adversary
+// dismisses TrackMeNot-style ghosts. Run at a tight epsilon2 so the
+// rejection test actually fires.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/fixture.h"
+#include "topicmodel/inference.h"
+#include "toppriv/ghost_generator.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+
+namespace {
+
+struct AblationResult {
+  double exposure_pct = 0.0;
+  double mask_pct = 0.0;
+  double cycle_length = 0.0;
+  double rejections = 0.0;
+  double ghost_coherence = 0.0;
+  double user_coherence = 0.0;  // yardstick: coherence of genuine queries
+  double satisfied = 0.0;
+};
+
+AblationResult RunVariant(ExperimentFixture& fixture, size_t num_topics,
+                          const core::PrivacySpec& spec,
+                          const core::GeneratorOptions& options) {
+  const topicmodel::LdaModel& model = fixture.model(num_topics);
+  topicmodel::LdaInferencer inferencer(model);
+  core::GhostQueryGenerator generator(model, inferencer, spec, options);
+  util::Rng rng(31337);
+
+  util::OnlineStats exposure, mask, cycle_len, rejections, ghost_coh,
+      user_coh;
+  size_t satisfied = 0, counted = 0;
+  for (const corpus::BenchmarkQuery& q : fixture.workload()) {
+    core::QueryCycle cycle = generator.Protect(q.term_ids, &rng);
+    exposure.Add(cycle.exposure_after * 100.0);
+    mask.Add(cycle.mask_level * 100.0);
+    cycle_len.Add(static_cast<double>(cycle.length()));
+    rejections.Add(static_cast<double>(cycle.rejected_topics.size()));
+    if (cycle.met_epsilon2) ++satisfied;
+    ++counted;
+    for (size_t i = 0; i < cycle.queries.size(); ++i) {
+      std::vector<double> posterior =
+          inferencer.InferQuery(cycle.queries[i]);
+      double top = 0.0;
+      for (double p : posterior) top = std::max(top, p);
+      if (i == cycle.user_index) {
+        user_coh.Add(top);
+      } else {
+        ghost_coh.Add(top);
+      }
+    }
+  }
+
+  AblationResult out;
+  out.exposure_pct = exposure.mean();
+  out.mask_pct = mask.mean();
+  out.cycle_length = cycle_len.mean();
+  out.rejections = rejections.mean();
+  out.ghost_coherence = ghost_coh.mean();
+  out.user_coherence = user_coh.mean();
+  out.satisfied =
+      counted > 0 ? static_cast<double>(satisfied) / counted : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentFixture fixture;
+  const size_t num_topics = 50;  // near the corpus true coverage, as Sec IV-B advises
+  core::PrivacySpec spec;
+  spec.epsilon1 = 0.05;
+  spec.epsilon2 = 0.005;  // tight target: the rejection test matters here
+
+  struct Variant {
+    const char* name;
+    core::GeneratorOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper algorithm", {}});
+  {
+    core::GeneratorOptions o;
+    o.use_rejection_test = false;
+    variants.push_back({"no rejection test (3c off)", o});
+  }
+  {
+    core::GeneratorOptions o;
+    o.coherent_ghosts = false;
+    variants.push_back({"incoherent ghosts (random words)", o});
+  }
+  {
+    core::GeneratorOptions o;
+    o.fixed_ghost_length = 3;
+    variants.push_back({"short fixed-length ghosts (3 words)", o});
+  }
+
+  util::TablePrinter table({"variant", "exposure(%)", "mask(%)", "cycle v",
+                            "rejections", "ghost coher.", "met eps2"});
+  double user_coherence = 0.0;
+  for (const Variant& v : variants) {
+    AblationResult r = RunVariant(fixture, num_topics, spec, v.options);
+    user_coherence = r.user_coherence;
+    table.AddRow({v.name, util::FormatDouble(r.exposure_pct, 3),
+                  util::FormatDouble(r.mask_pct, 3),
+                  util::FormatDouble(r.cycle_length, 2),
+                  util::FormatDouble(r.rejections, 2),
+                  util::FormatDouble(r.ghost_coherence, 3),
+                  util::FormatDouble(r.satisfied, 2)});
+    std::fprintf(stderr, "[ablation] %s done\n", v.name);
+  }
+
+  std::printf("\nGhost-generation ablations (LDA050, eps1=5%%, eps2=0.5%%)\n");
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\ngenuine-query coherence yardstick: %.3f (a realistic ghost should\n"
+      "score comparably; TrackMeNot-style random-word ghosts score far\n"
+      "lower and are dismissible on sight, Def. 3). Dropping the rejection\n"
+      "test admits ineffective masking topics, inflating the cycle; short\n"
+      "ghosts under-weigh their topic in the Eq. 2 mixture.\n",
+      user_coherence);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Section V-A future work, measured: train the LDA model on a
+// REPRESENTATIVE SAMPLE of the corpus (document sampling and/or only the
+// impactful TF-IDF words) and check how much of TopPriv's privacy behaviour
+// survives. Also reports the training-cost and model-size savings that
+// motivate sampling in the first place.
+
+#include <cstdio>
+
+#include "corpus/sampling.h"
+#include "experiments/fixture.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "toppriv/ghost_generator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+
+namespace {
+
+struct VariantResult {
+  double train_seconds = 0.0;
+  double tokens_millions = 0.0;
+  double exposure_pct = 0.0;
+  double cycle_length = 0.0;
+  double satisfied = 0.0;
+};
+
+VariantResult Run(ExperimentFixture& fixture, const corpus::Corpus& training,
+                  size_t num_topics) {
+  VariantResult out;
+  out.tokens_millions =
+      static_cast<double>(training.total_tokens()) / 1e6;
+
+  util::WallTimer timer;
+  topicmodel::TrainerOptions options;
+  options.num_topics = num_topics;
+  options.iterations = fixture.config().lda_iterations;
+  options.seed = 7000 + num_topics;
+  topicmodel::LdaModel model =
+      topicmodel::GibbsTrainer(options).Train(training);
+  out.train_seconds = timer.ElapsedSeconds();
+
+  topicmodel::LdaInferencer inferencer(model);
+  core::PrivacySpec spec;  // (5%, 1%)
+  core::GhostQueryGenerator generator(model, inferencer, spec);
+  util::Rng rng(77);
+  util::OnlineStats exposure, cycle_len;
+  size_t satisfied = 0, counted = 0;
+  for (const corpus::BenchmarkQuery& q : fixture.workload()) {
+    core::QueryCycle cycle = generator.Protect(q.term_ids, &rng);
+    exposure.Add(cycle.exposure_after * 100.0);
+    cycle_len.Add(static_cast<double>(cycle.length()));
+    if (cycle.met_epsilon2) ++satisfied;
+    ++counted;
+  }
+  out.exposure_pct = exposure.mean();
+  out.cycle_length = cycle_len.mean();
+  out.satisfied = counted > 0 ? static_cast<double>(satisfied) / counted : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentFixture fixture;
+  const size_t num_topics = 50;
+  const corpus::Corpus& full = fixture.corpus();
+
+  struct Variant {
+    const char* name;
+    corpus::SamplingOptions options;
+  };
+  std::vector<Variant> variants = {
+      {"full corpus", {}},
+      {"50% documents", {.document_fraction = 0.5}},
+      {"25% documents", {.document_fraction = 0.25}},
+      {"40% impactful words", {.vocabulary_fraction = 0.4}},
+      {"50% docs + 40% words",
+       {.document_fraction = 0.5, .vocabulary_fraction = 0.4}},
+  };
+
+  util::TablePrinter table({"training set", "Mtokens", "train(s)",
+                            "exposure(%)", "cycle v", "met eps2"});
+  for (const Variant& v : variants) {
+    corpus::Corpus sample = corpus::SampleCorpus(full, v.options);
+    VariantResult r = Run(fixture, sample, num_topics);
+    table.AddRow({v.name, util::FormatDouble(r.tokens_millions, 3),
+                  util::FormatDouble(r.train_seconds, 1),
+                  util::FormatDouble(r.exposure_pct, 3),
+                  util::FormatDouble(r.cycle_length, 2),
+                  util::FormatDouble(r.satisfied, 2)});
+    std::fprintf(stderr, "[sampling] %s done\n", v.name);
+  }
+
+  std::printf("\nSection V-A future work: LDA%03zu trained on representative "
+              "samples, driving TopPriv at (5%%, 1%%)\n",
+              num_topics);
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nexpected: training cost falls with the sample while exposure stays\n"
+      "below eps2 and the satisfied fraction stays ~1.0 — the sampled model\n"
+      "still localizes intentions well enough to pick effective masking\n"
+      "topics (inference runs over the original queries, since sampling\n"
+      "preserves the term-id space).\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Quantifies the Section IV-D resilience claims: each attack's recovery
+// rate against unprotected traffic versus TopPriv-protected traffic.
+// (Not a paper figure — the paper argues these attacks fail qualitatively;
+// this harness measures it.)
+
+#include <cstdio>
+#include <vector>
+
+#include "adversary/attacks.h"
+#include "experiments/fixture.h"
+#include "experiments/runner.h"
+#include "topicmodel/inference.h"
+#include "toppriv/belief.h"
+#include "toppriv/ghost_generator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+
+int main() {
+  ExperimentFixture fixture;
+  const size_t num_topics = 50;  // near the corpus true coverage, as Sec IV-B advises
+  const topicmodel::LdaModel& model = fixture.model(num_topics);
+  topicmodel::LdaInferencer inferencer(model);
+
+  core::PrivacySpec spec;  // (5%, 1%)
+  core::GhostQueryGenerator generator(model, inferencer, spec);
+
+  // Build protected and unprotected cycle views for the whole workload.
+  std::vector<adversary::CycleView> protected_views, plain_views;
+  util::Rng rng(4242);
+  size_t queries_used = 0;
+  for (const corpus::BenchmarkQuery& q : fixture.workload()) {
+    if (queries_used >= 60) break;  // probing attack is quadratic-ish; cap
+    core::QueryCycle cycle = generator.Protect(q.term_ids, &rng);
+    if (cycle.intention.empty()) continue;
+    ++queries_used;
+    adversary::CycleView guarded;
+    guarded.queries = cycle.queries;
+    guarded.true_user_index = cycle.user_index;
+    guarded.true_intention = cycle.intention;
+    protected_views.push_back(std::move(guarded));
+
+    adversary::CycleView plain;
+    plain.queries = {q.term_ids};
+    plain.true_user_index = 0;
+    plain.true_intention = cycle.intention;
+    plain_views.push_back(std::move(plain));
+  }
+
+  auto mean_recall = [&](const std::vector<adversary::CycleView>& views,
+                         auto evaluate) {
+    double sum = 0.0;
+    for (const auto& v : views) sum += evaluate(v);
+    return views.empty() ? 0.0 : sum / static_cast<double>(views.size());
+  };
+
+  adversary::TopicInferenceAttack topic_attack(model, inferencer);
+  adversary::GhostDiscountAttack discount_attack(model, inferencer, 0.05);
+  adversary::TermEliminationAttack elimination_attack(model, inferencer);
+  adversary::ProbingAttack probing_attack(&generator);
+
+  util::TablePrinter table(
+      {"attack (Sec IV-D)", "metric", "unprotected", "TopPriv"});
+
+  table.AddRow(
+      {"topic inference (top-3)", "intention recall",
+       util::FormatDouble(
+           mean_recall(plain_views,
+                       [&](const adversary::CycleView& v) {
+                         return topic_attack.Evaluate(v, 3).recall;
+                       }),
+           3),
+       util::FormatDouble(
+           mean_recall(protected_views,
+                       [&](const adversary::CycleView& v) {
+                         return topic_attack.Evaluate(v, 3).recall;
+                       }),
+           3)});
+  std::fprintf(stderr, "[resilience] topic inference done\n");
+
+  double avg_cycle_len = 0.0;
+  for (const auto& v : protected_views) {
+    avg_cycle_len += static_cast<double>(v.queries.size());
+  }
+  avg_cycle_len /= static_cast<double>(protected_views.size());
+  table.AddRow(
+      {"ghost discount", "user-query id accuracy",
+       util::FormatDouble(
+           mean_recall(plain_views,
+                       [&](const adversary::CycleView& v) {
+                         return discount_attack.Evaluate(v) ? 1.0 : 0.0;
+                       }),
+           3),
+       util::FormatDouble(
+           mean_recall(protected_views,
+                       [&](const adversary::CycleView& v) {
+                         return discount_attack.Evaluate(v) ? 1.0 : 0.0;
+                       }),
+           3) +
+           util::StrFormat(" (chance %.3f)", 1.0 / avg_cycle_len)});
+  std::fprintf(stderr, "[resilience] ghost discount done\n");
+
+  table.AddRow(
+      {"term elimination (m=3)", "intention recall",
+       util::FormatDouble(
+           mean_recall(plain_views,
+                       [&](const adversary::CycleView& v) {
+                         return elimination_attack.Evaluate(v, 3, 3).recall;
+                       }),
+           3),
+       util::FormatDouble(
+           mean_recall(protected_views,
+                       [&](const adversary::CycleView& v) {
+                         return elimination_attack.Evaluate(v, 3, 3).recall;
+                       }),
+           3)});
+  table.AddRow(
+      {"term elimination (m=12)", "intention recall",
+       util::FormatDouble(
+           mean_recall(plain_views,
+                       [&](const adversary::CycleView& v) {
+                         return elimination_attack.Evaluate(v, 12, 3).recall;
+                       }),
+           3),
+       util::FormatDouble(
+           mean_recall(protected_views,
+                       [&](const adversary::CycleView& v) {
+                         return elimination_attack.Evaluate(v, 12, 3).recall;
+                       }),
+           3)});
+  std::fprintf(stderr, "[resilience] term elimination done\n");
+
+  // Probing is expensive (regenerates a cycle per logged query); sample.
+  std::vector<adversary::CycleView> probe_sample(
+      protected_views.begin(),
+      protected_views.begin() + std::min<size_t>(protected_views.size(), 10));
+  util::Rng probe_rng(777);
+  table.AddRow(
+      {"probing / replay", "best ghost match rate", "n/a",
+       util::FormatDouble(
+           mean_recall(probe_sample,
+                       [&](const adversary::CycleView& v) {
+                         return probing_attack.BestReplayMatchRate(v,
+                                                                   &probe_rng);
+                       }),
+           3)});
+  std::fprintf(stderr, "[resilience] probing done\n");
+
+  std::printf("\nSection IV-D attack resilience (LDA050, eps1=5%%, eps2=1%%, "
+              "%zu cycles)\n",
+              protected_views.size());
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper claim check: attacks that are reliable against unprotected\n"
+      "queries degrade sharply under TopPriv; user-query identification\n"
+      "approaches chance (1/v); replay reproduces ~0%% of ghost queries.\n"
+      "REPRODUCTION NOTE: shallow term elimination (m=3) recovers more here\n"
+      "than on WSJ because our synthetic topics have nearly disjoint seed\n"
+      "vocabularies (no 'apache'-style shared terms); the adversary still\n"
+      "has no safe discount depth — at m=12 the recovery collapses, and the\n"
+      "right m depends on the secret cycle composition (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Figure 4: exposure of the PDX query-embellishment
+// baseline, max_{t in U} B(t|q_e), at query expansion factors 2, 4, 8, 12
+// and 16x, sweeping the relevance threshold used to define U.
+//
+// Paper shape: for a fixed expansion factor, exposure tightens as the LDA
+// model grows (posterior spreads over more relevant topics); larger
+// expansion factors give PDX more room to inject decoys and lower exposure.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/fixture.h"
+#include "experiments/runner.h"
+#include "util/table.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+using experiments::PdxCell;
+
+int main() {
+  ExperimentFixture fixture;
+  const std::vector<double> eps_values = {0.005, 0.01, 0.02,
+                                          0.03,  0.04, 0.05};
+  const std::vector<double> expansion_factors = {2, 4, 8, 12, 16};
+  const std::vector<size_t>& model_sizes = experiments::PaperModelSizes();
+
+  for (double factor : expansion_factors) {
+    std::printf("\nFigure 4 (%gx query expansion): exposure "
+                "max_{t in U} B(t|q_e)\n",
+                factor);
+    std::vector<std::string> header = {"eps1(%)"};
+    for (size_t m : model_sizes) {
+      header.push_back(ExperimentFixture::ModelName(m));
+    }
+    util::TablePrinter table(header);
+    for (double eps : eps_values) {
+      std::vector<std::string> row = {util::FormatDouble(eps * 100.0, 1)};
+      for (size_t num_topics : model_sizes) {
+        PdxCell cell = RunPdxCell(fixture, num_topics, eps, factor);
+        row.push_back(util::FormatDouble(cell.exposure_pct, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("unit: percent\n");
+    std::fprintf(stderr, "[fig4] factor %gx done\n", factor);
+  }
+
+  std::printf(
+      "\npaper shape check: exposure falls with more topics in the model\n"
+      "and with larger expansion factors, but stays far above TopPriv's\n"
+      "(compare bench/fig2_exposure_sweep and bench/fig5_toppriv_vs_pdx).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Figure 5: the exposure ratio TopPriv / PDX at matched
+// word budgets — TopPriv constrained to cycle length v, PDX to expansion
+// factor f = v, for v in {2, 4, 8, 12}, across the six LDA models.
+//
+// Paper shape: ratio ~0.7 at v = 2 (TopPriv's ghost query is ~30% more
+// effective) and falls to ~0.3 by v = 8: the differential widens with the
+// budget.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/fixture.h"
+#include "experiments/runner.h"
+#include "util/table.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+
+int main() {
+  ExperimentFixture fixture;
+  const std::vector<size_t> budgets = {2, 4, 8, 12};
+  const std::vector<size_t>& model_sizes = experiments::PaperModelSizes();
+  const double eps1 = 0.05;
+
+  std::printf("\nFigure 5: exposure ratio TopPriv(v) / PDX(f=v), "
+              "epsilon1 = %g%%\n",
+              eps1 * 100.0);
+  std::vector<std::string> header = {"v (=f)"};
+  for (size_t m : model_sizes) {
+    header.push_back(ExperimentFixture::ModelName(m));
+  }
+  util::TablePrinter table(header);
+  util::TablePrinter raw({"v", "model", "toppriv_exposure(%)",
+                          "pdx_exposure(%)", "ratio"});
+
+  for (size_t budget : budgets) {
+    std::vector<std::string> row = {std::to_string(budget)};
+    for (size_t num_topics : model_sizes) {
+      core::PrivacySpec spec;
+      spec.epsilon1 = eps1;
+      spec.epsilon2 = eps1;  // inactive: fixed ghost count drives the loop
+      spec.fixed_ghost_count = budget - 1;
+      experiments::TopPrivCell ours = RunTopPrivCell(fixture, num_topics, spec);
+      experiments::PdxCell theirs = RunPdxCell(
+          fixture, num_topics, eps1, static_cast<double>(budget));
+      double ratio = theirs.exposure_pct > 1e-9
+                         ? ours.exposure_pct / theirs.exposure_pct
+                         : 0.0;
+      row.push_back(util::FormatDouble(ratio, 3));
+      raw.AddRow({std::to_string(budget),
+                  ExperimentFixture::ModelName(num_topics),
+                  util::FormatDouble(ours.exposure_pct, 3),
+                  util::FormatDouble(theirs.exposure_pct, 3),
+                  util::FormatDouble(ratio, 3)});
+    }
+    table.AddRow(std::move(row));
+    std::fprintf(stderr, "[fig5] budget %zu done\n", budget);
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nraw series:\n%s", raw.ToString().c_str());
+  std::printf(
+      "\npaper shape check: ratio < 1 everywhere (TopPriv wins at every\n"
+      "matched budget) and falls as the budget grows (~0.7 at v=2 down to\n"
+      "~0.3 at v=8 in the paper).\n");
+  return 0;
+}

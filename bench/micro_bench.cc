@@ -1,0 +1,157 @@
+// Google-benchmark microbenchmarks for the hot paths: index construction,
+// posting-list iteration, query evaluation, LDA query inference and ghost
+// generation. Complements the figure-level benches with per-operation
+// numbers (the paper's Figs. 2d/3d report end-to-end generation time; these
+// break it down).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "corpus/generator.h"
+#include "corpus/workload.h"
+#include "index/inverted_index.h"
+#include "search/engine.h"
+#include "search/scorer.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "toppriv/ghost_generator.h"
+
+namespace {
+
+using namespace toppriv;
+
+// Small shared world, built once (kept deliberately modest so the micro
+// bench binary stays fast).
+struct MicroWorld {
+  corpus::Corpus corpus;
+  corpus::GroundTruthModel truth;
+  index::InvertedIndex index;
+  topicmodel::LdaModel model;
+  std::vector<corpus::BenchmarkQuery> workload;
+};
+
+const MicroWorld& World() {
+  static const MicroWorld* world = [] {
+    auto* w = new MicroWorld();
+    corpus::GeneratorParams params;
+    params.num_docs = 800;
+    params.mean_doc_length = 100;
+    params.tail_vocab_size = 1500;
+    w->corpus = corpus::CorpusGenerator(params).Generate(&w->truth);
+    w->index = index::InvertedIndex::Build(w->corpus);
+    topicmodel::TrainerOptions options;
+    options.num_topics = 100;
+    options.iterations = 40;
+    w->model = topicmodel::GibbsTrainer(options).Train(w->corpus);
+    corpus::WorkloadParams wp;
+    wp.num_queries = 50;
+    w->workload =
+        corpus::WorkloadGenerator(w->corpus, w->truth, wp).Generate();
+    return w;
+  }();
+  return *world;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& world = World();
+  for (auto _ : state) {
+    index::InvertedIndex index = index::InvertedIndex::Build(world.corpus);
+    benchmark::DoNotOptimize(index.num_terms());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world.corpus.total_tokens()));
+}
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PostingListScan(benchmark::State& state) {
+  const auto& world = World();
+  // Hottest term = longest list.
+  text::TermId hottest = 0;
+  for (text::TermId t = 0; t < world.index.num_terms(); ++t) {
+    if (world.index.DocFreq(t) > world.index.DocFreq(hottest)) hottest = t;
+  }
+  const index::PostingList& list = world.index.Postings(hottest);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      sum += it.Get().doc + it.Get().tf;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(list.size()));
+}
+BENCHMARK(BM_PostingListScan);
+
+void BM_QueryEvaluation(benchmark::State& state) {
+  const auto& world = World();
+  search::SearchEngine engine(world.corpus, world.index,
+                              search::MakeBm25Scorer());
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto& q = world.workload[qi % world.workload.size()];
+    benchmark::DoNotOptimize(engine.Evaluate(q.term_ids, 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_QueryEvaluation)->Unit(benchmark::kMicrosecond);
+
+void BM_LdaInference(benchmark::State& state) {
+  const auto& world = World();
+  topicmodel::LdaInferencer inferencer(world.model);
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto& q = world.workload[qi % world.workload.size()];
+    benchmark::DoNotOptimize(inferencer.InferQuery(q.term_ids));
+    ++qi;
+  }
+}
+BENCHMARK(BM_LdaInference)->Unit(benchmark::kMicrosecond);
+
+void BM_GhostGeneration(benchmark::State& state) {
+  const auto& world = World();
+  topicmodel::LdaInferencer inferencer(world.model);
+  core::PrivacySpec spec;
+  spec.epsilon2 = static_cast<double>(state.range(0)) / 1000.0;
+  core::GhostQueryGenerator generator(world.model, inferencer, spec);
+  util::Rng rng(1);
+  size_t qi = 0;
+  double total_cycle_len = 0.0;
+  size_t cycles = 0;
+  for (auto _ : state) {
+    const auto& q = world.workload[qi % world.workload.size()];
+    core::QueryCycle cycle = generator.Protect(q.term_ids, &rng);
+    benchmark::DoNotOptimize(cycle.length());
+    total_cycle_len += static_cast<double>(cycle.length());
+    ++cycles;
+    ++qi;
+  }
+  state.counters["avg_cycle_len"] =
+      cycles > 0 ? total_cycle_len / static_cast<double>(cycles) : 0.0;
+}
+BENCHMARK(BM_GhostGeneration)
+    ->Arg(10)   // eps2 = 1%
+    ->Arg(30)   // eps2 = 3%
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GibbsTrainingSweep(benchmark::State& state) {
+  const auto& world = World();
+  topicmodel::TrainerOptions options;
+  options.num_topics = static_cast<size_t>(state.range(0));
+  options.iterations = 2;
+  options.estimation_samples = 1;
+  for (auto _ : state) {
+    topicmodel::GibbsTrainer trainer(options);
+    benchmark::DoNotOptimize(trainer.Train(world.corpus).num_topics());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * 2 *
+      static_cast<int64_t>(world.corpus.total_tokens()));
+}
+BENCHMARK(BM_GibbsTrainingSweep)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

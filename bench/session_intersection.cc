@@ -1,0 +1,101 @@
+// Session-level experiment (extension beyond the paper; DESIGN.md sec. 5):
+// the cross-cycle intersection attack against (a) stateless per-cycle
+// TopPriv, exactly as published, and (b) the session-hardened protector
+// that maintains a persistent cover story.
+//
+// Setup: a user re-queries the same intention `n` times; the adversary
+// takes each cycle's top-m boosted topics and intersects across cycles.
+// Reported per n: surviving-set size, precision and recall of the true
+// intention within the survivors.
+
+#include <cstdio>
+
+#include "adversary/intersection.h"
+#include "experiments/fixture.h"
+#include "topicmodel/inference.h"
+#include "toppriv/session.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+
+int main() {
+  ExperimentFixture fixture;
+  const size_t num_topics = 50;
+  const topicmodel::LdaModel& model = fixture.model(num_topics);
+  topicmodel::LdaInferencer inferencer(model);
+  core::PrivacySpec spec;  // (5%, 1%)
+  const size_t top_m = 6;
+  const std::vector<size_t> session_lengths = {1, 2, 4, 8, 16};
+  const size_t num_users = 40;
+
+  adversary::IntersectionAttack attack(model, inferencer);
+
+  util::TablePrinter table({"cycles n", "scheme", "survivors", "precision",
+                            "recall"});
+
+  for (size_t n : session_lengths) {
+    util::OnlineStats stateless_size, stateless_prec, stateless_rec;
+    util::OnlineStats session_size, session_prec, session_rec;
+    size_t evaluated = 0;
+    for (size_t user = 0; user < num_users; ++user) {
+      const corpus::BenchmarkQuery& q =
+          fixture.workload()[user % fixture.workload().size()];
+
+      // Stateless: fresh random masking topics every cycle.
+      core::GhostQueryGenerator stateless(model, inferencer, spec);
+      util::Rng rng_a(1000 + user * 37 + n);
+      std::vector<adversary::CycleView> stateless_views;
+      for (size_t i = 0; i < n; ++i) {
+        core::QueryCycle cycle = stateless.Protect(q.term_ids, &rng_a);
+        stateless_views.push_back(adversary::CycleView{
+            cycle.queries, cycle.user_index, cycle.intention});
+      }
+      if (stateless_views.front().true_intention.empty()) continue;
+      ++evaluated;
+
+      // Session-hardened: persistent cover story.
+      core::SessionProtector session(model, inferencer, spec);
+      util::Rng rng_b(2000 + user * 37 + n);
+      std::vector<adversary::CycleView> session_views;
+      for (size_t i = 0; i < n; ++i) {
+        core::QueryCycle cycle = session.Protect(q.term_ids, &rng_b);
+        session_views.push_back(adversary::CycleView{
+            cycle.queries, cycle.user_index, cycle.intention});
+      }
+
+      auto survivors_a = attack.Intersect(stateless_views, top_m);
+      auto survivors_b = attack.Intersect(session_views, top_m);
+      auto score_a = attack.Evaluate(stateless_views, top_m);
+      auto score_b = attack.Evaluate(session_views, top_m);
+      stateless_size.Add(static_cast<double>(survivors_a.size()));
+      session_size.Add(static_cast<double>(survivors_b.size()));
+      stateless_prec.Add(score_a.precision);
+      session_prec.Add(score_b.precision);
+      stateless_rec.Add(score_a.recall);
+      session_rec.Add(score_b.recall);
+    }
+    table.AddRow({std::to_string(n), "stateless (paper)",
+                  util::FormatDouble(stateless_size.mean(), 2),
+                  util::FormatDouble(stateless_prec.mean(), 3),
+                  util::FormatDouble(stateless_rec.mean(), 3)});
+    table.AddRow({std::to_string(n), "session-hardened",
+                  util::FormatDouble(session_size.mean(), 2),
+                  util::FormatDouble(session_prec.mean(), 3),
+                  util::FormatDouble(session_rec.mean(), 3)});
+    std::fprintf(stderr, "[session] n=%zu done (%zu users)\n", n, evaluated);
+  }
+
+  std::printf("\nCross-cycle intersection attack (top-%zu per cycle, "
+              "LDA%03zu, eps1=5%%, eps2=1%%)\n",
+              top_m, num_topics);
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nexpected: against the stateless scheme the surviving set collapses\n"
+      "towards the genuine topics as n grows (precision -> 1): repeating a\n"
+      "query erodes the paper's per-cycle guarantee. The session-hardened\n"
+      "protector keeps its cover story in every cycle, so the survivors\n"
+      "stay numerous and precision stays near 1/survivors.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Appendix A.2 experiment: can the alternative topical-modeling techniques
+// (pLSA, LSA) support TopPriv?
+//
+// The paper argues for LDA over pLSA (ill-defined query semantics; we use
+// the standard fold-in workaround to measure anyway) and over LSA (memory;
+// also LSA yields geometry, not probabilities, so it cannot drive the
+// belief model at all — we report its training cost and leave it to the
+// Murugesan-Clifton baseline, which is where the paper says it belongs).
+
+#include <cstdio>
+
+#include "experiments/fixture.h"
+#include "experiments/runner.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "topicmodel/lsa.h"
+#include "topicmodel/plsa.h"
+#include "toppriv/ghost_generator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace toppriv;
+using experiments::ExperimentFixture;
+
+namespace {
+
+struct ModelRun {
+  double train_seconds = 0.0;
+  double ll_per_token = 0.0;
+  double exposure_pct = 0.0;
+  double cycle_length = 0.0;
+  double satisfied = 0.0;
+};
+
+ModelRun RunTopPrivOn(const topicmodel::LdaModel& model,
+                      ExperimentFixture& fixture) {
+  topicmodel::LdaInferencer inferencer(model);
+  core::PrivacySpec spec;  // (5%, 1%)
+  core::GhostQueryGenerator generator(model, inferencer, spec);
+  util::Rng rng(55);
+  util::OnlineStats exposure, cycle_len;
+  size_t satisfied = 0, counted = 0;
+  for (const corpus::BenchmarkQuery& q : fixture.workload()) {
+    core::QueryCycle cycle = generator.Protect(q.term_ids, &rng);
+    exposure.Add(cycle.exposure_after * 100.0);
+    cycle_len.Add(static_cast<double>(cycle.length()));
+    if (cycle.met_epsilon2) ++satisfied;
+    ++counted;
+  }
+  ModelRun run;
+  run.exposure_pct = exposure.mean();
+  run.cycle_length = cycle_len.mean();
+  run.satisfied = counted > 0 ? static_cast<double>(satisfied) / counted : 0;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentFixture fixture;
+  const size_t num_topics = 50;
+
+  util::TablePrinter table({"model", "train(s)", "loglik/token",
+                            "exposure(%)", "cycle v", "met eps2"});
+
+  // LDA (the paper's choice).
+  {
+    util::WallTimer timer;
+    topicmodel::TrainerOptions options;
+    options.num_topics = num_topics;
+    options.iterations = fixture.config().lda_iterations;
+    topicmodel::LdaModel model =
+        topicmodel::GibbsTrainer(options).Train(fixture.corpus());
+    double train_s = timer.ElapsedSeconds();
+    ModelRun run = RunTopPrivOn(model, fixture);
+    table.AddRow({"LDA (Gibbs)", util::FormatDouble(train_s, 1),
+                  util::FormatDouble(topicmodel::GibbsTrainer::
+                                         LogLikelihoodPerToken(
+                                             model, fixture.corpus()),
+                                     3),
+                  util::FormatDouble(run.exposure_pct, 3),
+                  util::FormatDouble(run.cycle_length, 2),
+                  util::FormatDouble(run.satisfied, 2)});
+    std::fprintf(stderr, "[alt] LDA done\n");
+  }
+
+  // pLSA with fold-in.
+  {
+    util::WallTimer timer;
+    topicmodel::PlsaOptions options;
+    options.num_topics = num_topics;
+    options.iterations = 40;
+    topicmodel::LdaModel model =
+        topicmodel::PlsaTrainer(options).Train(fixture.corpus());
+    double train_s = timer.ElapsedSeconds();
+    ModelRun run = RunTopPrivOn(model, fixture);
+    table.AddRow({"pLSA (EM, fold-in)", util::FormatDouble(train_s, 1),
+                  util::FormatDouble(topicmodel::GibbsTrainer::
+                                         LogLikelihoodPerToken(
+                                             model, fixture.corpus()),
+                                     3),
+                  util::FormatDouble(run.exposure_pct, 3),
+                  util::FormatDouble(run.cycle_length, 2),
+                  util::FormatDouble(run.satisfied, 2)});
+    std::fprintf(stderr, "[alt] pLSA done\n");
+  }
+
+  // LSA: geometry only — no Pr(t), Pr(w|t), so TopPriv's belief model has
+  // nothing to consume. Report the factorization cost for completeness.
+  {
+    util::WallTimer timer;
+    topicmodel::LsaOptions options;
+    options.num_factors = num_topics;
+    topicmodel::LsaModel model =
+        topicmodel::LsaTrainer(options).Train(fixture.corpus());
+    double train_s = timer.ElapsedSeconds();
+    table.AddRow({"LSA (truncated SVD)", util::FormatDouble(train_s, 1),
+                  "n/a (non-probabilistic)", "n/a", "n/a",
+                  util::FormatDouble(
+                      static_cast<double>(model.singular_values().front()),
+                      1) +
+                      " (sigma1)"});
+    std::fprintf(stderr, "[alt] LSA done\n");
+  }
+
+  std::printf("\nAppendix A.2: alternative topic models driving TopPriv "
+              "(%zu topics/factors)\n",
+              num_topics);
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\npaper claims to check: LDA fits the corpus at least as well as\n"
+      "pLSA's fold-in workaround while having principled query semantics;\n"
+      "both drive TopPriv to meet (5%%, 1%%)-privacy, but pLSA's weaker\n"
+      "unseen-query inference typically costs longer cycles; LSA cannot\n"
+      "drive the belief model at all.\n");
+  return 0;
+}

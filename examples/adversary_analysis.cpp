@@ -1,0 +1,123 @@
+// Adversary's-eye-view demo: runs the Section IV-D attack suite against one
+// user's traffic, with and without TopPriv, and narrates what the curious
+// search engine can and cannot learn.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "adversary/attacks.h"
+#include "corpus/generator.h"
+#include "corpus/workload.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "toppriv/belief.h"
+#include "toppriv/ghost_generator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace toppriv;
+
+  corpus::GeneratorParams params;
+  params.num_docs = 1000;
+  corpus::CorpusGenerator generator(params);
+  corpus::GroundTruthModel truth;
+  corpus::Corpus corpus = generator.Generate(&truth);
+
+  topicmodel::TrainerOptions trainer_options;
+  trainer_options.num_topics = 40;
+  trainer_options.iterations = 70;
+  topicmodel::LdaModel model =
+      topicmodel::GibbsTrainer(trainer_options).Train(corpus);
+  topicmodel::LdaInferencer inferencer(model);
+
+  core::PrivacySpec spec;  // (5%, 1%)
+  core::GhostQueryGenerator ghost_generator(model, inferencer, spec);
+
+  corpus::WorkloadParams wp;
+  wp.num_queries = 30;
+  std::vector<corpus::BenchmarkQuery> queries =
+      corpus::WorkloadGenerator(corpus, truth, wp).Generate();
+
+  // Walk one query in detail.
+  util::Rng rng(11);
+  const corpus::BenchmarkQuery* detailed = nullptr;
+  core::QueryCycle detailed_cycle;
+  for (const corpus::BenchmarkQuery& q : queries) {
+    core::QueryCycle cycle = ghost_generator.Protect(q.term_ids, &rng);
+    if (!cycle.intention.empty() && cycle.num_ghosts() >= 2) {
+      detailed = &q;
+      detailed_cycle = std::move(cycle);
+      break;
+    }
+  }
+  if (detailed == nullptr) {
+    std::fprintf(stderr, "no protected query found\n");
+    return 1;
+  }
+
+  std::printf("=== one protected query, in detail ===\n");
+  std::printf("user query: %s\n", detailed->Text().c_str());
+  std::printf("ground-truth intent: %s\n",
+              corpus.true_topic_names()[detailed->intent_topics[0]].c_str());
+  std::printf("|U| = %zu, exposure %.2f%% -> %.2f%%, mask %.2f%%, v = %zu\n\n",
+              detailed_cycle.intention.size(),
+              detailed_cycle.exposure_before * 100,
+              detailed_cycle.exposure_after * 100,
+              detailed_cycle.mask_level * 100, detailed_cycle.length());
+
+  // What the adversary's belief ranking looks like for this cycle.
+  std::printf("adversary's topic ranking for this cycle (top 8 by boost):\n");
+  std::vector<std::pair<double, topicmodel::TopicId>> ranked;
+  for (size_t t = 0; t < detailed_cycle.cycle_boost.size(); ++t) {
+    ranked.push_back({detailed_cycle.cycle_boost[t],
+                      static_cast<topicmodel::TopicId>(t)});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (size_t r = 0; r < 8 && r < ranked.size(); ++r) {
+    bool in_u = false;
+    for (topicmodel::TopicId t : detailed_cycle.intention) {
+      if (t == ranked[r].second) in_u = true;
+    }
+    std::string words;
+    for (const topicmodel::WordProb& wp :
+         model.TopWords(ranked[r].second, 5)) {
+      words += corpus.vocabulary().TermString(wp.term) + " ";
+    }
+    std::printf("  #%zu  boost %+.2f%%  topic %-3u %s %s\n", r + 1,
+                ranked[r].first * 100, ranked[r].second,
+                in_u ? "[GENUINE]" : "         ", words.c_str());
+  }
+
+  // Aggregate attack statistics.
+  adversary::TopicInferenceAttack topic_attack(model, inferencer);
+  adversary::GhostDiscountAttack discount_attack(model, inferencer, 0.05);
+
+  double plain_recall = 0.0, guarded_recall = 0.0, id_accuracy = 0.0;
+  size_t evaluated = 0;
+  util::Rng session_rng(17);
+  for (const corpus::BenchmarkQuery& q : queries) {
+    core::QueryCycle cycle = ghost_generator.Protect(q.term_ids, &session_rng);
+    if (cycle.intention.empty()) continue;
+    ++evaluated;
+
+    adversary::CycleView guarded{cycle.queries, cycle.user_index,
+                                 cycle.intention};
+    adversary::CycleView plain{{q.term_ids}, 0, cycle.intention};
+    plain_recall += topic_attack.Evaluate(plain, 3).recall;
+    guarded_recall += topic_attack.Evaluate(guarded, 3).recall;
+    id_accuracy += discount_attack.Evaluate(guarded) ? 1.0 : 0.0;
+  }
+
+  std::printf("\n=== attack suite over %zu protected queries ===\n",
+              evaluated);
+  util::TablePrinter table({"attack", "unprotected", "TopPriv"});
+  table.AddRow({"top-3 topic inference recall",
+                util::FormatDouble(plain_recall / evaluated, 3),
+                util::FormatDouble(guarded_recall / evaluated, 3)});
+  table.AddRow({"genuine-query identification", "1.000 (trivial)",
+                util::FormatDouble(id_accuracy / evaluated, 3)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nthe engine processes every query faithfully yet cannot\n"
+              "reliably reconstruct what this user was actually after.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Quickstart: build a small corpus, train an LDA model, and run one
+// (epsilon1, epsilon2)-protected search end to end.
+//
+// Walks through the whole TopPriv pipeline of the paper:
+//   corpus -> inverted index -> search engine
+//   corpus -> LDA model -> inferencer -> ghost generator -> trusted client
+// and prints what the adversary (engine log) sees versus what the user gets.
+
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "corpus/workload.h"
+#include "index/inverted_index.h"
+#include "search/engine.h"
+#include "search/scorer.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "toppriv/client.h"
+#include "toppriv/ghost_generator.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+using toppriv::corpus::BenchmarkQuery;
+
+std::string TermsToText(const toppriv::text::Vocabulary& vocab,
+                        const std::vector<toppriv::text::TermId>& terms) {
+  std::vector<std::string> words;
+  words.reserve(terms.size());
+  for (toppriv::text::TermId t : terms) words.push_back(vocab.TermString(t));
+  return toppriv::util::Join(words, " ");
+}
+
+}  // namespace
+
+int main() {
+  using namespace toppriv;
+
+  // 1. A small synthetic corpus (the WSJ stand-in).
+  corpus::GeneratorParams params;
+  params.num_docs = 600;
+  params.mean_doc_length = 90;
+  params.tail_vocab_size = 1200;
+  corpus::CorpusGenerator generator(params);
+  corpus::GroundTruthModel truth;
+  corpus::Corpus corpus = generator.Generate(&truth);
+  std::printf("corpus: %zu docs, %zu terms, %llu tokens\n",
+              corpus.num_documents(), corpus.vocabulary_size(),
+              static_cast<unsigned long long>(corpus.total_tokens()));
+
+  // 2. The enterprise search engine (unmodified by the privacy layer).
+  index::InvertedIndex inverted = index::InvertedIndex::Build(corpus);
+  search::SearchEngine engine(corpus, inverted, search::MakeBm25Scorer());
+
+  // 3. The topic model the client uses to reason about beliefs.
+  topicmodel::TrainerOptions trainer_options;
+  trainer_options.num_topics = 60;
+  trainer_options.iterations = 60;
+  topicmodel::GibbsTrainer trainer(trainer_options);
+  topicmodel::LdaModel model = trainer.Train(corpus);
+  topicmodel::LdaInferencer inferencer(model);
+  std::printf("model: %zu topics, %.1f MB\n", model.num_topics(),
+              static_cast<double>(model.SizeBytes()) / (1024.0 * 1024.0));
+
+  // 4. The TopPriv client with a (5%, 1%)-privacy requirement.
+  core::PrivacySpec spec;
+  spec.epsilon1 = 0.05;
+  spec.epsilon2 = 0.01;
+  core::GhostQueryGenerator ghost_generator(model, inferencer, spec);
+  core::TrustedClient client(&engine, &ghost_generator, util::Rng(42));
+
+  // 5. A topical user query (defense procurement, like TREC query 91).
+  corpus::WorkloadParams wparams;
+  wparams.num_queries = 30;
+  corpus::WorkloadGenerator workload_gen(corpus, truth, wparams);
+  std::vector<BenchmarkQuery> workload = workload_gen.Generate();
+  const BenchmarkQuery& query = workload.front();
+
+  std::printf("\nuser query (intent: %s):\n  %s\n",
+              corpus.true_topic_names()[query.intent_topics[0]].c_str(),
+              query.Text().c_str());
+
+  core::ProtectedSearchResult result = client.Search(query.term_ids, 10);
+
+  std::printf("\ncycle submitted to the engine (%zu queries):\n",
+              result.cycle.length());
+  for (size_t i = 0; i < result.cycle.queries.size(); ++i) {
+    std::printf("  [%zu]%s %s\n", i,
+                i == result.cycle.user_index ? " <- genuine (client-only)" : "",
+                TermsToText(corpus.vocabulary(), result.cycle.queries[i])
+                    .c_str());
+  }
+
+  std::printf("\nprivacy: |U|=%zu  exposure %.2f%% -> %.2f%%  mask %.2f%%  "
+              "met eps2: %s\n",
+              result.cycle.intention.size(),
+              result.cycle.exposure_before * 100.0,
+              result.cycle.exposure_after * 100.0,
+              result.cycle.mask_level * 100.0,
+              result.cycle.met_epsilon2 ? "yes" : "no");
+
+  std::printf("\ntop results for the genuine query:\n");
+  for (const search::ScoredDoc& doc : result.results) {
+    std::printf("  %-12s score %.3f\n",
+                corpus.document(doc.doc).title.c_str(), doc.score);
+  }
+
+  // 6. Fidelity check: protected search returns the exact same results.
+  std::vector<search::ScoredDoc> plain =
+      engine.Evaluate(query.term_ids, 10);
+  bool identical = plain.size() == result.results.size();
+  for (size_t i = 0; identical && i < plain.size(); ++i) {
+    identical = plain[i].doc == result.results[i].doc;
+  }
+  std::printf("\nresult fidelity vs unprotected search: %s\n",
+              identical ? "identical" : "DIFFERENT (bug!)");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Topic-model explorer: trains LDA models of several sizes on the same
+// corpus and prints what the paper's Appendix A illustrates — coherent
+// topics at the right granularity, indistinct mixtures when the topic count
+// is far too low, and the prior/posterior machinery TopPriv builds on.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "util/table.h"
+
+int main() {
+  using namespace toppriv;
+
+  corpus::GeneratorParams params;
+  params.num_docs = 1000;
+  params.mean_doc_length = 100;
+  corpus::CorpusGenerator generator(params);
+  corpus::GroundTruthModel truth;
+  corpus::Corpus corpus = generator.Generate(&truth);
+  const text::Vocabulary& vocab = corpus.vocabulary();
+  std::printf("corpus: %zu docs, %zu terms, %zu ground-truth topics\n\n",
+              corpus.num_documents(), corpus.vocabulary_size(),
+              corpus.true_topic_names().size());
+
+  for (size_t num_topics : {5ul, 30ul, 80ul}) {
+    topicmodel::TrainerOptions options;
+    options.num_topics = num_topics;
+    options.iterations = 70;
+    topicmodel::LdaModel model =
+        topicmodel::GibbsTrainer(options).Train(corpus);
+    double ll = topicmodel::GibbsTrainer::LogLikelihoodPerToken(model, corpus);
+
+    std::printf("=== LDA with %zu topics (log-likelihood/token %.3f) ===\n",
+                num_topics, ll);
+    // Show the 4 highest-prior topics.
+    std::vector<std::pair<double, topicmodel::TopicId>> by_prior;
+    for (size_t t = 0; t < num_topics; ++t) {
+      by_prior.push_back({model.prior()[t],
+                          static_cast<topicmodel::TopicId>(t)});
+    }
+    std::sort(by_prior.rbegin(), by_prior.rend());
+    for (size_t i = 0; i < 4 && i < by_prior.size(); ++i) {
+      std::printf("  topic %-3u prior %.3f :", by_prior[i].second,
+                  by_prior[i].first);
+      for (const topicmodel::WordProb& wp :
+           model.TopWords(by_prior[i].second, 8)) {
+        std::printf(" %s", vocab.TermString(wp.term).c_str());
+      }
+      std::printf("\n");
+    }
+
+    // Posterior demo: what does a weaponry query boost?
+    topicmodel::LdaInferencer inferencer(model);
+    std::vector<text::TermId> query;
+    for (const char* w : {"army", "abrams", "tank", "apache", "helicopter",
+                          "patriot", "missile"}) {
+      text::TermId id = vocab.Lookup(w);
+      if (id != text::kInvalidTerm) query.push_back(id);
+    }
+    std::vector<double> posterior = inferencer.InferQuery(query);
+    size_t best = 0;
+    for (size_t t = 1; t < num_topics; ++t) {
+      if (posterior[t] > posterior[best]) best = t;
+    }
+    std::printf("  query 'army abrams tank apache helicopter patriot "
+                "missile'\n");
+    std::printf("    -> top topic %zu: boost %+.1f%%, words:", best,
+                (posterior[best] - model.prior()[best]) * 100);
+    for (const topicmodel::WordProb& wp :
+         model.TopWords(static_cast<topicmodel::TopicId>(best), 8)) {
+      std::printf(" %s", vocab.TermString(wp.term).c_str());
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("takeaway (paper Sec IV-B / Appendix A): with too few topics\n"
+              "every topic is an indistinct mixture and the user intention\n"
+              "cannot be localized; at a granularity near the corpus's true\n"
+              "coverage the model pinpoints it, which is what TopPriv needs\n"
+              "to know WHICH topics to suppress.\n");
+  return 0;
+}

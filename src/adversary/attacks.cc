@@ -1,0 +1,171 @@
+#include "adversary/attacks.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "toppriv/belief.h"
+#include "util/check.h"
+
+namespace toppriv::adversary {
+
+namespace {
+
+// Cycle boost B(t|C) from the adversary's standpoint: infer each logged
+// query independently, average per Eq. 2, subtract the prior.
+std::vector<double> CycleBoost(const topicmodel::LdaModel& model,
+                               const topicmodel::LdaInferencer& inferencer,
+                               const std::vector<std::vector<text::TermId>>& queries) {
+  TOPPRIV_CHECK(!queries.empty());
+  std::vector<std::vector<double>> posteriors;
+  posteriors.reserve(queries.size());
+  for (const auto& q : queries) {
+    posteriors.push_back(inferencer.InferQuery(q));
+  }
+  std::vector<double> mix =
+      topicmodel::LdaInferencer::CyclePosterior(posteriors);
+  const std::vector<double>& prior = model.prior();
+  for (size_t t = 0; t < mix.size(); ++t) mix[t] -= prior[t];
+  return mix;
+}
+
+std::vector<topicmodel::TopicId> TopM(const std::vector<double>& boost,
+                                      size_t m) {
+  std::vector<topicmodel::TopicId> order(boost.size());
+  for (size_t t = 0; t < order.size(); ++t) {
+    order[t] = static_cast<topicmodel::TopicId>(t);
+  }
+  m = std::min(m, order.size());
+  std::partial_sort(order.begin(), order.begin() + m, order.end(),
+                    [&boost](topicmodel::TopicId a, topicmodel::TopicId b) {
+                      if (boost[a] != boost[b]) return boost[a] > boost[b];
+                      return a < b;
+                    });
+  order.resize(m);
+  return order;
+}
+
+}  // namespace
+
+RecoveryScore ScoreRecovery(const std::vector<topicmodel::TopicId>& guessed,
+                            const std::vector<topicmodel::TopicId>& truth) {
+  RecoveryScore score;
+  if (guessed.empty() || truth.empty()) return score;
+  std::unordered_set<topicmodel::TopicId> truth_set(truth.begin(),
+                                                    truth.end());
+  size_t hits = 0;
+  for (topicmodel::TopicId t : guessed) {
+    if (truth_set.count(t)) ++hits;
+  }
+  score.precision = static_cast<double>(hits) / static_cast<double>(guessed.size());
+  score.recall = static_cast<double>(hits) / static_cast<double>(truth_set.size());
+  return score;
+}
+
+std::vector<topicmodel::TopicId> TopicInferenceAttack::GuessIntention(
+    const CycleView& cycle, size_t m) const {
+  return TopM(CycleBoost(model_, inferencer_, cycle.queries), m);
+}
+
+size_t GhostDiscountAttack::IdentifyUserQuery(const CycleView& cycle) const {
+  TOPPRIV_CHECK(!cycle.queries.empty());
+  std::vector<double> cycle_boost =
+      CycleBoost(model_, inferencer_, cycle.queries);
+
+  // For each query: compute its private intention at the guessed epsilon1,
+  // then measure how suppressed those topics are in the cycle. TopPriv
+  // suppresses the *genuine* intention, so the adversary bets on the query
+  // whose own topics show the LOWEST residual exposure in the cycle.
+  double best_score = 0.0;
+  size_t best_index = 0;
+  bool first = true;
+  for (size_t i = 0; i < cycle.queries.size(); ++i) {
+    core::BeliefProfile profile = core::MakeBeliefProfile(
+        model_, inferencer_.InferQuery(cycle.queries[i]));
+    std::vector<topicmodel::TopicId> intention =
+        core::ExtractIntention(profile, guessed_epsilon1_);
+    double residual;
+    if (intention.empty()) {
+      // No topics cleared the guessed threshold; treat as fully exposed so
+      // this query is not preferred.
+      residual = 1.0;
+    } else {
+      residual = 0.0;
+      for (topicmodel::TopicId t : intention) {
+        residual = std::max(residual, cycle_boost[t]);
+      }
+    }
+    if (first || residual < best_score) {
+      best_score = residual;
+      best_index = i;
+      first = false;
+    }
+  }
+  return best_index;
+}
+
+std::vector<topicmodel::TopicId> TermEliminationAttack::GuessIntention(
+    const CycleView& cycle, size_t discount_m, size_t guess_m) const {
+  std::vector<double> boost = CycleBoost(model_, inferencer_, cycle.queries);
+  std::vector<topicmodel::TopicId> discounted = TopM(boost, discount_m);
+  std::unordered_set<topicmodel::TopicId> discounted_set(discounted.begin(),
+                                                         discounted.end());
+
+  // Union of all cycle terms, minus terms dominantly associated with the
+  // discounted topics (argmax_t Pr(w|t) Pr(t)).
+  const std::vector<double>& prior = model_.prior();
+  std::set<text::TermId> kept;
+  for (const auto& q : cycle.queries) {
+    for (text::TermId w : q) {
+      double best = -1.0;
+      topicmodel::TopicId best_t = 0;
+      for (size_t t = 0; t < model_.num_topics(); ++t) {
+        double s = model_.Phi(static_cast<topicmodel::TopicId>(t), w) * prior[t];
+        if (s > best) {
+          best = s;
+          best_t = static_cast<topicmodel::TopicId>(t);
+        }
+      }
+      if (!discounted_set.count(best_t)) kept.insert(w);
+    }
+  }
+  if (kept.empty()) return {};
+
+  std::vector<text::TermId> residual_query(kept.begin(), kept.end());
+  core::BeliefProfile profile = core::MakeBeliefProfile(
+      model_, inferencer_.InferQuery(residual_query));
+  return TopM(profile.boost, guess_m);
+}
+
+double ProbingAttack::BestReplayMatchRate(const CycleView& cycle,
+                                          util::Rng* rng) const {
+  if (cycle.queries.size() < 2) return 0.0;
+
+  // Canonical form: sorted term ids, so shuffled word order cannot hide an
+  // exact match.
+  auto canon = [](std::vector<text::TermId> q) {
+    std::sort(q.begin(), q.end());
+    return q;
+  };
+  std::set<std::vector<text::TermId>> logged;
+  for (const auto& q : cycle.queries) logged.insert(canon(q));
+
+  double best_rate = 0.0;
+  for (size_t i = 0; i < cycle.queries.size(); ++i) {
+    core::QueryCycle replay = generator_->Protect(cycle.queries[i], rng);
+    size_t matches = 0;
+    size_t ghosts = 0;
+    for (size_t j = 0; j < replay.queries.size(); ++j) {
+      if (j == replay.user_index) continue;  // the probe itself
+      ++ghosts;
+      if (logged.count(canon(replay.queries[j]))) ++matches;
+    }
+    if (ghosts > 0) {
+      best_rate = std::max(
+          best_rate, static_cast<double>(matches) / static_cast<double>(ghosts));
+    }
+  }
+  return best_rate;
+}
+
+}  // namespace toppriv::adversary

@@ -1,0 +1,137 @@
+// Adversary suite implementing the attack scenarios of paper Section IV-D.
+//
+// The adversary is the search engine: it holds the corpus, the LDA model and
+// the ghost-generation algorithm, and analyzes logged query cycles after the
+// fact. Each attack reports how well the adversary recovers the user
+// intention (or identifies the genuine query); the experiments run them
+// against protected and unprotected logs to validate the resilience claims.
+#ifndef TOPPRIV_ADVERSARY_ATTACKS_H_
+#define TOPPRIV_ADVERSARY_ATTACKS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topicmodel/inference.h"
+#include "topicmodel/lda_model.h"
+#include "toppriv/ghost_generator.h"
+
+namespace toppriv::adversary {
+
+/// The adversary's view of one cycle plus (experiment-side) ground truth.
+struct CycleView {
+  /// Queries as logged by the engine (shuffled; ghosts indistinguishable).
+  std::vector<std::vector<text::TermId>> queries;
+  /// Ground truth, unknown to the adversary: which entry is genuine.
+  size_t true_user_index = 0;
+  /// Ground truth: the intention U of the genuine query at the user's
+  /// (secret) epsilon1.
+  std::vector<topicmodel::TopicId> true_intention;
+};
+
+/// Precision/recall of a guessed topic set against the truth.
+struct RecoveryScore {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+RecoveryScore ScoreRecovery(const std::vector<topicmodel::TopicId>& guessed,
+                            const std::vector<topicmodel::TopicId>& truth);
+
+/// Attack 1 — "discount high-exposure topics": rank all topics by B(t|C)
+/// and guess the top-m as the intention. Against TopPriv the genuine topics
+/// sit below many masking topics (paper Fig. 3f), so recall collapses.
+class TopicInferenceAttack {
+ public:
+  TopicInferenceAttack(const topicmodel::LdaModel& model,
+                       const topicmodel::LdaInferencer& inferencer)
+      : model_(model), inferencer_(inferencer) {}
+
+  /// Top-m topics by cycle boost.
+  std::vector<topicmodel::TopicId> GuessIntention(const CycleView& cycle,
+                                                  size_t m) const;
+
+  RecoveryScore Evaluate(const CycleView& cycle, size_t m) const {
+    return ScoreRecovery(GuessIntention(cycle, m), cycle.true_intention);
+  }
+
+ private:
+  const topicmodel::LdaModel& model_;
+  const topicmodel::LdaInferencer& inferencer_;
+};
+
+/// Attack 2 — "discount ghost queries": the adversary guesses thresholds
+/// (epsilon1', epsilon2') and flags as the genuine query the one whose own
+/// relevant topics are best suppressed in the cycle (the signature TopPriv
+/// would leave if the thresholds were known). Reports whether it picked the
+/// right query.
+class GhostDiscountAttack {
+ public:
+  GhostDiscountAttack(const topicmodel::LdaModel& model,
+                      const topicmodel::LdaInferencer& inferencer,
+                      double guessed_epsilon1)
+      : model_(model),
+        inferencer_(inferencer),
+        guessed_epsilon1_(guessed_epsilon1) {}
+
+  /// Index of the query the adversary believes is genuine.
+  size_t IdentifyUserQuery(const CycleView& cycle) const;
+
+  bool Evaluate(const CycleView& cycle) const {
+    return IdentifyUserQuery(cycle) == cycle.true_user_index;
+  }
+
+ private:
+  const topicmodel::LdaModel& model_;
+  const topicmodel::LdaInferencer& inferencer_;
+  double guessed_epsilon1_;
+};
+
+/// Attack 3 — "eliminate query words relating to high-exposure topics":
+/// drop, from the union of cycle terms, every term dominantly associated
+/// with the top-m exposed topics, re-infer on the remainder and guess the
+/// intention. The paper argues this removes genuine terms too (the "apache"
+/// example); the evaluation measures recall of the truth.
+class TermEliminationAttack {
+ public:
+  TermEliminationAttack(const topicmodel::LdaModel& model,
+                        const topicmodel::LdaInferencer& inferencer)
+      : model_(model), inferencer_(inferencer) {}
+
+  /// Guessed intention after eliminating terms of the `discount_m` most
+  /// exposed topics and keeping the top-`guess_m` remaining topics.
+  std::vector<topicmodel::TopicId> GuessIntention(const CycleView& cycle,
+                                                  size_t discount_m,
+                                                  size_t guess_m) const;
+
+  RecoveryScore Evaluate(const CycleView& cycle, size_t discount_m,
+                         size_t guess_m) const {
+    return ScoreRecovery(GuessIntention(cycle, discount_m, guess_m),
+                         cycle.true_intention);
+  }
+
+ private:
+  const topicmodel::LdaModel& model_;
+  const topicmodel::LdaInferencer& inferencer_;
+};
+
+/// Attack 4 — "issue probing queries" (replay): treat each logged query as
+/// the user query, re-run the (public) ghost-generation algorithm, and test
+/// whether it reproduces the rest of the cycle. Randomized masking-topic and
+/// word selection makes reproduction fail (paper Section IV-D).
+class ProbingAttack {
+ public:
+  /// `generator` is the adversary's copy of the client implementation.
+  explicit ProbingAttack(core::GhostQueryGenerator* generator)
+      : generator_(generator) {}
+
+  /// Fraction of replayed ghost queries that exactly match a logged query
+  /// in the cycle, maximized over the choice of assumed user query.
+  double BestReplayMatchRate(const CycleView& cycle, util::Rng* rng) const;
+
+ private:
+  core::GhostQueryGenerator* generator_;
+};
+
+}  // namespace toppriv::adversary
+
+#endif  // TOPPRIV_ADVERSARY_ATTACKS_H_

@@ -1,0 +1,41 @@
+#include "adversary/intersection.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace toppriv::adversary {
+
+std::vector<topicmodel::TopicId> IntersectionAttack::Intersect(
+    const std::vector<CycleView>& cycles, size_t m) const {
+  TOPPRIV_CHECK(!cycles.empty());
+  TopicInferenceAttack per_cycle(model_, inferencer_);
+
+  std::set<topicmodel::TopicId> surviving;
+  bool first = true;
+  for (const CycleView& cycle : cycles) {
+    std::vector<topicmodel::TopicId> top = per_cycle.GuessIntention(cycle, m);
+    std::set<topicmodel::TopicId> candidates(top.begin(), top.end());
+    if (first) {
+      surviving = std::move(candidates);
+      first = false;
+    } else {
+      std::set<topicmodel::TopicId> next;
+      std::set_intersection(surviving.begin(), surviving.end(),
+                            candidates.begin(), candidates.end(),
+                            std::inserter(next, next.begin()));
+      surviving = std::move(next);
+    }
+    if (surviving.empty()) break;
+  }
+  return {surviving.begin(), surviving.end()};
+}
+
+RecoveryScore IntersectionAttack::Evaluate(
+    const std::vector<CycleView>& cycles, size_t m) const {
+  TOPPRIV_CHECK(!cycles.empty());
+  return ScoreRecovery(Intersect(cycles, m), cycles.front().true_intention);
+}
+
+}  // namespace toppriv::adversary

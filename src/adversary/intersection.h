@@ -1,0 +1,45 @@
+// Cross-cycle intersection attack (extension beyond the paper's per-cycle
+// threat analysis).
+//
+// Observation: the paper's adversary analyzes cycles independently, but an
+// enterprise query log contains MANY cycles from the same user. If the user
+// repeatedly searches the same topic, her genuine topics persist across
+// cycles while stateless TopPriv's randomly-chosen masking topics churn, so
+// the intersection of per-cycle candidate sets converges to the intention.
+// The session-hardened client (toppriv/session.h) defeats this by holding
+// the masking topics fixed; bench/session_intersection quantifies both.
+#ifndef TOPPRIV_ADVERSARY_INTERSECTION_H_
+#define TOPPRIV_ADVERSARY_INTERSECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "adversary/attacks.h"
+
+namespace toppriv::adversary {
+
+/// Intersection attack over a series of cycles attributed to one user.
+class IntersectionAttack {
+ public:
+  IntersectionAttack(const topicmodel::LdaModel& model,
+                     const topicmodel::LdaInferencer& inferencer)
+      : model_(model), inferencer_(inferencer) {}
+
+  /// For each cycle, takes the top-`m` topics by cycle boost as the
+  /// candidate set, then intersects the candidate sets across all cycles.
+  /// Returns the surviving topics (the adversary's guessed intention).
+  std::vector<topicmodel::TopicId> Intersect(
+      const std::vector<CycleView>& cycles, size_t m) const;
+
+  /// Recovery of the (shared) true intention of the cycle series.
+  RecoveryScore Evaluate(const std::vector<CycleView>& cycles,
+                         size_t m) const;
+
+ private:
+  const topicmodel::LdaModel& model_;
+  const topicmodel::LdaInferencer& inferencer_;
+};
+
+}  // namespace toppriv::adversary
+
+#endif  // TOPPRIV_ADVERSARY_INTERSECTION_H_

@@ -1,0 +1,95 @@
+#include "adversary/log_segmentation.h"
+
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace toppriv::adversary {
+
+std::vector<Segment> SegmentByGaps(const std::vector<search::LoggedQuery>& log,
+                                   double gap_threshold_seconds) {
+  std::vector<Segment> segments;
+  Segment current;
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (!current.empty() &&
+        log[i].timestamp - log[i - 1].timestamp > gap_threshold_seconds) {
+      segments.push_back(std::move(current));
+      current.clear();
+    }
+    current.push_back(i);
+  }
+  if (!current.empty()) segments.push_back(std::move(current));
+  return segments;
+}
+
+SegmentationScore ScoreSegmentation(
+    const std::vector<Segment>& segments,
+    const std::vector<search::LoggedQuery>& log) {
+  SegmentationScore score;
+  if (log.empty()) return score;
+
+  // Pairwise counting. Same-segment pairs vs same-cycle pairs.
+  auto pairs_of = [](size_t n) { return n * (n - 1) / 2; };
+
+  size_t predicted_pairs = 0, true_pairs = 0, hit_pairs = 0;
+  for (const Segment& segment : segments) {
+    predicted_pairs += pairs_of(segment.size());
+    for (size_t a = 0; a < segment.size(); ++a) {
+      for (size_t b = a + 1; b < segment.size(); ++b) {
+        if (log[segment[a]].cycle_id == log[segment[b]].cycle_id) {
+          ++hit_pairs;
+        }
+      }
+    }
+  }
+  std::map<uint64_t, size_t> cycle_sizes;
+  for (const search::LoggedQuery& entry : log) ++cycle_sizes[entry.cycle_id];
+  for (const auto& [cycle, size] : cycle_sizes) true_pairs += pairs_of(size);
+
+  score.pair_precision =
+      predicted_pairs > 0
+          ? static_cast<double>(hit_pairs) / static_cast<double>(predicted_pairs)
+          : 0.0;
+  score.pair_recall =
+      true_pairs > 0
+          ? static_cast<double>(hit_pairs) / static_cast<double>(true_pairs)
+          : 0.0;
+
+  // Exact-cycle recovery.
+  std::map<uint64_t, std::set<size_t>> true_groups;
+  for (size_t i = 0; i < log.size(); ++i) {
+    true_groups[log[i].cycle_id].insert(i);
+  }
+  size_t exact = 0;
+  for (const Segment& segment : segments) {
+    std::set<size_t> members(segment.begin(), segment.end());
+    auto it = true_groups.find(log[segment.front()].cycle_id);
+    if (it != true_groups.end() && it->second == members) ++exact;
+  }
+  score.exact_cycles = static_cast<double>(exact) /
+                       static_cast<double>(true_groups.size());
+  return score;
+}
+
+void SimulateArrivalTimes(std::vector<search::LoggedQuery>* log,
+                          double burst_spacing, double min_think,
+                          double max_think, double pacing_jitter,
+                          util::Rng* rng) {
+  TOPPRIV_CHECK(log != nullptr);
+  TOPPRIV_CHECK_GE(max_think, min_think);
+  double now = 0.0;
+  for (size_t i = 0; i < log->size(); ++i) {
+    if (i > 0) {
+      if ((*log)[i].cycle_id == (*log)[i - 1].cycle_id) {
+        now += burst_spacing * rng->Uniform(0.5, 1.5) +
+               pacing_jitter * rng->Uniform();
+      } else {
+        now += rng->Uniform(min_think, max_think);
+      }
+    }
+    (*log)[i].timestamp = now;
+  }
+}
+
+}  // namespace toppriv::adversary

@@ -1,0 +1,53 @@
+// Cycle recovery from an untagged query log.
+//
+// The engine's QueryLog carries cycle tags for experiment bookkeeping, but
+// a realistic adversary only sees arrival order and timestamps. Because the
+// trusted client submits a cycle as a machine-paced burst while genuine
+// inter-cycle gaps are human think time, a gap threshold segments the log;
+// this module implements that attack step and its countermeasure knob
+// (pacing jitter) so the threat model's "the adversary can group a cycle"
+// assumption can itself be tested rather than assumed.
+#ifndef TOPPRIV_ADVERSARY_LOG_SEGMENTATION_H_
+#define TOPPRIV_ADVERSARY_LOG_SEGMENTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "search/engine.h"
+#include "util/rng.h"
+
+namespace toppriv::adversary {
+
+/// One recovered segment: indices into the log's entry vector.
+using Segment = std::vector<size_t>;
+
+/// Splits the log wherever consecutive arrivals are more than
+/// `gap_threshold_seconds` apart.
+std::vector<Segment> SegmentByGaps(const std::vector<search::LoggedQuery>& log,
+                                   double gap_threshold_seconds);
+
+/// Quality of a recovered segmentation against the true cycle tags:
+/// pairwise precision/recall over same-segment query pairs.
+struct SegmentationScore {
+  double pair_precision = 0.0;
+  double pair_recall = 0.0;
+  /// Fraction of true cycles recovered exactly (same member set).
+  double exact_cycles = 0.0;
+};
+SegmentationScore ScoreSegmentation(
+    const std::vector<Segment>& segments,
+    const std::vector<search::LoggedQuery>& log);
+
+/// Simulates arrival times onto a log: queries within one cycle are spaced
+/// by `burst_spacing` +/- jitter, cycles separated by think-time draws in
+/// [min_think, max_think]. `pacing_jitter` > 0 is the client-side
+/// countermeasure: it stretches within-cycle spacing towards think-time
+/// scales, blurring the boundary signal.
+void SimulateArrivalTimes(std::vector<search::LoggedQuery>* log,
+                          double burst_spacing, double min_think,
+                          double max_think, double pacing_jitter,
+                          util::Rng* rng);
+
+}  // namespace toppriv::adversary
+
+#endif  // TOPPRIV_ADVERSARY_LOG_SEGMENTATION_H_

@@ -1,0 +1,187 @@
+#include "baselines/canonical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace toppriv::baselines {
+
+namespace {
+
+// Euclidean distance in factor space.
+double Distance(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+CanonicalQueryScheme::CanonicalQueryScheme(const corpus::Corpus& corpus,
+                                           const topicmodel::LsaModel& lsa,
+                                           CanonicalOptions options)
+    : corpus_(corpus), lsa_(lsa), options_(options) {
+  TOPPRIV_CHECK_GE(options_.terms_per_query, 2u);
+  TOPPRIV_CHECK_GE(options_.group_size, 2u);
+  const text::Vocabulary& vocab = corpus_.vocabulary();
+
+  // Step (a): candidate terms, ranked by TF-IDF mass, embedded in factor
+  // space via the LSA term vectors.
+  std::vector<std::pair<double, text::TermId>> ranked;
+  const double n_docs = static_cast<double>(corpus_.num_documents());
+  for (text::TermId w = 0; w < vocab.size(); ++w) {
+    uint32_t df = vocab.DocFreq(w);
+    if (df == 0) continue;
+    double mass = static_cast<double>(vocab.CollectionFreq(w)) *
+                  std::log(n_docs / static_cast<double>(df));
+    if (mass > 0.0) ranked.push_back({mass, w});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  if (ranked.size() > options_.max_terms_considered) {
+    ranked.resize(options_.max_terms_considered);
+  }
+  std::vector<text::TermId> candidates;
+  candidates.reserve(ranked.size());
+  for (const auto& [mass, w] : ranked) candidates.push_back(w);
+
+  // Step (b): greedy nearest-neighbor clustering into canonical queries.
+  // (The original uses a kd-tree for the NN retrievals; at 30 dimensions a
+  // kd-tree degenerates to linear scans anyway, so we scan directly.)
+  std::vector<bool> assigned(candidates.size(), false);
+  util::Rng rng(options_.seed);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (assigned[i]) continue;
+    std::span<const float> seed_vec = lsa_.TermVector(candidates[i]);
+    // Collect the nearest unassigned neighbors of the seed.
+    std::vector<std::pair<double, size_t>> near;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (assigned[j] || j == i) continue;
+      near.push_back({Distance(seed_vec, lsa_.TermVector(candidates[j])), j});
+    }
+    size_t want = options_.terms_per_query - 1;
+    if (near.size() < want) break;  // leftovers too sparse to cluster
+    std::partial_sort(near.begin(), near.begin() + want, near.end());
+
+    CanonicalQuery query;
+    query.terms.push_back(candidates[i]);
+    assigned[i] = true;
+    for (size_t n = 0; n < want; ++n) {
+      query.terms.push_back(candidates[near[n].second]);
+      assigned[near[n].second] = true;
+    }
+    // Centroid and popularity.
+    query.centroid.assign(lsa_.num_factors(), 0.f);
+    for (text::TermId w : query.terms) {
+      std::span<const float> v = lsa_.TermVector(w);
+      for (size_t f = 0; f < v.size(); ++f) query.centroid[f] += v[f];
+      query.popularity += static_cast<double>(vocab.CollectionFreq(w));
+    }
+    for (float& x : query.centroid) {
+      x /= static_cast<float>(query.terms.size());
+    }
+    queries_.push_back(std::move(query));
+  }
+  TOPPRIV_CHECK(!queries_.empty());
+
+  // Step (c): group canonical queries of similar popularity from different
+  // parts of the factor space. Sort by popularity; within each consecutive
+  // popularity window, greedily pick members maximizing mutual distance.
+  std::vector<size_t> by_popularity(queries_.size());
+  std::iota(by_popularity.begin(), by_popularity.end(), 0);
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [this](size_t a, size_t b) {
+              return queries_[a].popularity > queries_[b].popularity;
+            });
+
+  const size_t window = options_.group_size * 3;  // popularity bucket
+  std::vector<bool> grouped(queries_.size(), false);
+  for (size_t start = 0; start + options_.group_size <= by_popularity.size();
+       start += window) {
+    size_t end = std::min(start + window, by_popularity.size());
+    // Greedy max-dispersion selection inside the bucket.
+    std::vector<size_t> bucket;
+    for (size_t i = start; i < end; ++i) {
+      if (!grouped[by_popularity[i]]) bucket.push_back(by_popularity[i]);
+    }
+    while (bucket.size() >= options_.group_size) {
+      std::vector<size_t> group = {bucket.front()};
+      bucket.erase(bucket.begin());
+      while (group.size() < options_.group_size && !bucket.empty()) {
+        // Pick the bucket member farthest from the current group members.
+        size_t best_pos = 0;
+        double best_dist = -1.0;
+        for (size_t pos = 0; pos < bucket.size(); ++pos) {
+          double dist = 0.0;
+          for (size_t g : group) {
+            dist += Distance(queries_[bucket[pos]].centroid,
+                             queries_[g].centroid);
+          }
+          if (dist > best_dist) {
+            best_dist = dist;
+            best_pos = pos;
+          }
+        }
+        group.push_back(bucket[best_pos]);
+        bucket.erase(bucket.begin() + static_cast<long>(best_pos));
+      }
+      if (group.size() < options_.group_size) break;
+      uint32_t group_id = static_cast<uint32_t>(groups_.size());
+      for (size_t q : group) {
+        queries_[q].group = group_id;
+        grouped[q] = true;
+      }
+      groups_.push_back(std::move(group));
+    }
+  }
+  // Any leftover ungrouped canonical queries form a final catch-all group.
+  std::vector<size_t> leftovers;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    if (!grouped[q]) leftovers.push_back(q);
+  }
+  if (!leftovers.empty()) {
+    uint32_t group_id = static_cast<uint32_t>(groups_.size());
+    for (size_t q : leftovers) queries_[q].group = group_id;
+    groups_.push_back(std::move(leftovers));
+  }
+  num_groups_ = groups_.size();
+}
+
+size_t CanonicalQueryScheme::ClosestCanonical(
+    const std::vector<text::TermId>& user_query) const {
+  std::vector<float> projection = lsa_.ProjectQuery(user_query);
+  size_t best = 0;
+  double best_cos = -2.0;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    double cos = topicmodel::LsaModel::Cosine(projection, queries_[q].centroid);
+    if (cos > best_cos) {
+      best_cos = cos;
+      best = q;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<text::TermId>> CanonicalQueryScheme::Substitute(
+    const std::vector<text::TermId>& user_query, util::Rng* rng,
+    size_t* substituted_index) const {
+  size_t canonical = ClosestCanonical(user_query);
+  const std::vector<size_t>& group = groups_[queries_[canonical].group];
+
+  std::vector<size_t> order = group;
+  rng->Shuffle(&order);
+  std::vector<std::vector<text::TermId>> cycle;
+  size_t position = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    cycle.push_back(queries_[order[i]].terms);
+    if (order[i] == canonical) position = i;
+  }
+  if (substituted_index != nullptr) *substituted_index = position;
+  return cycle;
+}
+
+}  // namespace toppriv::baselines

@@ -1,0 +1,81 @@
+// The Murugesan-Clifton "plausibly deniable search" baseline [10]
+// (paper Section II).
+//
+// Offline, the scheme (a) maps dictionary terms into a 30-factor LSI space,
+// (b) forms canonical queries from terms in close factor-space proximity,
+// and (c) groups canonical queries of similar popularity drawn from
+// different parts of the factor space. At runtime a user query is REPLACED
+// by its closest canonical query; the rest of that query's group is
+// submitted alongside as cover. The paper's critiques, which
+// bench/baselines_compare quantifies: the substitution perturbs the
+// precision/recall the engine was designed for, and the static groups limit
+// how well the cover matches any particular intention.
+#ifndef TOPPRIV_BASELINES_CANONICAL_H_
+#define TOPPRIV_BASELINES_CANONICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/vocabulary.h"
+#include "topicmodel/lsa.h"
+#include "util/rng.h"
+
+namespace toppriv::baselines {
+
+/// Configuration following [10]'s construction.
+struct CanonicalOptions {
+  /// Terms per canonical query (seed + nearest neighbors).
+  size_t terms_per_query = 6;
+  /// Canonical queries per deniability group (the k of k-anonymity-style
+  /// plausible deniability).
+  size_t group_size = 4;
+  /// Only the most informative terms participate (TF-IDF mass cutoff).
+  size_t max_terms_considered = 2500;
+  uint64_t seed = 19;
+};
+
+/// One canonical query.
+struct CanonicalQuery {
+  std::vector<text::TermId> terms;
+  std::vector<float> centroid;  // factor-space centroid
+  double popularity = 0.0;      // summed collection frequency
+  uint32_t group = 0;           // deniability group id
+};
+
+/// The static canonical-query universe plus runtime substitution.
+class CanonicalQueryScheme {
+ public:
+  /// Builds the canonical queries and groups from the corpus and a trained
+  /// LSA model (both borrowed; must outlive the scheme).
+  CanonicalQueryScheme(const corpus::Corpus& corpus,
+                       const topicmodel::LsaModel& lsa,
+                       CanonicalOptions options);
+
+  /// Runtime: substitutes `user_query` with its closest canonical query and
+  /// returns that query's whole group as the submitted cycle (shuffled).
+  /// `substituted_index` receives the position of the substituted query.
+  std::vector<std::vector<text::TermId>> Substitute(
+      const std::vector<text::TermId>& user_query, util::Rng* rng,
+      size_t* substituted_index) const;
+
+  /// Index of the canonical query closest to `user_query` in factor space.
+  size_t ClosestCanonical(const std::vector<text::TermId>& user_query) const;
+
+  const std::vector<CanonicalQuery>& canonical_queries() const {
+    return queries_;
+  }
+  size_t num_groups() const { return num_groups_; }
+
+ private:
+  const corpus::Corpus& corpus_;
+  const topicmodel::LsaModel& lsa_;
+  CanonicalOptions options_;
+  std::vector<CanonicalQuery> queries_;
+  std::vector<std::vector<size_t>> groups_;  // group -> query indices
+  size_t num_groups_ = 0;
+};
+
+}  // namespace toppriv::baselines
+
+#endif  // TOPPRIV_BASELINES_CANONICAL_H_

@@ -1,0 +1,70 @@
+#include "baselines/trackmenot.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace toppriv::baselines {
+
+TrackMeNot::TrackMeNot(const corpus::Corpus& corpus, TrackMeNotMode mode)
+    : corpus_(corpus), mode_(mode) {
+  if (mode_ == TrackMeNotMode::kFrequencyWeighted) {
+    const text::Vocabulary& vocab = corpus_.vocabulary();
+    std::vector<double> weights(vocab.size(), 0.0);
+    for (text::TermId w = 0; w < vocab.size(); ++w) {
+      weights[w] = static_cast<double>(vocab.CollectionFreq(w));
+    }
+    frequency_cdf_ = util::BuildCdf(weights);
+    TOPPRIV_CHECK(!frequency_cdf_.empty());
+  }
+}
+
+std::vector<text::TermId> TrackMeNot::MakeGhost(size_t length,
+                                                util::Rng* rng) const {
+  const size_t vocab_size = corpus_.vocabulary_size();
+  TOPPRIV_CHECK_GT(vocab_size, 0u);
+  std::unordered_set<text::TermId> used;
+  std::vector<text::TermId> ghost;
+  size_t attempts = 0;
+  while (ghost.size() < length && attempts < 40 * length + 100) {
+    ++attempts;
+    text::TermId w;
+    if (mode_ == TrackMeNotMode::kUniformRandom) {
+      w = static_cast<text::TermId>(rng->UniformInt(vocab_size));
+    } else {
+      w = static_cast<text::TermId>(rng->DiscreteFromCdf(frequency_cdf_));
+    }
+    if (used.insert(w).second) ghost.push_back(w);
+  }
+  return ghost;
+}
+
+std::vector<std::vector<text::TermId>> TrackMeNot::MakeCycle(
+    const std::vector<text::TermId>& user_query, size_t num_ghosts,
+    util::Rng* rng, size_t* user_index) const {
+  TOPPRIV_CHECK(!user_query.empty());
+  std::vector<std::vector<text::TermId>> cycle = {user_query};
+  for (size_t i = 0; i < num_ghosts; ++i) {
+    // Random length around the user query's (TrackMeNot pads queries to
+    // plausible search lengths; we mirror TopPriv's range for fairness).
+    size_t length = std::max<size_t>(
+        1, static_cast<size_t>(
+               rng->UniformInt(int64_t(1),
+                               int64_t(2 * user_query.size()))));
+    cycle.push_back(MakeGhost(length, rng));
+  }
+  // Shuffle, tracking the genuine query.
+  std::vector<size_t> order(cycle.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<std::vector<text::TermId>> shuffled(cycle.size());
+  size_t genuine = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    shuffled[i] = std::move(cycle[order[i]]);
+    if (order[i] == 0) genuine = i;
+  }
+  if (user_index != nullptr) *user_index = genuine;
+  return shuffled;
+}
+
+}  // namespace toppriv::baselines

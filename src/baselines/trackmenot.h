@@ -1,0 +1,54 @@
+// TrackMeNot-style ghost query generator [Howe & Nissenbaum], the paper's
+// Section II first baseline: hide the genuine query among RANDOMLY generated
+// ghost queries. The paper's critique — which bench/baselines_compare
+// quantifies — is that (a) random term combinations are not semantically
+// coherent, so an adversary dismisses them on sight (Def. 3), and (b) even
+// when kept, random ghosts may fail to mask the *topic* of interest (the
+// "M-1 Abrams tank" vs "SQ-333 Changi airport" example in Section I).
+#ifndef TOPPRIV_BASELINES_TRACKMENOT_H_
+#define TOPPRIV_BASELINES_TRACKMENOT_H_
+
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace toppriv::baselines {
+
+/// Ghost-generation flavors TrackMeNot historically shipped.
+enum class TrackMeNotMode {
+  /// Uniform random vocabulary words (the original RSS-seed behaviour
+  /// approximated over the corpus vocabulary).
+  kUniformRandom,
+  /// Words sampled proportionally to collection frequency (popular-term
+  /// lists; looks slightly more like real traffic).
+  kFrequencyWeighted,
+};
+
+/// Client-side random ghost injector. Unlike TopPriv it is topic-blind:
+/// it neither models the user intention nor verifies that ghosts mask it.
+class TrackMeNot {
+ public:
+  /// Borrows the corpus (for vocabulary statistics).
+  TrackMeNot(const corpus::Corpus& corpus, TrackMeNotMode mode);
+
+  /// Produces a cycle of `num_ghosts` random ghost queries around the user
+  /// query, shuffled; `user_index` receives the genuine query's position.
+  std::vector<std::vector<text::TermId>> MakeCycle(
+      const std::vector<text::TermId>& user_query, size_t num_ghosts,
+      util::Rng* rng, size_t* user_index) const;
+
+  TrackMeNotMode mode() const { return mode_; }
+
+ private:
+  std::vector<text::TermId> MakeGhost(size_t length, util::Rng* rng) const;
+
+  const corpus::Corpus& corpus_;
+  TrackMeNotMode mode_;
+  std::vector<double> frequency_cdf_;
+};
+
+}  // namespace toppriv::baselines
+
+#endif  // TOPPRIV_BASELINES_TRACKMENOT_H_

@@ -1,0 +1,80 @@
+#include "corpus/corpus.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace toppriv::corpus {
+
+const Document& Corpus::document(DocId id) const {
+  TOPPRIV_CHECK_LT(id, docs_.size());
+  return docs_[id];
+}
+
+DocId Corpus::AddDocument(std::string title, std::vector<text::TermId> tokens,
+                          std::vector<float> true_mixture) {
+  DocId id = static_cast<DocId>(docs_.size());
+  // Update df (distinct docs containing the term) and cf (token count).
+  std::unordered_map<text::TermId, uint64_t> counts;
+  for (text::TermId t : tokens) {
+    TOPPRIV_CHECK_LT(t, vocab_.size());
+    ++counts[t];
+  }
+  for (const auto& [term, cf] : counts) {
+    vocab_.AddCounts(term, 1, cf);
+  }
+  total_tokens_ += tokens.size();
+  docs_.push_back(Document{id, std::move(title), std::move(tokens),
+                           std::move(true_mixture)});
+  return id;
+}
+
+std::string Corpus::Serialize() const {
+  util::BinaryWriter w;
+  w.WriteString(vocab_.Serialize());
+  w.WriteVarint(true_topic_names_.size());
+  for (const auto& name : true_topic_names_) w.WriteString(name);
+  w.WriteVarint(docs_.size());
+  for (const Document& d : docs_) {
+    w.WriteString(d.title);
+    w.WriteU32Vector(d.tokens);
+    w.WriteFloatVector(d.true_mixture);
+  }
+  return w.data();
+}
+
+util::StatusOr<Corpus> Corpus::Deserialize(const std::string& bytes) {
+  util::BinaryReader r(bytes);
+  std::string vocab_bytes;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadString(&vocab_bytes));
+  auto vocab = text::Vocabulary::Deserialize(vocab_bytes);
+  if (!vocab.ok()) return vocab.status();
+
+  Corpus corpus;
+  uint64_t num_names = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_names));
+  corpus.true_topic_names_.resize(num_names);
+  for (auto& name : corpus.true_topic_names_) {
+    TOPPRIV_RETURN_IF_ERROR(r.ReadString(&name));
+  }
+
+  uint64_t num_docs = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_docs));
+  corpus.docs_.reserve(num_docs);
+  for (uint64_t i = 0; i < num_docs; ++i) {
+    Document d;
+    d.id = static_cast<DocId>(i);
+    TOPPRIV_RETURN_IF_ERROR(r.ReadString(&d.title));
+    TOPPRIV_RETURN_IF_ERROR(r.ReadU32Vector(&d.tokens));
+    TOPPRIV_RETURN_IF_ERROR(r.ReadFloatVector(&d.true_mixture));
+    corpus.total_tokens_ += d.tokens.size();
+    corpus.docs_.push_back(std::move(d));
+  }
+  // The vocabulary already carries df/cf counts, so install it verbatim
+  // rather than recomputing through AddDocument.
+  corpus.vocab_ = std::move(vocab).value();
+  return corpus;
+}
+
+}  // namespace toppriv::corpus

@@ -1,0 +1,78 @@
+// In-memory document collection D plus its vocabulary W and, for synthetic
+// corpora, the generative ground truth (topic names and per-document topic
+// mixtures) used to validate intention extraction.
+#ifndef TOPPRIV_CORPUS_CORPUS_H_
+#define TOPPRIV_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace toppriv::corpus {
+
+/// Dense document identifier (position in Corpus::documents()).
+using DocId = uint32_t;
+
+/// One document as a token sequence over term ids (bag-of-words order is
+/// irrelevant to every consumer but kept for LDA's token-level sampling).
+struct Document {
+  DocId id = 0;
+  std::string title;
+  std::vector<text::TermId> tokens;
+  /// Ground-truth topic mixture this document was generated from (empty for
+  /// non-synthetic corpora). Indexed by ground-truth topic id.
+  std::vector<float> true_mixture;
+};
+
+/// A corpus: vocabulary + documents (the paper's D over W).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  text::Vocabulary& mutable_vocabulary() { return vocab_; }
+
+  const std::vector<Document>& documents() const { return docs_; }
+  const Document& document(DocId id) const;
+
+  /// Number of documents (the paper's δ).
+  size_t num_documents() const { return docs_.size(); }
+  /// Vocabulary size (the paper's ω).
+  size_t vocabulary_size() const { return vocab_.size(); }
+  /// Total token count across all documents.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Names of the ground-truth topics (empty for non-synthetic corpora).
+  const std::vector<std::string>& true_topic_names() const {
+    return true_topic_names_;
+  }
+  void set_true_topic_names(std::vector<std::string> names) {
+    true_topic_names_ = std::move(names);
+  }
+
+  /// Appends a document, updating vocabulary df/cf statistics.
+  DocId AddDocument(std::string title, std::vector<text::TermId> tokens,
+                    std::vector<float> true_mixture = {});
+
+  /// Serializes the corpus (vocabulary + documents + ground truth).
+  std::string Serialize() const;
+  static util::StatusOr<Corpus> Deserialize(const std::string& bytes);
+
+ private:
+  text::Vocabulary vocab_;
+  std::vector<Document> docs_;
+  std::vector<std::string> true_topic_names_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace toppriv::corpus
+
+#endif  // TOPPRIV_CORPUS_CORPUS_H_

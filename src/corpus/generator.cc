@@ -1,0 +1,162 @@
+#include "corpus/generator.h"
+
+#include <cmath>
+
+#include "corpus/topic_spec.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace toppriv::corpus {
+
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "br", "c",  "cl", "d",  "dr", "f",
+                                   "fl", "g",  "gr", "h",  "j",  "k",  "l",
+                                   "m",  "n",  "p",  "pl", "qu", "r",  "s",
+                                   "st", "t",  "tr", "v",  "w",  "z"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "io",
+                                   "ou", "or", "ar", "el", "in", "on", "ur"};
+constexpr const char* kCodas[] = {"",  "l",  "n",   "r",  "s",  "t",  "m",
+                                  "x", "nd", "st",  "rn", "lt", "ck", "sh"};
+
+}  // namespace
+
+std::string MakePseudoWord(size_t i) {
+  // Mixed-radix expansion over syllable tables; with 27*15*14 = 5670 distinct
+  // two-part stems plus a numeric disambiguator for larger tails.
+  constexpr size_t kNumOnsets = std::size(kOnsets);
+  constexpr size_t kNumNuclei = std::size(kNuclei);
+  constexpr size_t kNumCodas = std::size(kCodas);
+  size_t x = i;
+  std::string word;
+  word += kOnsets[x % kNumOnsets];
+  x /= kNumOnsets;
+  word += kNuclei[x % kNumNuclei];
+  x /= kNumNuclei;
+  word += kOnsets[x % kNumOnsets];
+  x /= kNumOnsets;
+  word += kNuclei[x % kNumNuclei];
+  x /= kNumNuclei;
+  word += kCodas[x % kNumCodas];
+  x /= kNumCodas;
+  if (x > 0) word += util::StrFormat("%zu", x);
+  return word;
+}
+
+size_t CorpusGenerator::NumTrueTopics() { return BuiltinTopics().size(); }
+
+Corpus CorpusGenerator::Generate(GroundTruthModel* ground_truth) const {
+  const std::vector<TopicSpec>& topics = BuiltinTopics();
+  const std::vector<std::string>& general = GeneralWords();
+  const size_t num_topics = topics.size();
+  TOPPRIV_CHECK_GT(num_topics, 0u);
+
+  Corpus corpus;
+  text::Vocabulary& vocab = corpus.mutable_vocabulary();
+
+  // Intern all terms up front so term ids are stable regardless of document
+  // sampling order: seeds first, then general words, then the tail.
+  std::vector<std::vector<text::TermId>> seed_ids(num_topics);
+  std::vector<std::string> names;
+  names.reserve(num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    names.push_back(topics[t].name);
+    for (const std::string& w : topics[t].seed_words) {
+      seed_ids[t].push_back(vocab.AddTerm(w));
+    }
+  }
+  std::vector<text::TermId> general_ids;
+  general_ids.reserve(general.size());
+  for (const std::string& w : general) general_ids.push_back(vocab.AddTerm(w));
+
+  std::vector<text::TermId> tail_ids;
+  tail_ids.reserve(params_.tail_vocab_size);
+  for (size_t i = 0; i < params_.tail_vocab_size; ++i) {
+    tail_ids.push_back(vocab.AddTerm(MakePseudoWord(i)));
+  }
+  corpus.set_true_topic_names(names);
+
+  // Build each topic's unnormalized term-weight vector.
+  const size_t vocab_size = vocab.size();
+  std::vector<std::vector<double>> weights(
+      num_topics, std::vector<double>(vocab_size, 0.0));
+  const double total_mass =
+      params_.seed_mass + params_.general_mass + params_.tail_mass;
+  TOPPRIV_CHECK_GT(total_mass, 0.0);
+
+  for (size_t t = 0; t < num_topics; ++t) {
+    // Seed words: Zipf-decaying weights summing to seed_mass.
+    double zipf_total = 0.0;
+    for (size_t r = 0; r < seed_ids[t].size(); ++r) {
+      zipf_total += 1.0 / std::pow(double(r + 1), params_.seed_zipf_exponent);
+    }
+    for (size_t r = 0; r < seed_ids[t].size(); ++r) {
+      double w = (1.0 / std::pow(double(r + 1), params_.seed_zipf_exponent)) /
+                 zipf_total * params_.seed_mass;
+      weights[t][seed_ids[t][r]] += w;
+    }
+    // General pool: Zipf-decaying weights summing to general_mass.
+    double gen_total = 0.0;
+    for (size_t r = 0; r < general_ids.size(); ++r) {
+      gen_total += 1.0 / std::pow(double(r + 1), 1.0);
+    }
+    for (size_t r = 0; r < general_ids.size(); ++r) {
+      double w = (1.0 / double(r + 1)) / gen_total * params_.general_mass;
+      weights[t][general_ids[r]] += w;
+    }
+    // Tail: each topic covers an interleaved slice (t, t+K, t+2K, ...) of
+    // the pseudo-word tail, so tail words remain topic-specific (realistic:
+    // jargon is topical) while every topic gets a share. Zipf within slice.
+    double tail_total = 0.0;
+    size_t slice_size = 0;
+    for (size_t i = t; i < tail_ids.size(); i += num_topics) {
+      tail_total += 1.0 / std::pow(double(slice_size + 1), 1.1);
+      ++slice_size;
+    }
+    if (slice_size > 0) {
+      size_t r = 0;
+      for (size_t i = t; i < tail_ids.size(); i += num_topics) {
+        double w =
+            (1.0 / std::pow(double(r + 1), 1.1)) / tail_total * params_.tail_mass;
+        weights[t][tail_ids[i]] += w;
+        ++r;
+      }
+    }
+  }
+
+  // Precompute per-topic CDFs for fast token sampling.
+  std::vector<std::vector<double>> cdfs(num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    cdfs[t] = util::BuildCdf(weights[t]);
+    TOPPRIV_CHECK(!cdfs[t].empty());
+  }
+
+  util::Rng rng(params_.seed);
+  util::Rng doc_rng = rng.Fork(1);
+
+  for (size_t d = 0; d < params_.num_docs; ++d) {
+    std::vector<double> theta =
+        doc_rng.DirichletSymmetric(params_.doc_topic_alpha, num_topics);
+    std::vector<double> theta_cdf = util::BuildCdf(theta);
+    int len = doc_rng.Poisson(params_.mean_doc_length);
+    if (len < 8) len = 8;  // floor: degenerate empty docs help nothing
+    std::vector<text::TermId> tokens;
+    tokens.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      size_t topic = doc_rng.DiscreteFromCdf(theta_cdf);
+      size_t term = doc_rng.DiscreteFromCdf(cdfs[topic]);
+      tokens.push_back(static_cast<text::TermId>(term));
+    }
+    std::vector<float> mixture(theta.begin(), theta.end());
+    corpus.AddDocument(util::StrFormat("doc-%06zu", d), std::move(tokens),
+                       std::move(mixture));
+  }
+
+  if (ground_truth != nullptr) {
+    ground_truth->term_weights = std::move(weights);
+    ground_truth->seed_term_ids = std::move(seed_ids);
+  }
+  return corpus;
+}
+
+}  // namespace toppriv::corpus

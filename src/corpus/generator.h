@@ -1,0 +1,79 @@
+// Generative synthetic-corpus builder (the WSJ substitute).
+//
+// Documents are drawn from a sparse Dirichlet mixture over the ground-truth
+// topics of topic_spec.h. Each topic's word distribution layers:
+//   * its seed vocabulary (Zipf-weighted, carries the topical signal),
+//   * the shared general-word pool (makes documents look like prose),
+//   * a slice of a synthetic pseudo-word tail (grows the vocabulary towards
+//     realistic ω without inventing fake English).
+// This exercises exactly the code paths the paper's pipeline exercises on
+// WSJ: tokenized bags of words flowing into the index and the LDA trainer.
+#ifndef TOPPRIV_CORPUS_GENERATOR_H_
+#define TOPPRIV_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "util/rng.h"
+
+namespace toppriv::corpus {
+
+/// Knobs for the synthetic corpus.
+struct GeneratorParams {
+  /// Number of documents to generate (the paper's δ; WSJ had 172,890 — we
+  /// default lower for single-machine runs; Fig. 6 sweeps this).
+  size_t num_docs = 2000;
+  /// Mean document length in tokens (Poisson-distributed).
+  double mean_doc_length = 120.0;
+  /// Number of pseudo-words in the Zipf tail (vocabulary growth).
+  size_t tail_vocab_size = 3000;
+  /// Dirichlet concentration for per-document topic mixtures; small values
+  /// give sparse mixtures (1-3 dominant topics per document, like news).
+  double doc_topic_alpha = 0.08;
+  /// Zipf exponent for within-topic seed-word weights.
+  double seed_zipf_exponent = 0.9;
+  /// Probability mass of a topic's distribution on its seed words.
+  double seed_mass = 0.62;
+  /// Mass on the shared general pool.
+  double general_mass = 0.28;
+  /// Mass on the pseudo-word tail (remainder after seed + general).
+  double tail_mass = 0.10;
+  /// RNG seed (experiments fork from a fixed master seed).
+  uint64_t seed = 20120401;  // ICDE 2012 conference date.
+};
+
+/// Per-topic term distribution over the full vocabulary, exposed so tests
+/// and the workload generator can sample "semantically coherent" terms.
+struct GroundTruthModel {
+  /// term_weights[t] is an unnormalized weight vector over all term ids.
+  std::vector<std::vector<double>> term_weights;
+  /// For each topic, term ids of its seed words (descending weight).
+  std::vector<std::vector<text::TermId>> seed_term_ids;
+};
+
+/// Deterministic corpus generator.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(GeneratorParams params) : params_(params) {}
+
+  /// Generates the corpus. `ground_truth`, when non-null, receives the
+  /// topic-word distributions the documents were sampled from.
+  Corpus Generate(GroundTruthModel* ground_truth = nullptr) const;
+
+  const GeneratorParams& params() const { return params_; }
+
+  /// Number of ground-truth topics in the builtin catalog.
+  static size_t NumTrueTopics();
+
+ private:
+  GeneratorParams params_;
+};
+
+/// Deterministically builds a pseudo-word ("velortan", "quistrel", ...) for
+/// tail index `i`; pure function so the vocabulary is stable across runs.
+std::string MakePseudoWord(size_t i);
+
+}  // namespace toppriv::corpus
+
+#endif  // TOPPRIV_CORPUS_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "corpus/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace toppriv::corpus {
+
+std::vector<text::TermId> ImpactfulTerms(const Corpus& corpus,
+                                         double vocabulary_fraction) {
+  TOPPRIV_CHECK_GT(vocabulary_fraction, 0.0);
+  TOPPRIV_CHECK_LE(vocabulary_fraction, 1.0);
+  const text::Vocabulary& vocab = corpus.vocabulary();
+  const double n_docs = static_cast<double>(corpus.num_documents());
+
+  std::vector<std::pair<double, text::TermId>> ranked;
+  ranked.reserve(vocab.size());
+  for (text::TermId w = 0; w < vocab.size(); ++w) {
+    uint32_t df = vocab.DocFreq(w);
+    if (df == 0) continue;
+    double mass = static_cast<double>(vocab.CollectionFreq(w)) *
+                  std::log(1.0 + n_docs / static_cast<double>(df));
+    ranked.push_back({mass, w});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  size_t keep = static_cast<size_t>(
+      std::ceil(vocabulary_fraction * static_cast<double>(ranked.size())));
+  keep = std::min(keep, ranked.size());
+  std::vector<text::TermId> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+Corpus SampleCorpus(const Corpus& corpus, const SamplingOptions& options) {
+  TOPPRIV_CHECK_GT(options.document_fraction, 0.0);
+  TOPPRIV_CHECK_LE(options.document_fraction, 1.0);
+
+  // Term filter from the impactful-word rule.
+  std::vector<bool> keep_term(corpus.vocabulary_size(),
+                              options.vocabulary_fraction >= 1.0);
+  if (options.vocabulary_fraction < 1.0) {
+    for (text::TermId w :
+         ImpactfulTerms(corpus, options.vocabulary_fraction)) {
+      keep_term[w] = true;
+    }
+  }
+
+  // Document sample (uniform without replacement, ascending order so the
+  // output corpus keeps deterministic ids).
+  util::Rng rng(options.seed);
+  size_t want_docs = static_cast<size_t>(
+      std::ceil(options.document_fraction *
+                static_cast<double>(corpus.num_documents())));
+  want_docs = std::max<size_t>(1, std::min(want_docs, corpus.num_documents()));
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(corpus.num_documents(), want_docs);
+  std::sort(picked.begin(), picked.end());
+
+  Corpus sample;
+  // Clone the full term-id space so ids stay valid; statistics are
+  // recomputed by AddDocument below.
+  text::Vocabulary& vocab = sample.mutable_vocabulary();
+  for (text::TermId w = 0; w < corpus.vocabulary_size(); ++w) {
+    vocab.AddTerm(corpus.vocabulary().TermString(w));
+  }
+  sample.set_true_topic_names(corpus.true_topic_names());
+
+  for (size_t d : picked) {
+    const Document& doc = corpus.documents()[d];
+    std::vector<text::TermId> tokens;
+    tokens.reserve(doc.tokens.size());
+    for (text::TermId t : doc.tokens) {
+      if (keep_term[t]) tokens.push_back(t);
+    }
+    if (tokens.empty()) continue;  // fully filtered documents help nothing
+    sample.AddDocument(doc.title, std::move(tokens),
+                       doc.true_mixture);
+  }
+  TOPPRIV_CHECK_GT(sample.num_documents(), 0u);
+  return sample;
+}
+
+}  // namespace toppriv::corpus

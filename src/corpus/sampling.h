@@ -1,0 +1,45 @@
+// Representative-corpus sampling for LDA training — the paper's stated
+// future work (Section V-A): "this difficulty can be overcome by training
+// the LDA model on a representative dataset, comprising documents sampled
+// from the corpus and/or only the more 'impactful' words (e.g., as
+// determined by TF-IDF values) in the vocabulary".
+//
+// Both reducers preserve the original term-id space (tokens are filtered,
+// never renumbered), so a model trained on the reduced corpus plugs
+// directly into inference over original queries. bench/ablation_sampling
+// measures how much privacy behaviour survives the reduction.
+#ifndef TOPPRIV_CORPUS_SAMPLING_H_
+#define TOPPRIV_CORPUS_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "util/rng.h"
+
+namespace toppriv::corpus {
+
+/// Sampling knobs.
+struct SamplingOptions {
+  /// Keep this fraction of documents (uniform without replacement).
+  double document_fraction = 1.0;
+  /// Keep only the top `vocabulary_fraction` of terms by TF-IDF mass
+  /// (collection frequency x idf); other tokens are dropped from the
+  /// sampled documents. 1.0 keeps everything.
+  double vocabulary_fraction = 1.0;
+  uint64_t seed = 47;
+};
+
+/// Builds the reduced training corpus. The result shares the original's
+/// term-id space: its vocabulary object contains all original terms (so
+/// ids remain valid) with statistics recomputed over the sample.
+Corpus SampleCorpus(const Corpus& corpus, const SamplingOptions& options);
+
+/// The term ids retained by the vocabulary_fraction rule (sorted by
+/// descending TF-IDF mass, truncated). Exposed for tests and diagnostics.
+std::vector<text::TermId> ImpactfulTerms(const Corpus& corpus,
+                                         double vocabulary_fraction);
+
+}  // namespace toppriv::corpus
+
+#endif  // TOPPRIV_CORPUS_SAMPLING_H_

@@ -1,0 +1,37 @@
+// Ground-truth topic specifications for the synthetic WSJ-substitute corpus.
+//
+// The paper evaluates on 172,890 Wall Street Journal articles whose latent
+// topics (finance, technology, medicine, education, weaponry, aviation, ...)
+// are recovered by LDA (its Appendix A lists examples). We cannot ship WSJ,
+// so the corpus generator draws documents from a known mixture of the topics
+// declared here. Each topic has a name and a seed vocabulary of real English
+// words; the generator layers general words and a Zipf tail on top.
+#ifndef TOPPRIV_CORPUS_TOPIC_SPEC_H_
+#define TOPPRIV_CORPUS_TOPIC_SPEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace toppriv::corpus {
+
+/// One ground-truth topic: a human-readable name plus seed words that are
+/// highly indicative of the topic (analogous to the top-20 word lists in the
+/// paper's Tables II-IV).
+struct TopicSpec {
+  std::string name;
+  std::vector<std::string> seed_words;
+};
+
+/// The built-in catalog of ground-truth topics (~30 topics mirroring WSJ
+/// subject areas, including the paper's running examples: US weaponry,
+/// civil aviation, finance, technology, education, medicine).
+const std::vector<TopicSpec>& BuiltinTopics();
+
+/// General high-frequency words that appear in every topic (the paper's
+/// Table IV "generic" topic illustrates these).
+const std::vector<std::string>& GeneralWords();
+
+}  // namespace toppriv::corpus
+
+#endif  // TOPPRIV_CORPUS_TOPIC_SPEC_H_

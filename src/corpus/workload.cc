@@ -1,0 +1,113 @@
+#include "corpus/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "corpus/topic_spec.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace toppriv::corpus {
+
+std::string BenchmarkQuery::Text() const { return util::Join(terms, " "); }
+
+std::vector<BenchmarkQuery> WorkloadGenerator::Generate() const {
+  TOPPRIV_CHECK_GE(params_.max_terms, params_.min_terms);
+  util::Rng rng(params_.seed);
+  std::vector<BenchmarkQuery> queries;
+  queries.reserve(params_.num_queries);
+  for (size_t i = 0; i < params_.num_queries; ++i) {
+    queries.push_back(MakeQuery(static_cast<uint32_t>(i + 51), &rng));
+  }
+  return queries;
+}
+
+BenchmarkQuery WorkloadGenerator::MakeQuery(uint32_t id,
+                                            util::Rng* rng) const {
+  const size_t num_topics = truth_.seed_term_ids.size();
+  TOPPRIV_CHECK_GT(num_topics, 0u);
+
+  BenchmarkQuery q;
+  q.id = id;
+
+  // Intent: one topic, or two distinct topics with some probability
+  // (mirrors TREC statements that straddle subject areas).
+  size_t first = rng->UniformInt(static_cast<uint64_t>(num_topics));
+  q.intent_topics.push_back(static_cast<uint32_t>(first));
+  if (rng->Bernoulli(params_.two_topic_prob) && num_topics > 1) {
+    size_t second = rng->UniformInt(static_cast<uint64_t>(num_topics - 1));
+    if (second >= first) ++second;
+    q.intent_topics.push_back(static_cast<uint32_t>(second));
+  }
+
+  size_t num_terms = static_cast<size_t>(
+      rng->UniformInt(static_cast<int64_t>(params_.min_terms),
+                      static_cast<int64_t>(params_.max_terms)));
+
+  const std::vector<std::string>& general = GeneralWords();
+  std::unordered_set<text::TermId> used;
+  const text::Vocabulary& vocab = corpus_.vocabulary();
+
+  // Fixed composition: ceil(fraction * n) topical terms, remainder general.
+  // (Rejection-sampling the mix instead would dilute long queries, because
+  // topical draws collide with already-used seed words far more often than
+  // general draws do.)
+  size_t want_topical = static_cast<size_t>(
+      params_.topical_term_fraction * static_cast<double>(num_terms) + 0.999);
+  want_topical = std::min(want_topical, num_terms);
+
+  auto add_term = [&](text::TermId candidate) {
+    if (candidate == text::kInvalidTerm) return false;
+    if (!used.insert(candidate).second) return false;
+    q.term_ids.push_back(candidate);
+    q.terms.push_back(vocab.TermString(candidate));
+    return true;
+  };
+
+  // Topical terms: weighted towards the head of the intent topic's seed
+  // list (high Pr(w|t)), exactly the "semantically coherent" mix the
+  // paper's TREC queries exhibit.
+  size_t attempts = 0;
+  size_t max_attempts = want_topical * 40 + 100;
+  while (q.term_ids.size() < want_topical && attempts < max_attempts) {
+    ++attempts;
+    uint32_t topic = q.intent_topics[rng->UniformInt(q.intent_topics.size())];
+    const std::vector<text::TermId>& seeds = truth_.seed_term_ids[topic];
+    if (seeds.empty()) break;
+    // Geometric-ish rank bias: prefer top-ranked seed words.
+    size_t rank = 0;
+    while (rank + 1 < seeds.size() && rng->Bernoulli(0.55)) ++rank;
+    add_term(seeds[rank]);
+  }
+  // Backfill any shortfall deterministically from the seed lists.
+  for (uint32_t topic : q.intent_topics) {
+    if (q.term_ids.size() >= want_topical) break;
+    for (text::TermId seed : truth_.seed_term_ids[topic]) {
+      if (q.term_ids.size() >= want_topical) break;
+      add_term(seed);
+    }
+  }
+
+  // General connective terms for the remainder.
+  attempts = 0;
+  max_attempts = num_terms * 40 + 100;
+  while (q.term_ids.size() < num_terms && attempts < max_attempts) {
+    ++attempts;
+    add_term(vocab.Lookup(general[rng->UniformInt(general.size())]));
+  }
+  // Guarantee the minimum length even if rejection sampling stalled.
+  for (uint32_t topic : q.intent_topics) {
+    if (q.term_ids.size() >= params_.min_terms) break;
+    for (text::TermId seed : truth_.seed_term_ids[topic]) {
+      if (q.term_ids.size() >= params_.min_terms) break;
+      if (used.insert(seed).second) {
+        q.term_ids.push_back(seed);
+        q.terms.push_back(vocab.TermString(seed));
+      }
+    }
+  }
+  TOPPRIV_CHECK_GE(q.term_ids.size(), params_.min_terms);
+  return q;
+}
+
+}  // namespace toppriv::corpus

@@ -1,0 +1,69 @@
+// TREC-substitute query workload generator.
+//
+// The paper evaluates on 150 TREC-1/2 ad-hoc queries: clearly topical,
+// 2-20 terms each, mixing high-specificity terms with semantically related
+// ones (its running example is TREC query 91, "u.s. army, abrams tank m-1,
+// ... apache helicopter ah-64"). This generator reproduces those properties
+// against the synthetic corpus, and additionally records the ground-truth
+// intent topics so experiments can validate intention extraction.
+#ifndef TOPPRIV_CORPUS_WORKLOAD_H_
+#define TOPPRIV_CORPUS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+#include "util/rng.h"
+
+namespace toppriv::corpus {
+
+/// One benchmark query with generative ground truth.
+struct BenchmarkQuery {
+  uint32_t id = 0;
+  /// Search terms as surface strings (pre-tokenized, lowercase).
+  std::vector<std::string> terms;
+  /// Same terms as term ids in the corpus vocabulary.
+  std::vector<text::TermId> term_ids;
+  /// Ground-truth intent: indices into Corpus::true_topic_names().
+  std::vector<uint32_t> intent_topics;
+
+  /// Terms joined with spaces (what a user would type).
+  std::string Text() const;
+};
+
+/// Workload knobs (defaults follow the paper's TREC setup).
+struct WorkloadParams {
+  size_t num_queries = 150;
+  size_t min_terms = 2;
+  size_t max_terms = 20;
+  /// Probability that a query targets two topics instead of one.
+  double two_topic_prob = 0.25;
+  /// Fraction of terms drawn from the intent topic(s); the rest come from
+  /// the general pool (TREC statements include connective nouns).
+  double topical_term_fraction = 0.8;
+  uint64_t seed = 91;  // TREC query 91, the paper's running example.
+};
+
+/// Generates a deterministic workload against a generated corpus.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const Corpus& corpus, const GroundTruthModel& truth,
+                    WorkloadParams params)
+      : corpus_(corpus), truth_(truth), params_(params) {}
+
+  /// Builds the query set.
+  std::vector<BenchmarkQuery> Generate() const;
+
+ private:
+  BenchmarkQuery MakeQuery(uint32_t id, util::Rng* rng) const;
+
+  const Corpus& corpus_;
+  const GroundTruthModel& truth_;
+  WorkloadParams params_;
+};
+
+}  // namespace toppriv::corpus
+
+#endif  // TOPPRIV_CORPUS_WORKLOAD_H_

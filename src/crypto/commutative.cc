@@ -1,0 +1,42 @@
+#include "crypto/commutative.h"
+
+#include "crypto/modmath.h"
+#include "util/check.h"
+
+namespace toppriv::crypto {
+
+namespace {
+
+uint64_t DrawKey(util::Rng* rng) {
+  const uint64_t p = SafePrime();
+  for (;;) {
+    uint64_t k = 3 + rng->UniformInt(p - 4);
+    if (Gcd(k, p - 1) == 1) return k;
+  }
+}
+
+}  // namespace
+
+CommutativeCipher::CommutativeCipher(util::Rng* rng)
+    : CommutativeCipher(DrawKey(rng)) {}
+
+CommutativeCipher::CommutativeCipher(uint64_t key) : key_(key) {
+  const uint64_t p = SafePrime();
+  TOPPRIV_CHECK_EQ(Gcd(key_, p - 1), 1u);
+  inverse_key_ = InvMod(key_, p - 1);
+}
+
+uint64_t CommutativeCipher::Encrypt(uint64_t m) const {
+  const uint64_t p = SafePrime();
+  TOPPRIV_CHECK_GE(m, 1u);
+  TOPPRIV_CHECK_LT(m, p);
+  return PowMod(m, key_, p);
+}
+
+uint64_t CommutativeCipher::Decrypt(uint64_t c) const {
+  return PowMod(c, inverse_key_, SafePrime());
+}
+
+uint64_t CommutativeCipher::Modulus() { return SafePrime(); }
+
+}  // namespace toppriv::crypto

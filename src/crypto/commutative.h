@@ -1,0 +1,45 @@
+// SRA / Pohlig-Hellman style commutative cipher: E_k(m) = m^k mod p.
+//
+// Commutativity E_a(E_b(m)) = E_b(E_a(m)) is what the oblivious document
+// retrieval protocol of [Pang-Shen-Krishnan, TOIT'10] — the solution the
+// paper cites for its excluded Step 6/7 threat — is built on.
+#ifndef TOPPRIV_CRYPTO_COMMUTATIVE_H_
+#define TOPPRIV_CRYPTO_COMMUTATIVE_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace toppriv::crypto {
+
+/// Exponentiation cipher over the shared safe-prime group.
+///
+/// Keys are odd exponents coprime to p-1; decryption uses the modular
+/// inverse exponent. Messages must lie in [1, p-1].
+class CommutativeCipher {
+ public:
+  /// Generates a fresh random key from `rng`.
+  explicit CommutativeCipher(util::Rng* rng);
+
+  /// Uses the given key (must be coprime to p-1; checked).
+  explicit CommutativeCipher(uint64_t key);
+
+  /// E_k(m) = m^k mod p. Requires 1 <= m < p.
+  uint64_t Encrypt(uint64_t m) const;
+
+  /// D_k(c) = c^{k^{-1} mod (p-1)} mod p.
+  uint64_t Decrypt(uint64_t c) const;
+
+  uint64_t key() const { return key_; }
+
+  /// The shared modulus.
+  static uint64_t Modulus();
+
+ private:
+  uint64_t key_;
+  uint64_t inverse_key_;
+};
+
+}  // namespace toppriv::crypto
+
+#endif  // TOPPRIV_CRYPTO_COMMUTATIVE_H_

@@ -1,0 +1,35 @@
+// Modular arithmetic over 64-bit primes (substrate for the commutative
+// cipher). Educational-strength parameters: the protocol structure is
+// faithful to SRA/Pohlig-Hellman commutative encryption, but 61-bit moduli
+// are NOT cryptographically strong — a production deployment would swap in
+// a big-integer backend. The privacy experiments only need the protocol's
+// information flow, not its concrete hardness.
+#ifndef TOPPRIV_CRYPTO_MODMATH_H_
+#define TOPPRIV_CRYPTO_MODMATH_H_
+
+#include <cstdint>
+
+namespace toppriv::crypto {
+
+/// (a * b) mod m without overflow.
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m);
+
+/// (base ^ exp) mod m by square-and-multiply.
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);
+
+/// Greatest common divisor.
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Modular inverse of a mod m; requires gcd(a, m) == 1.
+uint64_t InvMod(uint64_t a, uint64_t m);
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+bool IsPrime(uint64_t n);
+
+/// A fixed safe prime p (p = 2q + 1 with q prime) used as the shared
+/// modulus of the commutative cipher.
+uint64_t SafePrime();
+
+}  // namespace toppriv::crypto
+
+#endif  // TOPPRIV_CRYPTO_MODMATH_H_

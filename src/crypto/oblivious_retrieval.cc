@@ -1,0 +1,112 @@
+#include "crypto/oblivious_retrieval.h"
+
+#include "crypto/modmath.h"
+#include "util/check.h"
+
+namespace toppriv::crypto {
+
+namespace {
+
+uint64_t SplitMix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string StreamCipher(const std::string& data, uint64_t key) {
+  std::string out = data;
+  uint64_t state = key;
+  size_t i = 0;
+  while (i < out.size()) {
+    state = SplitMix(state);
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<char>(out[i] ^
+                                 static_cast<char>(state >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+std::string RenderDocumentBody(const corpus::Corpus& corpus,
+                               corpus::DocId doc) {
+  const corpus::Document& d = corpus.document(doc);
+  std::string body = d.title + ":";
+  for (text::TermId t : d.tokens) {
+    body += " ";
+    body += corpus.vocabulary().TermString(t);
+  }
+  return body;
+}
+
+ObliviousDocServer::ObliviousDocServer(const corpus::Corpus& corpus,
+                                       util::Rng rng)
+    : rng_(rng) {
+  const uint64_t p = SafePrime();
+  content_keys_.reserve(corpus.num_documents());
+  encrypted_bodies_.reserve(corpus.num_documents());
+  for (corpus::DocId d = 0; d < corpus.num_documents(); ++d) {
+    // Keys live in [2, p-1] so they are valid cipher messages.
+    uint64_t key = 2 + rng_.UniformInt(p - 2);
+    content_keys_.push_back(key);
+    encrypted_bodies_.push_back(
+        StreamCipher(RenderDocumentBody(corpus, d), key));
+  }
+}
+
+const std::string& ObliviousDocServer::EncryptedBody(corpus::DocId doc) const {
+  TOPPRIV_CHECK_LT(doc, encrypted_bodies_.size());
+  return encrypted_bodies_[doc];
+}
+
+ObliviousDocServer::BlindedKeys ObliviousDocServer::BlindKeys(
+    const std::vector<corpus::DocId>& result_docs) {
+  BlindedKeys out;
+  out.request_id = request_ciphers_.size();
+  request_ciphers_.emplace_back(&rng_);
+  const CommutativeCipher& cipher = request_ciphers_.back();
+  out.keys.reserve(result_docs.size());
+  for (corpus::DocId d : result_docs) {
+    TOPPRIV_CHECK_LT(d, content_keys_.size());
+    out.keys.push_back(cipher.Encrypt(content_keys_[d]));
+  }
+  return out;
+}
+
+util::StatusOr<uint64_t> ObliviousDocServer::StripServerLayer(
+    uint64_t request_id, uint64_t doubly_encrypted) {
+  if (request_id >= request_ciphers_.size()) {
+    return util::Status::InvalidArgument("unknown request id");
+  }
+  observed_.push_back(doubly_encrypted);
+  return request_ciphers_[request_id].Decrypt(doubly_encrypted);
+}
+
+util::StatusOr<std::string> ObliviousDocClient::Retrieve(
+    ObliviousDocServer* server, const std::vector<corpus::DocId>& result_docs,
+    size_t choice) {
+  if (choice >= result_docs.size()) {
+    return util::Status::InvalidArgument("choice out of range");
+  }
+  // Step 2: server blinds the content keys of the result list.
+  ObliviousDocServer::BlindedKeys blinded = server->BlindKeys(result_docs);
+
+  // Step 3: add the client layer over the chosen position only.
+  CommutativeCipher client_cipher(&rng_);
+  uint64_t doubly = client_cipher.Encrypt(blinded.keys[choice]);
+
+  // Step 4: server strips its layer without learning the position.
+  auto client_layer_only =
+      server->StripServerLayer(blinded.request_id, doubly);
+  if (!client_layer_only.ok()) return client_layer_only.status();
+
+  // Step 5: client strips its own layer, recovering the content key, and
+  // decrypts the (publicly fetchable) encrypted body.
+  uint64_t content_key = client_cipher.Decrypt(client_layer_only.value());
+  return StreamCipher(server->EncryptedBody(result_docs[choice]),
+                      content_key);
+}
+
+}  // namespace toppriv::crypto

@@ -1,0 +1,96 @@
+// Oblivious document retrieval (the paper's excluded Step 6/7 threat).
+//
+// After inspecting the result list, the user downloads documents; naively,
+// WHICH document she fetches betrays her interest even when the queries are
+// obfuscated. The paper excludes this threat citing the commutative-
+// encryption protocol of [15]; this module implements that protocol so the
+// library covers the full search path of Fig. 1:
+//
+//   1. The server holds, per document, a content key; document bodies are
+//      served encrypted under their content key.
+//   2. For a result list, the server sends the content keys encrypted under
+//      a per-request server key: E_s(k_1), ..., E_s(k_n).
+//   3. The client picks position i, re-encrypts with its own key and sends
+//      back E_c(E_s(k_i)) — indistinguishable from a re-encryption of any
+//      other position.
+//   4. The server strips its layer (commutativity!) and returns
+//      E_c(k_i); the client strips E_c and decrypts the document body.
+//
+// The server learns a uniformly-random-looking group element, never i.
+#ifndef TOPPRIV_CRYPTO_OBLIVIOUS_RETRIEVAL_H_
+#define TOPPRIV_CRYPTO_OBLIVIOUS_RETRIEVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "crypto/commutative.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace toppriv::crypto {
+
+/// XOR stream cipher keyed by a 64-bit key (SplitMix64 keystream). Stands
+/// in for a real symmetric cipher; the protocol only needs "content is
+/// unreadable without the content key".
+std::string StreamCipher(const std::string& data, uint64_t key);
+
+/// Server side: owns per-document content keys and encrypted bodies.
+class ObliviousDocServer {
+ public:
+  /// Ingests a corpus, assigning every document a random content key.
+  ObliviousDocServer(const corpus::Corpus& corpus, util::Rng rng);
+
+  /// The encrypted body of a document (safe to hand out to anyone).
+  const std::string& EncryptedBody(corpus::DocId doc) const;
+
+  /// Step 2: content keys of `result_docs`, each encrypted under a fresh
+  /// per-request server cipher. Returns the blinded keys; the request id
+  /// identifies the server cipher for the follow-up round.
+  struct BlindedKeys {
+    uint64_t request_id = 0;
+    std::vector<uint64_t> keys;
+  };
+  BlindedKeys BlindKeys(const std::vector<corpus::DocId>& result_docs);
+
+  /// Step 4: strips the server layer from a doubly-encrypted key. The
+  /// server cannot tell which result position the value came from.
+  util::StatusOr<uint64_t> StripServerLayer(uint64_t request_id,
+                                            uint64_t doubly_encrypted);
+
+  /// Adversary's-view helper for tests: the log of values the server saw in
+  /// StripServerLayer (all blinded).
+  const std::vector<uint64_t>& observed_values() const { return observed_; }
+
+ private:
+  std::vector<uint64_t> content_keys_;
+  std::vector<std::string> encrypted_bodies_;
+  std::vector<CommutativeCipher> request_ciphers_;
+  std::vector<uint64_t> observed_;
+  util::Rng rng_;
+};
+
+/// Client side: runs steps 3 and 5 (choose, unwrap, decrypt).
+class ObliviousDocClient {
+ public:
+  explicit ObliviousDocClient(util::Rng rng) : rng_(rng) {}
+
+  /// Retrieves the plaintext body of `result_docs[choice]` from `server`
+  /// without revealing `choice`.
+  util::StatusOr<std::string> Retrieve(
+      ObliviousDocServer* server, const std::vector<corpus::DocId>& result_docs,
+      size_t choice);
+
+ private:
+  util::Rng rng_;
+};
+
+/// Renders a document's token stream as the plaintext "body" served by the
+/// store (titles + space-joined terms).
+std::string RenderDocumentBody(const corpus::Corpus& corpus,
+                               corpus::DocId doc);
+
+}  // namespace toppriv::crypto
+
+#endif  // TOPPRIV_CRYPTO_OBLIVIOUS_RETRIEVAL_H_

@@ -1,0 +1,165 @@
+#include "experiments/fixture.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/io.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace toppriv::experiments {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+// FNV-1a over a byte string, for cache keys.
+uint64_t HashBytes(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FixtureConfig FixtureConfig::FromEnv() {
+  FixtureConfig config;
+  config.corpus_params.num_docs = EnvSize("TOPPRIV_DOCS", 1500);
+  config.corpus_params.mean_doc_length =
+      static_cast<double>(EnvSize("TOPPRIV_DOC_LEN", 100));
+  config.corpus_params.tail_vocab_size = EnvSize("TOPPRIV_TAIL_VOCAB", 3000);
+  config.workload_params.num_queries = EnvSize("TOPPRIV_QUERIES", 150);
+  config.lda_iterations = EnvSize("TOPPRIV_LDA_ITERS", 100);
+  config.cache_dir = EnvString("TOPPRIV_CACHE_DIR", ".toppriv_cache");
+  return config;
+}
+
+const std::vector<size_t>& PaperModelSizes() {
+  static const std::vector<size_t>* kSizes =
+      new std::vector<size_t>{50, 100, 150, 200, 250, 300};
+  return *kSizes;
+}
+
+ExperimentFixture::ExperimentFixture(FixtureConfig config)
+    : config_(std::move(config)) {}
+
+void ExperimentFixture::EnsureCorpus() {
+  if (corpus_ != nullptr) return;
+  util::WallTimer timer;
+  corpus::CorpusGenerator generator(config_.corpus_params);
+  corpus_ = std::make_unique<corpus::Corpus>(generator.Generate(&ground_truth_));
+  std::fprintf(stderr,
+               "[fixture] corpus: %zu docs, %zu terms, %llu tokens (%.1fs)\n",
+               corpus_->num_documents(), corpus_->vocabulary_size(),
+               static_cast<unsigned long long>(corpus_->total_tokens()),
+               timer.ElapsedSeconds());
+}
+
+const corpus::Corpus& ExperimentFixture::corpus() {
+  EnsureCorpus();
+  return *corpus_;
+}
+
+const corpus::GroundTruthModel& ExperimentFixture::ground_truth() {
+  EnsureCorpus();
+  return ground_truth_;
+}
+
+const std::vector<corpus::BenchmarkQuery>& ExperimentFixture::workload() {
+  if (workload_ == nullptr) {
+    EnsureCorpus();
+    corpus::WorkloadGenerator generator(*corpus_, ground_truth_,
+                                        config_.workload_params);
+    workload_ = std::make_unique<std::vector<corpus::BenchmarkQuery>>(
+        generator.Generate());
+  }
+  return *workload_;
+}
+
+const index::InvertedIndex& ExperimentFixture::index() {
+  if (index_ == nullptr) {
+    EnsureCorpus();
+    index_ = std::make_unique<index::InvertedIndex>(
+        index::InvertedIndex::Build(*corpus_));
+  }
+  return *index_;
+}
+
+std::string ExperimentFixture::CacheKey(size_t num_topics) const {
+  const corpus::GeneratorParams& p = config_.corpus_params;
+  std::string descriptor = util::StrFormat(
+      "docs=%zu len=%.1f tail=%zu alpha=%.4f seed=%llu iters=%zu topics=%zu",
+      p.num_docs, p.mean_doc_length, p.tail_vocab_size, p.doc_topic_alpha,
+      static_cast<unsigned long long>(p.seed), config_.lda_iterations,
+      num_topics);
+  return util::StrFormat("%s/lda%03zu_%016llx.bin", config_.cache_dir.c_str(),
+                         num_topics,
+                         static_cast<unsigned long long>(HashBytes(descriptor)));
+}
+
+const topicmodel::LdaModel& ExperimentFixture::model(size_t num_topics) {
+  auto it = models_.find(num_topics);
+  if (it != models_.end()) return *it->second;
+
+  EnsureCorpus();
+  const std::string path = CacheKey(num_topics);
+  if (util::FileExists(path)) {
+    auto bytes = util::ReadFileToString(path);
+    if (bytes.ok()) {
+      auto model = topicmodel::LdaModel::Deserialize(bytes.value());
+      if (model.ok() && model->vocab_size() == corpus_->vocabulary_size()) {
+        auto owned = std::make_unique<topicmodel::LdaModel>(
+            std::move(model).value());
+        const topicmodel::LdaModel& ref = *owned;
+        models_.emplace(num_topics, std::move(owned));
+        std::fprintf(stderr, "[fixture] %s: loaded from cache\n",
+                     ModelName(num_topics).c_str());
+        return ref;
+      }
+    }
+  }
+
+  util::WallTimer timer;
+  topicmodel::TrainerOptions options;
+  options.num_topics = num_topics;
+  options.iterations = config_.lda_iterations;
+  options.seed = 7000 + num_topics;
+  topicmodel::GibbsTrainer trainer(options);
+  auto owned =
+      std::make_unique<topicmodel::LdaModel>(trainer.Train(*corpus_));
+  std::fprintf(stderr, "[fixture] %s: trained in %.1fs\n",
+               ModelName(num_topics).c_str(), timer.ElapsedSeconds());
+
+  // Best-effort cache write.
+  if (util::MakeDirs(config_.cache_dir).ok()) {
+    util::Status status = util::WriteFile(path, owned->Serialize());
+    if (!status.ok()) {
+      std::fprintf(stderr, "[fixture] cache write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+  const topicmodel::LdaModel& ref = *owned;
+  models_.emplace(num_topics, std::move(owned));
+  return ref;
+}
+
+std::string ExperimentFixture::ModelName(size_t num_topics) {
+  return util::StrFormat("LDA%03zu", num_topics);
+}
+
+}  // namespace toppriv::experiments

@@ -1,0 +1,81 @@
+// Shared experiment fixture: deterministically builds (and disk-caches) the
+// synthetic corpus, the query workload, the inverted index and the six LDA
+// models (LDA050..LDA300) that every bench binary consumes.
+//
+// Scale knobs come from the environment so the same binaries run in seconds
+// on a laptop or at full scale:
+//   TOPPRIV_DOCS        corpus size               (default 1500)
+//   TOPPRIV_DOC_LEN     mean document length      (default 100)
+//   TOPPRIV_TAIL_VOCAB  pseudo-word tail size     (default 3000)
+//   TOPPRIV_QUERIES     workload size             (default 150, as the paper)
+//   TOPPRIV_LDA_ITERS   Gibbs sweeps              (default 100)
+//   TOPPRIV_CACHE_DIR   LDA model cache directory (default .toppriv_cache)
+#ifndef TOPPRIV_EXPERIMENTS_FIXTURE_H_
+#define TOPPRIV_EXPERIMENTS_FIXTURE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+#include "corpus/workload.h"
+#include "index/inverted_index.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::experiments {
+
+/// Fixture configuration (see file comment for the environment knobs).
+struct FixtureConfig {
+  corpus::GeneratorParams corpus_params;
+  corpus::WorkloadParams workload_params;
+  size_t lda_iterations = 100;
+  std::string cache_dir = ".toppriv_cache";
+
+  /// Reads the TOPPRIV_* environment variables over the defaults.
+  static FixtureConfig FromEnv();
+};
+
+/// The six model sizes the paper evaluates (LDA050 .. LDA300).
+const std::vector<size_t>& PaperModelSizes();
+
+/// Lazily-constructed experiment state. Everything is deterministic given
+/// the config; LDA models are additionally cached on disk because training
+/// dominates setup time.
+class ExperimentFixture {
+ public:
+  explicit ExperimentFixture(FixtureConfig config = FixtureConfig::FromEnv());
+
+  const FixtureConfig& config() const { return config_; }
+
+  /// The synthetic corpus (generated on first use).
+  const corpus::Corpus& corpus();
+  /// Generative ground truth for the corpus.
+  const corpus::GroundTruthModel& ground_truth();
+  /// The TREC-substitute workload.
+  const std::vector<corpus::BenchmarkQuery>& workload();
+  /// Inverted index over the corpus.
+  const index::InvertedIndex& index();
+  /// Trained LDA model with `num_topics` topics (trains or loads cache).
+  const topicmodel::LdaModel& model(size_t num_topics);
+
+  /// Human-readable model name, e.g. "LDA200".
+  static std::string ModelName(size_t num_topics);
+
+ private:
+  void EnsureCorpus();
+  std::string CacheKey(size_t num_topics) const;
+
+  FixtureConfig config_;
+  std::unique_ptr<corpus::Corpus> corpus_;
+  corpus::GroundTruthModel ground_truth_;
+  std::unique_ptr<std::vector<corpus::BenchmarkQuery>> workload_;
+  std::unique_ptr<index::InvertedIndex> index_;
+  std::map<size_t, std::unique_ptr<topicmodel::LdaModel>> models_;
+};
+
+}  // namespace toppriv::experiments
+
+#endif  // TOPPRIV_EXPERIMENTS_FIXTURE_H_

@@ -1,0 +1,96 @@
+#include "experiments/runner.h"
+
+#include "pdx/embellisher.h"
+#include "pdx/thesaurus.h"
+#include "topicmodel/inference.h"
+#include "toppriv/belief.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace toppriv::experiments {
+
+TopPrivCell RunTopPrivCell(ExperimentFixture& fixture, size_t num_topics,
+                           const core::PrivacySpec& spec,
+                           const core::GeneratorOptions& generator_options,
+                           uint64_t seed) {
+  const topicmodel::LdaModel& model = fixture.model(num_topics);
+  topicmodel::LdaInferencer inferencer(model);
+  core::GhostQueryGenerator generator(model, inferencer, spec,
+                                      generator_options);
+  const std::vector<corpus::BenchmarkQuery>& workload = fixture.workload();
+
+  util::Rng rng(seed ^ (num_topics * 1315423911ull));
+  util::OnlineStats exposure, mask, cycle_len, gen_time, num_u, best_rank,
+      exposure_before;
+  size_t satisfied = 0;
+
+  for (const corpus::BenchmarkQuery& query : workload) {
+    core::QueryCycle cycle = generator.Protect(query.term_ids, &rng);
+    exposure.Add(cycle.exposure_after * 100.0);
+    mask.Add(cycle.mask_level * 100.0);
+    cycle_len.Add(static_cast<double>(cycle.length()));
+    gen_time.Add(cycle.generation_seconds);
+    num_u.Add(static_cast<double>(cycle.intention.size()));
+    exposure_before.Add(cycle.exposure_before * 100.0);
+    if (!cycle.intention.empty()) {
+      best_rank.Add(static_cast<double>(
+          core::BestRankOfIntention(cycle.cycle_boost, cycle.intention)));
+    }
+    if (cycle.met_epsilon2) ++satisfied;
+  }
+
+  TopPrivCell cell;
+  cell.num_topics = num_topics;
+  cell.epsilon1 = spec.epsilon1;
+  cell.epsilon2 = spec.epsilon2;
+  cell.exposure_pct = exposure.mean();
+  cell.mask_pct = mask.mean();
+  cell.cycle_length = cycle_len.mean();
+  cell.generation_seconds = gen_time.mean();
+  cell.num_relevant_topics = num_u.mean();
+  cell.max_rank_of_relevant = best_rank.mean();
+  cell.satisfied_fraction =
+      workload.empty()
+          ? 0.0
+          : static_cast<double>(satisfied) / static_cast<double>(workload.size());
+  cell.exposure_before_pct = exposure_before.mean();
+  return cell;
+}
+
+PdxCell RunPdxCell(ExperimentFixture& fixture, size_t num_topics,
+                   double epsilon1, double expansion_factor, uint64_t seed) {
+  const topicmodel::LdaModel& model = fixture.model(num_topics);
+  topicmodel::LdaInferencer inferencer(model);
+  pdx::Thesaurus thesaurus(fixture.corpus(), model);
+  pdx::PdxEmbellisher embellisher(thesaurus);
+  const std::vector<corpus::BenchmarkQuery>& workload = fixture.workload();
+
+  util::Rng rng(seed ^ (num_topics * 2654435761ull));
+  util::OnlineStats exposure, decoys;
+
+  for (const corpus::BenchmarkQuery& query : workload) {
+    // Intention at epsilon1 from the ORIGINAL query (what PDX protects).
+    core::BeliefProfile original = core::MakeBeliefProfile(
+        model, inferencer.InferQuery(query.term_ids));
+    std::vector<topicmodel::TopicId> intention =
+        core::ExtractIntention(original, epsilon1);
+
+    pdx::EmbellishedQuery embellished =
+        embellisher.Embellish(query.term_ids, expansion_factor, &rng);
+    core::BeliefProfile after = core::MakeBeliefProfile(
+        model, inferencer.InferQuery(embellished.terms));
+
+    exposure.Add(core::Exposure(after.boost, intention) * 100.0);
+    decoys.Add(static_cast<double>(embellished.num_decoys));
+  }
+
+  PdxCell cell;
+  cell.num_topics = num_topics;
+  cell.epsilon1 = epsilon1;
+  cell.expansion_factor = expansion_factor;
+  cell.exposure_pct = exposure.mean();
+  cell.decoys = decoys.mean();
+  return cell;
+}
+
+}  // namespace toppriv::experiments

@@ -1,0 +1,66 @@
+// Sweep drivers shared by the bench binaries: run TopPriv or PDX over the
+// whole workload for one (model, threshold) cell and aggregate the metrics
+// the paper's figures plot.
+#ifndef TOPPRIV_EXPERIMENTS_RUNNER_H_
+#define TOPPRIV_EXPERIMENTS_RUNNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "experiments/fixture.h"
+#include "toppriv/ghost_generator.h"
+#include "toppriv/privacy_spec.h"
+
+namespace toppriv::experiments {
+
+/// Aggregated TopPriv metrics over a workload (one figure data point).
+struct TopPrivCell {
+  size_t num_topics = 0;
+  double epsilon1 = 0.0;
+  double epsilon2 = 0.0;
+  /// Mean over queries of max_{t in U} B(t|C), in percent (Fig. 2a/3a).
+  double exposure_pct = 0.0;
+  /// Mean over queries of max_{t not in U} B(t|C), in percent (Fig. 2b/3b).
+  double mask_pct = 0.0;
+  /// Mean cycle length v (Fig. 2c/3c).
+  double cycle_length = 0.0;
+  /// Mean client-side generation time in seconds (Fig. 2d/3d).
+  double generation_seconds = 0.0;
+  /// Mean |U| (Fig. 3e).
+  double num_relevant_topics = 0.0;
+  /// Mean best rank (1-based) of any intention topic by B(t|C) (Fig. 3f).
+  double max_rank_of_relevant = 0.0;
+  /// Fraction of queries whose final exposure met epsilon2.
+  double satisfied_fraction = 0.0;
+  /// Mean exposure of the unprotected query, percent (diagnostic).
+  double exposure_before_pct = 0.0;
+};
+
+/// Runs TopPriv over the full workload for one parameter cell.
+/// `generator_options` selects ablations; defaults are the paper algorithm.
+TopPrivCell RunTopPrivCell(ExperimentFixture& fixture, size_t num_topics,
+                           const core::PrivacySpec& spec,
+                           const core::GeneratorOptions& generator_options = {},
+                           uint64_t seed = 17);
+
+/// Aggregated PDX metrics over a workload (one Fig. 4 data point).
+struct PdxCell {
+  size_t num_topics = 0;
+  double epsilon1 = 0.0;
+  double expansion_factor = 0.0;
+  /// Mean over queries of max_{t in U} B(t|q_e), in percent.
+  double exposure_pct = 0.0;
+  /// Mean number of decoys injected.
+  double decoys = 0.0;
+};
+
+/// Runs PDX over the full workload for one parameter cell. The intention U
+/// is measured at `epsilon1` on the *original* query; exposure is measured
+/// on the embellished query (paper Section V-C).
+PdxCell RunPdxCell(ExperimentFixture& fixture, size_t num_topics,
+                   double epsilon1, double expansion_factor,
+                   uint64_t seed = 29);
+
+}  // namespace toppriv::experiments
+
+#endif  // TOPPRIV_EXPERIMENTS_RUNNER_H_

@@ -1,0 +1,88 @@
+#include "index/posting_list.h"
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace toppriv::index {
+
+void PostingList::Builder::Append(corpus::DocId doc, uint32_t tf) {
+  TOPPRIV_CHECK_GT(tf, 0u);
+  if (has_any_) {
+    TOPPRIV_CHECK_GT(doc, last_doc_);
+    util::AppendVarint(doc - last_doc_, &bytes_);
+  } else {
+    util::AppendVarint(doc, &bytes_);
+    has_any_ = true;
+  }
+  util::AppendVarint(tf, &bytes_);
+  last_doc_ = doc;
+  ++count_;
+}
+
+PostingList PostingList::Builder::Build() {
+  PostingList list;
+  list.bytes_ = std::move(bytes_);
+  list.count_ = count_;
+  bytes_.clear();
+  count_ = 0;
+  has_any_ = false;
+  last_doc_ = 0;
+  return list;
+}
+
+PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
+  Next();
+}
+
+void PostingList::Iterator::Next() {
+  if (pos_ >= list_->bytes_.size()) {
+    valid_ = false;
+    return;
+  }
+  uint64_t delta = 0, tf = 0;
+  bool ok = util::DecodeVarint(list_->bytes_, &pos_, &delta) &&
+            util::DecodeVarint(list_->bytes_, &pos_, &tf);
+  TOPPRIV_CHECK(ok);
+  if (first_) {
+    current_.doc = static_cast<corpus::DocId>(delta);
+    first_ = false;
+  } else {
+    current_.doc += static_cast<corpus::DocId>(delta);
+  }
+  current_.tf = static_cast<uint32_t>(tf);
+  valid_ = true;
+}
+
+std::vector<Posting> PostingList::Decode() const {
+  std::vector<Posting> out;
+  out.reserve(count_);
+  for (Iterator it(this); it.Valid(); it.Next()) {
+    out.push_back(it.Get());
+  }
+  return out;
+}
+
+void PostingList::EncodeTo(std::string* out) const {
+  util::AppendVarint(count_, out);
+  util::AppendVarint(bytes_.size(), out);
+  out->append(bytes_);
+}
+
+util::StatusOr<PostingList> PostingList::DecodeFrom(const std::string& buf,
+                                                    size_t* pos) {
+  uint64_t count = 0, nbytes = 0;
+  if (!util::DecodeVarint(buf, pos, &count) ||
+      !util::DecodeVarint(buf, pos, &nbytes)) {
+    return util::Status::DataLoss("posting list header overrun");
+  }
+  if (*pos + nbytes > buf.size()) {
+    return util::Status::DataLoss("posting list body overrun");
+  }
+  PostingList list;
+  list.count_ = static_cast<uint32_t>(count);
+  list.bytes_ = buf.substr(*pos, nbytes);
+  *pos += nbytes;
+  return list;
+}
+
+}  // namespace toppriv::index

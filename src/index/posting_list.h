@@ -1,0 +1,93 @@
+// Compressed posting list: the per-term inverted list of <doc, tf> pairs.
+//
+// The paper's Section II leans on posting-list statistics (average length
+// 186.7 vs maximum 127,848 on WSJ) to argue PIR is impractical; this module
+// provides the same structures and byte-accurate size accounting.
+#ifndef TOPPRIV_INDEX_POSTING_LIST_H_
+#define TOPPRIV_INDEX_POSTING_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace toppriv::index {
+
+/// One posting: document id and within-document term frequency.
+struct Posting {
+  corpus::DocId doc = 0;
+  uint32_t tf = 0;
+
+  friend bool operator==(const Posting& a, const Posting& b) {
+    return a.doc == b.doc && a.tf == b.tf;
+  }
+};
+
+/// Immutable delta+varint encoded posting list.
+///
+/// Postings are appended in strictly increasing doc order; doc ids are
+/// delta-encoded and term frequencies varint-encoded, matching how real
+/// engines (and the paper's size arithmetic) store inverted lists.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Incremental builder; Append requires ascending doc ids.
+  class Builder {
+   public:
+    Builder() = default;
+    void Append(corpus::DocId doc, uint32_t tf);
+    /// Finalizes into an immutable list.
+    PostingList Build();
+
+   private:
+    std::string bytes_;
+    uint32_t count_ = 0;
+    corpus::DocId last_doc_ = 0;
+    bool has_any_ = false;
+  };
+
+  /// Forward iterator over decoded postings.
+  class Iterator {
+   public:
+    explicit Iterator(const PostingList* list);
+    /// True if a current posting is available.
+    bool Valid() const { return valid_; }
+    const Posting& Get() const { return current_; }
+    void Next();
+
+   private:
+    const PostingList* list_;
+    size_t pos_ = 0;
+    Posting current_;
+    bool valid_ = false;
+    bool first_ = true;
+  };
+
+  Iterator begin() const { return Iterator(this); }
+
+  /// Number of postings (paper: inverted-list length).
+  uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Encoded byte size (used by index_stats and Fig. 6).
+  size_t ByteSize() const { return bytes_.size(); }
+
+  /// Decodes the whole list (convenience for tests / scoring).
+  std::vector<Posting> Decode() const;
+
+  /// Serialization.
+  void EncodeTo(std::string* out) const;
+  static util::StatusOr<PostingList> DecodeFrom(const std::string& buf,
+                                                size_t* pos);
+
+ private:
+  std::string bytes_;
+  uint32_t count_ = 0;
+};
+
+}  // namespace toppriv::index
+
+#endif  // TOPPRIV_INDEX_POSTING_LIST_H_

@@ -1,0 +1,94 @@
+#include "pdx/embellisher.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace toppriv::pdx {
+
+EmbellishedQuery PdxEmbellisher::Embellish(
+    const std::vector<text::TermId>& query, double expansion_factor,
+    util::Rng* rng) const {
+  TOPPRIV_CHECK_GE(expansion_factor, 1.0);
+  TOPPRIV_CHECK(!query.empty());
+
+  EmbellishedQuery out;
+  out.terms = query;
+  std::unordered_set<text::TermId> used(query.begin(), query.end());
+
+  const size_t target_decoys = static_cast<size_t>(
+      std::lround((expansion_factor - 1.0) * static_cast<double>(query.size())));
+  if (target_decoys == 0) return out;
+
+  // Topics the genuine terms point at; decoy topics must differ so the
+  // embellishment actually suggests *alternative* intentions.
+  std::unordered_set<topicmodel::TopicId> genuine_topics;
+  for (text::TermId w : query) {
+    genuine_topics.insert(thesaurus_.DominantTopic(w));
+  }
+
+  // One decoy topic per |q|-sized block of decoys, mirroring PDX's grouping
+  // of decoys into coherent alternative intentions.
+  const size_t num_groups =
+      (target_decoys + query.size() - 1) / query.size();
+  const size_t num_topics = thesaurus_.num_topics();
+
+  std::vector<topicmodel::TopicId> decoy_topics;
+  std::unordered_set<topicmodel::TopicId> chosen;
+  size_t guard = 0;
+  while (decoy_topics.size() < num_groups && guard < num_topics * 4 + 16) {
+    ++guard;
+    topicmodel::TopicId t =
+        static_cast<topicmodel::TopicId>(rng->UniformInt(num_topics));
+    if (genuine_topics.count(t) || chosen.count(t)) continue;
+    chosen.insert(t);
+    decoy_topics.push_back(t);
+  }
+  if (decoy_topics.empty()) return out;
+  out.decoy_topics = decoy_topics;
+
+  // For each decoy slot, match the specificity band of the corresponding
+  // genuine term; fall back to adjacent bands when a band is empty.
+  size_t produced = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = target_decoys * 40 + 200;
+  while (produced < target_decoys && attempts < max_attempts) {
+    ++attempts;
+    const text::TermId genuine = query[produced % query.size()];
+    const topicmodel::TopicId topic =
+        decoy_topics[(produced / query.size()) % decoy_topics.size()];
+    const size_t want_band = thesaurus_.SpecificityBand(genuine);
+
+    // Search outward from the desired band.
+    text::TermId pick = text::kInvalidTerm;
+    for (size_t delta = 0; delta < Thesaurus::kNumBands; ++delta) {
+      for (int sign : {+1, -1}) {
+        long band = static_cast<long>(want_band) +
+                    sign * static_cast<long>(delta);
+        if (sign < 0 && delta == 0) continue;
+        if (band < 0 || band >= static_cast<long>(Thesaurus::kNumBands)) {
+          continue;
+        }
+        const std::vector<text::TermId>& pool =
+            thesaurus_.Candidates(topic, static_cast<size_t>(band));
+        if (pool.empty()) continue;
+        text::TermId cand = pool[rng->UniformInt(pool.size())];
+        if (!used.count(cand)) {
+          pick = cand;
+          break;
+        }
+      }
+      if (pick != text::kInvalidTerm) break;
+    }
+    if (pick == text::kInvalidTerm) continue;
+    used.insert(pick);
+    out.terms.push_back(pick);
+    ++produced;
+  }
+  out.num_decoys = produced;
+  rng->Shuffle(&out.terms);
+  return out;
+}
+
+}  // namespace toppriv::pdx

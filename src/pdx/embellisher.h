@@ -1,0 +1,47 @@
+// The PDX query-embellishment baseline (paper Section V-C).
+//
+// PDX injects decoy terms into the user query itself: an embellished query
+// q_e with |q_e| = f * |q_u| for expansion factor f, where decoys point at
+// plausible alternative topics and match the genuine terms' specificity.
+// (In the original system a modified engine then scores documents against
+// the genuine terms only, under homomorphic encryption; for the privacy
+// comparison all that matters is the embellished query the adversary sees.)
+#ifndef TOPPRIV_PDX_EMBELLISHER_H_
+#define TOPPRIV_PDX_EMBELLISHER_H_
+
+#include <vector>
+
+#include "pdx/thesaurus.h"
+#include "util/rng.h"
+
+namespace toppriv::pdx {
+
+/// An embellished query.
+struct EmbellishedQuery {
+  /// Genuine terms plus decoys, shuffled.
+  std::vector<text::TermId> terms;
+  /// The decoy topics the embellisher aimed at (diagnostics).
+  std::vector<topicmodel::TopicId> decoy_topics;
+  /// Number of decoy terms actually injected.
+  size_t num_decoys = 0;
+};
+
+/// Decoy-term injector.
+class PdxEmbellisher {
+ public:
+  /// Borrows the thesaurus, which must outlive the embellisher.
+  explicit PdxEmbellisher(const Thesaurus& thesaurus)
+      : thesaurus_(thesaurus) {}
+
+  /// Embellishes `query` to `expansion_factor` times its length.
+  /// Requires expansion_factor >= 1.
+  EmbellishedQuery Embellish(const std::vector<text::TermId>& query,
+                             double expansion_factor, util::Rng* rng) const;
+
+ private:
+  const Thesaurus& thesaurus_;
+};
+
+}  // namespace toppriv::pdx
+
+#endif  // TOPPRIV_PDX_EMBELLISHER_H_

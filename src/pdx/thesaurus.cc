@@ -1,0 +1,87 @@
+#include "pdx/thesaurus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace toppriv::pdx {
+
+Thesaurus::Thesaurus(const corpus::Corpus& corpus,
+                     const topicmodel::LdaModel& model)
+    : num_topics_(model.num_topics()) {
+  const text::Vocabulary& vocab = corpus.vocabulary();
+  const size_t vocab_size = vocab.size();
+  TOPPRIV_CHECK_EQ(vocab_size, model.vocab_size());
+  const double n_docs = static_cast<double>(corpus.num_documents());
+
+  // IDF per term; terms that never occur get the rarest band.
+  std::vector<double> idf(vocab_size, 0.0);
+  std::vector<double> present_idfs;
+  present_idfs.reserve(vocab_size);
+  for (size_t w = 0; w < vocab_size; ++w) {
+    uint32_t df = vocab.DocFreq(static_cast<text::TermId>(w));
+    if (df > 0) {
+      idf[w] = std::log(n_docs / static_cast<double>(df));
+      present_idfs.push_back(idf[w]);
+    }
+  }
+  std::sort(present_idfs.begin(), present_idfs.end());
+
+  auto band_of = [&](double v) -> size_t {
+    if (present_idfs.empty()) return 0;
+    // Quantile index of v among observed IDFs.
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(present_idfs.begin(), present_idfs.end(), v) -
+        present_idfs.begin());
+    size_t band = pos * kNumBands / present_idfs.size();
+    return std::min(band, kNumBands - 1);
+  };
+
+  band_.resize(vocab_size);
+  dominant_.resize(vocab_size);
+  candidates_.assign(num_topics_ * kNumBands, {});
+
+  const std::vector<double>& prior = model.prior();
+  for (size_t w = 0; w < vocab_size; ++w) {
+    uint32_t df = vocab.DocFreq(static_cast<text::TermId>(w));
+    band_[w] = static_cast<uint8_t>(df > 0 ? band_of(idf[w]) : kNumBands - 1);
+    // Dominant topic: argmax_t Pr(w|t) Pr(t).
+    double best = -1.0;
+    topicmodel::TopicId best_t = 0;
+    for (size_t t = 0; t < num_topics_; ++t) {
+      double score =
+          model.Phi(static_cast<topicmodel::TopicId>(t),
+                    static_cast<text::TermId>(w)) *
+          prior[t];
+      if (score > best) {
+        best = score;
+        best_t = static_cast<topicmodel::TopicId>(t);
+      }
+    }
+    dominant_[w] = best_t;
+    if (df > 0) {
+      candidates_[static_cast<size_t>(best_t) * kNumBands + band_[w]]
+          .push_back(static_cast<text::TermId>(w));
+    }
+  }
+}
+
+size_t Thesaurus::SpecificityBand(text::TermId term) const {
+  TOPPRIV_CHECK_LT(term, band_.size());
+  return band_[term];
+}
+
+topicmodel::TopicId Thesaurus::DominantTopic(text::TermId term) const {
+  TOPPRIV_CHECK_LT(term, dominant_.size());
+  return dominant_[term];
+}
+
+const std::vector<text::TermId>& Thesaurus::Candidates(
+    topicmodel::TopicId topic, size_t band) const {
+  TOPPRIV_CHECK_LT(topic, num_topics_);
+  TOPPRIV_CHECK_LT(band, kNumBands);
+  return candidates_[static_cast<size_t>(topic) * kNumBands + band];
+}
+
+}  // namespace toppriv::pdx

@@ -1,0 +1,53 @@
+// Corpus-derived thesaurus for the PDX baseline [Pang-Ding-Xiao, VLDB'10].
+//
+// PDX selects decoy terms "matched to the genuine search terms in
+// specificity and semantic association, using information extracted
+// automatically from a thesaurus". We reconstruct that thesaurus from
+// corpus statistics: specificity = IDF band; semantic association = the
+// term's dominant LDA topic (terms sharing a dominant topic are
+// semantically associated).
+#ifndef TOPPRIV_PDX_THESAURUS_H_
+#define TOPPRIV_PDX_THESAURUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::pdx {
+
+/// Specificity/association lookup tables.
+class Thesaurus {
+ public:
+  /// Number of IDF quantile bands used for specificity matching.
+  static constexpr size_t kNumBands = 8;
+
+  /// Builds the thesaurus from the corpus (IDF) and model (associations).
+  Thesaurus(const corpus::Corpus& corpus, const topicmodel::LdaModel& model);
+
+  /// Specificity band of a term: 0 = most common .. kNumBands-1 = rarest.
+  size_t SpecificityBand(text::TermId term) const;
+
+  /// Dominant topic of a term: argmax_t Pr(t|w) with
+  /// Pr(t|w) ∝ Pr(w|t) Pr(t).
+  topicmodel::TopicId DominantTopic(text::TermId term) const;
+
+  /// Terms whose dominant topic is `topic` and whose specificity band is
+  /// `band` (may be empty; callers fall back to adjacent bands).
+  const std::vector<text::TermId>& Candidates(topicmodel::TopicId topic,
+                                              size_t band) const;
+
+  size_t num_topics() const { return num_topics_; }
+
+ private:
+  size_t num_topics_ = 0;
+  std::vector<uint8_t> band_;                     // per term
+  std::vector<topicmodel::TopicId> dominant_;     // per term
+  /// candidates_[topic * kNumBands + band] = term ids.
+  std::vector<std::vector<text::TermId>> candidates_;
+};
+
+}  // namespace toppriv::pdx
+
+#endif  // TOPPRIV_PDX_THESAURUS_H_

@@ -1,0 +1,52 @@
+#include "search/engine.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace toppriv::search {
+
+SearchEngine::SearchEngine(const corpus::Corpus& corpus,
+                           const index::InvertedIndex& index,
+                           std::unique_ptr<Scorer> scorer)
+    : corpus_(corpus), index_(index), scorer_(std::move(scorer)) {
+  TOPPRIV_CHECK(scorer_ != nullptr);
+}
+
+std::vector<ScoredDoc> SearchEngine::Search(
+    const std::vector<text::TermId>& terms, size_t k, uint64_t cycle_id) {
+  log_.Record(cycle_id, terms);
+  return Evaluate(terms, k);
+}
+
+std::vector<ScoredDoc> SearchEngine::Evaluate(
+    const std::vector<text::TermId>& terms, size_t k) const {
+  if (terms.empty() || k == 0) return {};
+
+  // Collapse the query to (term, qtf) pairs.
+  std::unordered_map<text::TermId, uint32_t> query_tf;
+  for (text::TermId t : terms) ++query_tf[t];
+
+  // Term-at-a-time accumulation over posting lists; documents containing
+  // none of the query terms are never touched (the scalability property the
+  // paper's PIR discussion contrasts against).
+  std::unordered_map<corpus::DocId, double> accumulators;
+  for (const auto& [term, qtf] : query_tf) {
+    const index::PostingList& list = index_.Postings(term);
+    uint32_t df = list.size();
+    if (df == 0) continue;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      const index::Posting& p = it.Get();
+      accumulators[p.doc] +=
+          scorer_->TermScore(index_, p.doc, p.tf, df, qtf);
+    }
+  }
+
+  TopK topk(k);
+  for (const auto& [doc, acc] : accumulators) {
+    topk.Offer(doc, scorer_->Normalize(index_, doc, acc));
+  }
+  return topk.Finish();
+}
+
+}  // namespace toppriv::search

@@ -1,0 +1,94 @@
+// The enterprise text search engine (the paper's SE) plus the query log the
+// curious adversary analyzes after the fact.
+#ifndef TOPPRIV_SEARCH_ENGINE_H_
+#define TOPPRIV_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "search/scorer.h"
+#include "search/topk.h"
+#include "text/vocabulary.h"
+
+namespace toppriv::search {
+
+/// One entry in the engine-side query log: the adversary's view. Queries
+/// arrive as bags of term ids; the engine cannot tell user queries from
+/// ghost queries (that is the point of TopPriv).
+struct LoggedQuery {
+  uint64_t sequence = 0;
+  /// Cycle tag: queries submitted together share a tag. The paper's threat
+  /// model lets the adversary group a cycle (they arrive back-to-back), so
+  /// the log keeps the grouping explicit; adversary/log_segmentation.h
+  /// additionally models an adversary who must RECOVER the grouping from
+  /// arrival times alone.
+  uint64_t cycle_id = 0;
+  /// Arrival time in seconds (simulation clock; 0 when untimed).
+  double timestamp = 0.0;
+  std::vector<text::TermId> terms;
+};
+
+/// Append-only log of everything the engine processed.
+class QueryLog {
+ public:
+  void Record(uint64_t cycle_id, const std::vector<text::TermId>& terms,
+              double timestamp = 0.0) {
+    log_.push_back(LoggedQuery{next_seq_++, cycle_id, timestamp, terms});
+  }
+  const std::vector<LoggedQuery>& entries() const { return log_; }
+  size_t size() const { return log_.size(); }
+  void Clear() {
+    log_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  std::vector<LoggedQuery> log_;
+  uint64_t next_seq_ = 0;
+};
+
+/// Similarity search engine over an inverted index.
+///
+/// The engine is deliberately unmodified by the privacy layer: TopPriv's
+/// design constraint is that it works against existing engines (unlike the
+/// PDX baseline, which requires a homomorphic scoring protocol).
+class SearchEngine {
+ public:
+  /// The engine borrows the corpus and index; both must outlive it.
+  SearchEngine(const corpus::Corpus& corpus, const index::InvertedIndex& index,
+               std::unique_ptr<Scorer> scorer);
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// Processes a query (bag of term ids), returning the top-k documents.
+  /// Every call is recorded in the query log under `cycle_id`.
+  std::vector<ScoredDoc> Search(const std::vector<text::TermId>& terms,
+                                size_t k, uint64_t cycle_id = 0);
+
+  /// Term-at-a-time evaluation without logging (used internally and by
+  /// tests that compare against the logged path).
+  std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
+                                  size_t k) const;
+
+  const QueryLog& query_log() const { return log_; }
+  QueryLog& mutable_query_log() { return log_; }
+
+  const corpus::Corpus& corpus() const { return corpus_; }
+  const index::InvertedIndex& index() const { return index_; }
+  const Scorer& scorer() const { return *scorer_; }
+
+ private:
+  const corpus::Corpus& corpus_;
+  const index::InvertedIndex& index_;
+  std::unique_ptr<Scorer> scorer_;
+  QueryLog log_;
+};
+
+}  // namespace toppriv::search
+
+#endif  // TOPPRIV_SEARCH_ENGINE_H_

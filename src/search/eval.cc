@@ -1,0 +1,88 @@
+#include "search/eval.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace toppriv::search {
+
+namespace {
+
+std::unordered_set<corpus::DocId> ToSet(
+    const std::vector<corpus::DocId>& docs) {
+  return {docs.begin(), docs.end()};
+}
+
+}  // namespace
+
+double PrecisionAtK(const std::vector<ScoredDoc>& ranked,
+                    const std::vector<corpus::DocId>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  auto rel = ToSet(relevant);
+  size_t hits = 0;
+  size_t considered = 0;
+  for (const ScoredDoc& sd : ranked) {
+    if (considered >= k) break;
+    ++considered;
+    if (rel.count(sd.doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<ScoredDoc>& ranked,
+                 const std::vector<corpus::DocId>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  auto rel = ToSet(relevant);
+  size_t hits = 0;
+  size_t considered = 0;
+  for (const ScoredDoc& sd : ranked) {
+    if (considered >= k) break;
+    ++considered;
+    if (rel.count(sd.doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(rel.size());
+}
+
+double AveragePrecision(const std::vector<ScoredDoc>& ranked,
+                        const std::vector<corpus::DocId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  auto rel = ToSet(relevant);
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (rel.count(ranked[i].doc)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(rel.size());
+}
+
+double NdcgAtK(const std::vector<ScoredDoc>& ranked,
+               const std::vector<corpus::DocId>& relevant, size_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  auto rel = ToSet(relevant);
+  double dcg = 0.0;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    if (rel.count(ranked[i].doc)) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  size_t ideal_hits = std::min(k, rel.size());
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+bool SameRanking(const std::vector<ScoredDoc>& a,
+                 const std::vector<ScoredDoc>& b, double score_tolerance) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].doc != b[i].doc) return false;
+    if (std::fabs(a[i].score - b[i].score) > score_tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace toppriv::search

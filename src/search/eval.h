@@ -1,0 +1,39 @@
+// Retrieval-quality metrics.
+//
+// Used to (a) sanity-check the search substrate against the corpus ground
+// truth and (b) demonstrate the paper's usability claim: TopPriv returns the
+// *exact* results of the genuine query (ghost results are discarded), unlike
+// query-substitution schemes that perturb precision/recall.
+#ifndef TOPPRIV_SEARCH_EVAL_H_
+#define TOPPRIV_SEARCH_EVAL_H_
+
+#include <vector>
+
+#include "search/topk.h"
+
+namespace toppriv::search {
+
+/// Precision@k of `ranked` against the `relevant` set.
+double PrecisionAtK(const std::vector<ScoredDoc>& ranked,
+                    const std::vector<corpus::DocId>& relevant, size_t k);
+
+/// Recall@k.
+double RecallAtK(const std::vector<ScoredDoc>& ranked,
+                 const std::vector<corpus::DocId>& relevant, size_t k);
+
+/// Average precision over the full ranking.
+double AveragePrecision(const std::vector<ScoredDoc>& ranked,
+                        const std::vector<corpus::DocId>& relevant);
+
+/// Binary-relevance nDCG@k.
+double NdcgAtK(const std::vector<ScoredDoc>& ranked,
+               const std::vector<corpus::DocId>& relevant, size_t k);
+
+/// True if both rankings contain identical documents in identical order
+/// (scores may differ by tolerance).
+bool SameRanking(const std::vector<ScoredDoc>& a,
+                 const std::vector<ScoredDoc>& b, double score_tolerance);
+
+}  // namespace toppriv::search
+
+#endif  // TOPPRIV_SEARCH_EVAL_H_

@@ -1,0 +1,52 @@
+#include "search/log_anonymizer.h"
+
+#include <cmath>
+
+namespace toppriv::search {
+
+namespace {
+
+// Keyed SplitMix64-style mixer.
+uint64_t KeyedMix(uint64_t key, uint64_t value) {
+  uint64_t z = value + key * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t LogAnonymizer::Pseudonym(uint64_t user_id) const {
+  return KeyedMix(policy_.key, user_id ^ 0xabcdef);
+}
+
+uint64_t LogAnonymizer::HashTerm(text::TermId term) const {
+  return KeyedMix(policy_.key, term);
+}
+
+std::vector<AnonymizedQuery> LogAnonymizer::Anonymize(
+    uint64_t user_id, const std::vector<LoggedQuery>& entries) const {
+  std::vector<AnonymizedQuery> out;
+  out.reserve(entries.size());
+  const uint64_t pseudonym = Pseudonym(user_id);
+  for (const LoggedQuery& entry : entries) {
+    AnonymizedQuery record;
+    record.pseudonym = pseudonym;
+    record.time_bucket =
+        policy_.time_bucket_seconds > 0.0
+            ? static_cast<uint64_t>(
+                  std::floor(entry.timestamp / policy_.time_bucket_seconds))
+            : 0;
+    for (text::TermId term : entry.terms) {
+      if (term < vocab_.size() &&
+          vocab_.DocFreq(term) < policy_.min_doc_freq_to_keep) {
+        continue;  // rare quasi-identifier: drop
+      }
+      record.hashed_terms.push_back(HashTerm(term));
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace toppriv::search

@@ -1,0 +1,69 @@
+// Query-log anonymization (paper Section III: protecting user *identity* is
+// orthogonal to TopPriv and "may be achieved through query log
+// anonymization [Adar, WWW'07]"). This module provides that orthogonal
+// layer so a deployment can publish or retain logs: user ids are replaced
+// by keyed pseudonyms, and query terms can be hashed ("User 4xxxxx9"-style
+// token masking) or dropped by rarity (rare terms are quasi-identifiers).
+#ifndef TOPPRIV_SEARCH_LOG_ANONYMIZER_H_
+#define TOPPRIV_SEARCH_LOG_ANONYMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/engine.h"
+#include "text/vocabulary.h"
+
+namespace toppriv::search {
+
+/// One published log record.
+struct AnonymizedQuery {
+  /// Keyed pseudonym of the originating user.
+  uint64_t pseudonym = 0;
+  /// Cycle grouping is erased (sequence randomized bucketing is the
+  /// caller's concern); only a coarse time bucket survives.
+  uint64_t time_bucket = 0;
+  /// Term tokens: either hashed ids or the surface string "\#<hash>" for
+  /// masked terms, depending on policy.
+  std::vector<uint64_t> hashed_terms;
+};
+
+/// Anonymization policy.
+struct AnonymizerPolicy {
+  /// Secret key for pseudonyms and term hashing (keyed FNV).
+  uint64_t key = 0x5eed5;
+  /// Terms occurring in fewer than this many documents are DROPPED rather
+  /// than hashed — rare terms re-identify users even when hashed (the AOL
+  /// lesson the paper opens with).
+  uint32_t min_doc_freq_to_keep = 3;
+  /// Width of the retained time bucket in seconds (coarsening).
+  double time_bucket_seconds = 3600.0;
+};
+
+/// Stateless anonymizer over engine logs.
+class LogAnonymizer {
+ public:
+  /// Borrows the vocabulary for document-frequency lookups.
+  LogAnonymizer(const text::Vocabulary& vocab, AnonymizerPolicy policy)
+      : vocab_(vocab), policy_(policy) {}
+
+  /// Anonymizes one user's log entries under the policy.
+  std::vector<AnonymizedQuery> Anonymize(
+      uint64_t user_id, const std::vector<LoggedQuery>& entries) const;
+
+  /// Keyed pseudonym for a user id (deterministic under one key).
+  uint64_t Pseudonym(uint64_t user_id) const;
+
+  /// Keyed hash of a term id.
+  uint64_t HashTerm(text::TermId term) const;
+
+  const AnonymizerPolicy& policy() const { return policy_; }
+
+ private:
+  const text::Vocabulary& vocab_;
+  AnonymizerPolicy policy_;
+};
+
+}  // namespace toppriv::search
+
+#endif  // TOPPRIV_SEARCH_LOG_ANONYMIZER_H_

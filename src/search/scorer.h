@@ -1,0 +1,88 @@
+// Similarity scoring functions for the vector space model.
+//
+// The paper assumes a conventional similarity engine ("the classical vector
+// space model [7]"); we provide TF-IDF cosine, Okapi BM25 and a Dirichlet-
+// smoothed query-likelihood scorer so the substrate matches what enterprise
+// engines actually run. Scorers are stateless w.r.t. queries and consume
+// index statistics only.
+#ifndef TOPPRIV_SEARCH_SCORER_H_
+#define TOPPRIV_SEARCH_SCORER_H_
+
+#include <memory>
+#include <string>
+
+#include "index/inverted_index.h"
+
+namespace toppriv::search {
+
+/// Term-at-a-time scoring interface: contribution of one (term, posting)
+/// pair to a document's accumulator.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Score contribution of a term occurring `tf` times in document `doc`,
+  /// where the term occurs in `df` documents and appears `qtf` times in the
+  /// query.
+  virtual double TermScore(const index::InvertedIndex& index,
+                           corpus::DocId doc, uint32_t tf, uint32_t df,
+                           uint32_t qtf) const = 0;
+
+  /// Optional per-document normalization applied after accumulation.
+  virtual double Normalize(const index::InvertedIndex& index,
+                           corpus::DocId doc, double accumulated) const {
+    (void)index;
+    (void)doc;
+    return accumulated;
+  }
+
+  /// Scorer name for logs and benches.
+  virtual std::string Name() const = 0;
+};
+
+/// Classic lnc.ltc-style TF-IDF with cosine length normalization
+/// (approximated by document token length).
+class TfIdfCosineScorer : public Scorer {
+ public:
+  double TermScore(const index::InvertedIndex& index, corpus::DocId doc,
+                   uint32_t tf, uint32_t df, uint32_t qtf) const override;
+  double Normalize(const index::InvertedIndex& index, corpus::DocId doc,
+                   double accumulated) const override;
+  std::string Name() const override { return "tfidf-cosine"; }
+};
+
+/// Okapi BM25 with standard parameters.
+class Bm25Scorer : public Scorer {
+ public:
+  explicit Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+  double TermScore(const index::InvertedIndex& index, corpus::DocId doc,
+                   uint32_t tf, uint32_t df, uint32_t qtf) const override;
+  std::string Name() const override { return "bm25"; }
+
+ private:
+  double k1_;
+  double b_;
+};
+
+/// Dirichlet-smoothed query likelihood (language modeling approach).
+class LmDirichletScorer : public Scorer {
+ public:
+  explicit LmDirichletScorer(const corpus::Corpus& corpus, double mu = 1000.0);
+  double TermScore(const index::InvertedIndex& index, corpus::DocId doc,
+                   uint32_t tf, uint32_t df, uint32_t qtf) const override;
+  double Normalize(const index::InvertedIndex& index, corpus::DocId doc,
+                   double accumulated) const override;
+  std::string Name() const override { return "lm-dirichlet"; }
+
+ private:
+  const corpus::Corpus& corpus_;
+  double mu_;
+};
+
+/// Factory helpers.
+std::unique_ptr<Scorer> MakeTfIdfScorer();
+std::unique_ptr<Scorer> MakeBm25Scorer(double k1 = 1.2, double b = 0.75);
+
+}  // namespace toppriv::search
+
+#endif  // TOPPRIV_SEARCH_SCORER_H_

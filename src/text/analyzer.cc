@@ -1,0 +1,41 @@
+#include "text/analyzer.h"
+
+namespace toppriv::text {
+
+std::vector<std::string> Analyzer::Analyze(std::string_view raw) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(raw);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& tok : tokens) {
+    if (options_.remove_stopwords && DefaultStopwords().Contains(tok)) {
+      continue;
+    }
+    if (options_.stem) {
+      out.push_back(stemmer_.Stem(tok));
+    } else {
+      out.push_back(std::move(tok));
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> Analyzer::AnalyzeAndIntern(std::string_view raw,
+                                               Vocabulary* vocab) const {
+  std::vector<TermId> ids;
+  for (const std::string& tok : Analyze(raw)) {
+    ids.push_back(vocab->AddTerm(tok));
+  }
+  return ids;
+}
+
+std::vector<TermId> Analyzer::AnalyzeWithVocabulary(
+    std::string_view raw, const Vocabulary& vocab) const {
+  std::vector<TermId> ids;
+  for (const std::string& tok : Analyze(raw)) {
+    TermId id = vocab.Lookup(tok);
+    if (id != kInvalidTerm) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace toppriv::text

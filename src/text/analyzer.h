@@ -1,0 +1,52 @@
+// End-to-end text analysis pipeline: tokenize -> stopword filter ->
+// (optional) stem -> vocabulary lookup/intern.
+#ifndef TOPPRIV_TEXT_ANALYZER_H_
+#define TOPPRIV_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace toppriv::text {
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = false;
+};
+
+/// Turns raw text into normalized token strings or term ids.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {})
+      : options_(options), tokenizer_(options.tokenizer) {}
+
+  /// Normalized token strings (after stopword removal / stemming).
+  std::vector<std::string> Analyze(std::string_view raw) const;
+
+  /// Interns normalized tokens into `vocab`; returns term ids.
+  std::vector<TermId> AnalyzeAndIntern(std::string_view raw,
+                                       Vocabulary* vocab) const;
+
+  /// Looks up normalized tokens in a read-only `vocab`; unknown terms are
+  /// dropped (a query word absent from the corpus cannot affect retrieval).
+  std::vector<TermId> AnalyzeWithVocabulary(std::string_view raw,
+                                            const Vocabulary& vocab) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace toppriv::text
+
+#endif  // TOPPRIV_TEXT_ANALYZER_H_

@@ -1,0 +1,301 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace toppriv::text {
+
+namespace {
+
+// Implementation of the five-step Porter algorithm, operating on a mutable
+// buffer `b` with logical end `k` (inclusive index of last char), following
+// Porter's original 1980 description.
+class Impl {
+ public:
+  explicit Impl(std::string word) : b_(std::move(word)) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return b_;
+  }
+
+ private:
+  // True if b[i] is a consonant.
+  bool Cons(int i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant-vowel sequences between 0 and j.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if 0..j contains a vowel.
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b[j-1..j] is a double consonant.
+  bool DoubleCons(int j) const {
+    if (j < 1) return false;
+    if (b_[j] != b_[j - 1]) return false;
+    return Cons(j);
+  }
+
+  // True for consonant-vowel-consonant ending at i, where the final
+  // consonant is not w, x or y; signals that an 'e' should be restored.
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if the stem ends with `s`; sets j_ to the offset before the suffix.
+  bool Ends(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_.data() + (k_ - len + 1), s, len) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix (after j_) with `s`.
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<size_t>(j_) + 1);
+    b_.append(s);
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfMeasure(const char* s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleCons(k_)) {
+        char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure(k_) == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem(j_)) b_[k_] = 'i';
+  }
+
+  // Step 2: double/triple suffixes, e.g. -ization -> -ize.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (Ends("tional")) { ReplaceIfMeasure("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (Ends("anci")) { ReplaceIfMeasure("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfMeasure("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (Ends("alli")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (Ends("eli")) { ReplaceIfMeasure("e"); break; }
+        if (Ends("ousli")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (Ends("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (Ends("ator")) { ReplaceIfMeasure("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfMeasure("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfMeasure("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate, -ful, -ness etc.
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (Ends("ative")) { ReplaceIfMeasure(""); break; }
+        if (Ends("alize")) { ReplaceIfMeasure("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfMeasure("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (Ends("ful")) { ReplaceIfMeasure(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfMeasure(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: -ant, -ence etc. removed when measure > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (b_[j_] == 's' || b_[j_] == 't')) break;
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) k_ = j_;
+  }
+
+  // Step 5: remove final -e and reduce -ll.
+  void Step5() {
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      int a = Measure(k_);
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[k_] == 'l' && DoubleCons(k_) && Measure(k_) > 1) --k_;
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);
+  }
+  return Impl(std::string(word)).Run();
+}
+
+}  // namespace toppriv::text

@@ -1,0 +1,27 @@
+// Classic Porter (1980) stemming algorithm.
+//
+// Optional in the analysis pipeline. The synthetic corpus is generated from
+// surface forms, so stemming is disabled by default in the experiments, but
+// the substrate supports it because a production enterprise deployment over
+// real text would enable it.
+#ifndef TOPPRIV_TEXT_PORTER_STEMMER_H_
+#define TOPPRIV_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace toppriv::text {
+
+/// Stateless Porter stemmer. Thread-compatible.
+class PorterStemmer {
+ public:
+  PorterStemmer() = default;
+
+  /// Returns the stem of `word` (expects lowercase ASCII letters; tokens
+  /// containing non-letters are returned unchanged).
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace toppriv::text
+
+#endif  // TOPPRIV_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,37 @@
+// Built-in English stopword list.
+//
+// The paper removes stopwords ("the", "a", ...) before indexing and topic
+// modeling; this is the standard IR preprocessing step it cites from
+// Baeza-Yates & Ribeiro-Neto.
+#ifndef TOPPRIV_TEXT_STOPWORDS_H_
+#define TOPPRIV_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace toppriv::text {
+
+/// Membership test over a fixed English stopword list (~175 words, the
+/// classic SMART-derived set).
+class StopwordList {
+ public:
+  StopwordList();
+
+  /// True if `token` (already lowercased) is a stopword.
+  bool Contains(std::string_view token) const {
+    return words_.count(std::string(token)) > 0;
+  }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// Shared immutable instance.
+const StopwordList& DefaultStopwords();
+
+}  // namespace toppriv::text
+
+#endif  // TOPPRIV_TEXT_STOPWORDS_H_

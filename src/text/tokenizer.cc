@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace toppriv::text {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  bool overflow = false;
+  auto flush = [&] {
+    if (!current.empty() && !overflow && Keep(current)) {
+      out.push_back(current);
+    }
+    current.clear();
+    overflow = false;
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (current.size() >= options_.max_token_length) {
+        overflow = true;  // oversized run: drop the whole token
+      } else {
+        current.push_back(static_cast<char>(std::tolower(c)));
+      }
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+bool Tokenizer::Keep(const std::string& token) const {
+  if (token.size() < options_.min_token_length) return false;
+  if (token.size() > options_.max_token_length) return false;
+  if (!options_.keep_numbers) {
+    bool has_alpha = false;
+    for (char c : token) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        has_alpha = true;
+        break;
+      }
+    }
+    if (!has_alpha) return false;
+  }
+  return true;
+}
+
+}  // namespace toppriv::text

@@ -1,0 +1,43 @@
+// Query/document tokenizer: lowercases and splits raw text into word tokens.
+#ifndef TOPPRIV_TEXT_TOKENIZER_H_
+#define TOPPRIV_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace toppriv::text {
+
+/// Tokenization options.
+struct TokenizerOptions {
+  /// Minimum token length kept (shorter tokens are dropped).
+  size_t min_token_length = 2;
+  /// Maximum token length kept (guards against garbage input).
+  size_t max_token_length = 40;
+  /// Keep tokens that contain digits (e.g. "m-1" splits to "m", "1";
+  /// "ah-64" keeps "ah" and, when true, "64").
+  bool keep_numbers = true;
+};
+
+/// Splits text on non-alphanumeric characters, lowercasing as it goes.
+///
+/// Hyphenated compounds ("clean-room") become separate tokens, matching the
+/// bag-of-words treatment the paper assumes for both documents and queries.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `text` into lowercase word tokens.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool Keep(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace toppriv::text
+
+#endif  // TOPPRIV_TEXT_TOKENIZER_H_

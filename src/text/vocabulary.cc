@@ -1,0 +1,81 @@
+#include "text/vocabulary.h"
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace toppriv::text {
+
+TermId Vocabulary::AddTerm(std::string_view term) {
+  auto it = term_to_id_.find(std::string(term));
+  if (it != term_to_id_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  doc_freq_.push_back(0);
+  coll_freq_.push_back(0);
+  term_to_id_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = term_to_id_.find(std::string(term));
+  return it == term_to_id_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& Vocabulary::TermString(TermId id) const {
+  TOPPRIV_CHECK_LT(id, terms_.size());
+  return terms_[id];
+}
+
+void Vocabulary::AddCounts(TermId id, uint32_t df_delta, uint64_t cf_delta) {
+  TOPPRIV_CHECK_LT(id, terms_.size());
+  doc_freq_[id] += df_delta;
+  coll_freq_[id] += cf_delta;
+  total_tokens_ += cf_delta;
+}
+
+uint32_t Vocabulary::DocFreq(TermId id) const {
+  TOPPRIV_CHECK_LT(id, doc_freq_.size());
+  return doc_freq_[id];
+}
+
+uint64_t Vocabulary::CollectionFreq(TermId id) const {
+  TOPPRIV_CHECK_LT(id, coll_freq_.size());
+  return coll_freq_[id];
+}
+
+std::string Vocabulary::Serialize() const {
+  util::BinaryWriter w;
+  w.WriteVarint(terms_.size());
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    w.WriteString(terms_[i]);
+    w.WriteVarint(doc_freq_[i]);
+    w.WriteVarint(coll_freq_[i]);
+  }
+  w.WriteVarint(total_tokens_);
+  return w.data();
+}
+
+util::StatusOr<Vocabulary> Vocabulary::Deserialize(const std::string& bytes) {
+  util::BinaryReader r(bytes);
+  uint64_t n = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&n));
+  Vocabulary vocab;
+  vocab.terms_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string term;
+    uint64_t df = 0, cf = 0;
+    TOPPRIV_RETURN_IF_ERROR(r.ReadString(&term));
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&df));
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&cf));
+    TermId id = vocab.AddTerm(term);
+    if (id != i) return util::Status::DataLoss("duplicate term in stream");
+    vocab.doc_freq_[id] = static_cast<uint32_t>(df);
+    vocab.coll_freq_[id] = cf;
+  }
+  uint64_t total = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&total));
+  vocab.total_tokens_ = total;
+  return vocab;
+}
+
+}  // namespace toppriv::text

@@ -1,0 +1,78 @@
+// Term dictionary: term <-> id mapping plus corpus-level term statistics.
+#ifndef TOPPRIV_TEXT_VOCABULARY_H_
+#define TOPPRIV_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace toppriv::text {
+
+/// Dense term identifier; also the row index of every per-term structure
+/// (posting lists, LDA word counts).
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = 0xffffffffu;
+
+/// Mutable term dictionary with document/collection frequencies.
+///
+/// Built once per corpus (by the corpus generator or index builder), then
+/// shared read-only by the search engine, the LDA trainer and the TopPriv
+/// client.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Interns `term`, returning its id (existing or new).
+  TermId AddTerm(std::string_view term);
+
+  /// Id for `term`, or kInvalidTerm if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// True if the term is present.
+  bool Contains(std::string_view term) const {
+    return Lookup(term) != kInvalidTerm;
+  }
+
+  /// Surface form of a term id. Requires a valid id.
+  const std::string& TermString(TermId id) const;
+
+  /// Number of distinct terms (the paper's ω).
+  size_t size() const { return terms_.size(); }
+
+  /// Bumps statistics: `df_delta` distinct-document occurrences and
+  /// `cf_delta` token occurrences for `id`.
+  void AddCounts(TermId id, uint32_t df_delta, uint64_t cf_delta);
+
+  /// Document frequency: number of documents containing the term.
+  uint32_t DocFreq(TermId id) const;
+  /// Collection frequency: total token occurrences of the term.
+  uint64_t CollectionFreq(TermId id) const;
+
+  /// Total tokens accumulated via AddCounts.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Serializes to bytes / restores from bytes.
+  std::string Serialize() const;
+  static util::StatusOr<Vocabulary> Deserialize(const std::string& bytes);
+
+ private:
+  std::vector<std::string> terms_;
+  std::vector<uint32_t> doc_freq_;
+  std::vector<uint64_t> coll_freq_;
+  std::unordered_map<std::string, TermId> term_to_id_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace toppriv::text
+
+#endif  // TOPPRIV_TEXT_VOCABULARY_H_

@@ -1,0 +1,175 @@
+#include "topicmodel/gibbs_trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace toppriv::topicmodel {
+
+GibbsTrainer::GibbsTrainer(TrainerOptions options) : options_(options) {
+  TOPPRIV_CHECK_GT(options_.num_topics, 0u);
+  TOPPRIV_CHECK_GT(options_.iterations, 0u);
+  if (options_.estimation_samples == 0) options_.estimation_samples = 1;
+  if (options_.estimation_samples > options_.iterations) {
+    options_.estimation_samples = options_.iterations;
+  }
+}
+
+LdaModel GibbsTrainer::Train(const corpus::Corpus& corpus) const {
+  const size_t num_topics = options_.num_topics;
+  const size_t vocab_size = corpus.vocabulary_size();
+  const size_t num_docs = corpus.num_documents();
+  TOPPRIV_CHECK_GT(vocab_size, 0u);
+  TOPPRIV_CHECK_GT(num_docs, 0u);
+
+  const double alpha = options_.alpha > 0.0
+                           ? options_.alpha
+                           : 50.0 / static_cast<double>(num_topics);
+  const double beta = options_.beta;
+  const double v_beta = static_cast<double>(vocab_size) * beta;
+
+  // Count matrices. nwt is laid out word-major so the per-token sampling
+  // loop walks a contiguous row of topic counts for its word.
+  std::vector<int32_t> nwt(vocab_size * num_topics, 0);  // word-topic
+  std::vector<int32_t> nt(num_topics, 0);                // topic totals
+  std::vector<int32_t> ndt(num_docs * num_topics, 0);    // doc-topic
+
+  // Token-level topic assignments z, flattened over all documents.
+  size_t total_tokens = 0;
+  for (const corpus::Document& d : corpus.documents()) {
+    total_tokens += d.tokens.size();
+  }
+  std::vector<uint16_t> z(total_tokens);
+  TOPPRIV_CHECK_LE(num_topics, 65535u);
+
+  util::Rng rng(options_.seed);
+
+  // Random initialization.
+  {
+    size_t pos = 0;
+    for (const corpus::Document& d : corpus.documents()) {
+      int32_t* doc_counts = ndt.data() + static_cast<size_t>(d.id) * num_topics;
+      for (text::TermId w : d.tokens) {
+        uint16_t t = static_cast<uint16_t>(rng.UniformInt(num_topics));
+        z[pos++] = t;
+        ++nwt[static_cast<size_t>(w) * num_topics + t];
+        ++nt[t];
+        ++doc_counts[t];
+      }
+    }
+  }
+
+  // Accumulators for the averaged estimate over the final sweeps.
+  std::vector<double> phi_acc(vocab_size * num_topics, 0.0);
+  std::vector<double> theta_acc(num_docs * num_topics, 0.0);
+  size_t samples_taken = 0;
+
+  std::vector<double> prob(num_topics);
+
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    size_t pos = 0;
+    for (const corpus::Document& d : corpus.documents()) {
+      int32_t* doc_counts = ndt.data() + static_cast<size_t>(d.id) * num_topics;
+      for (text::TermId w : d.tokens) {
+        uint16_t old_t = z[pos];
+        int32_t* word_counts = nwt.data() + static_cast<size_t>(w) * num_topics;
+        // Remove the token from the counts.
+        --word_counts[old_t];
+        --nt[old_t];
+        --doc_counts[old_t];
+
+        // Full conditional: p(t) ∝ (ndt+α)(nwt+β)/(nt+Vβ).
+        double total = 0.0;
+        for (size_t t = 0; t < num_topics; ++t) {
+          double p = (static_cast<double>(doc_counts[t]) + alpha) *
+                     (static_cast<double>(word_counts[t]) + beta) /
+                     (static_cast<double>(nt[t]) + v_beta);
+          total += p;
+          prob[t] = total;  // running CDF
+        }
+        double r = rng.Uniform() * total;
+        // Binary search over the running CDF.
+        size_t lo = 0, hi = num_topics - 1;
+        while (lo < hi) {
+          size_t mid = (lo + hi) / 2;
+          if (prob[mid] > r) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        uint16_t new_t = static_cast<uint16_t>(lo);
+
+        z[pos] = new_t;
+        ++word_counts[new_t];
+        ++nt[new_t];
+        ++doc_counts[new_t];
+        ++pos;
+      }
+    }
+
+    if (options_.report_every > 0 && (iter + 1) % options_.report_every == 0) {
+      std::fprintf(stderr, "gibbs: iteration %zu/%zu\n", iter + 1,
+                   options_.iterations);
+    }
+
+    // Average the final `estimation_samples` sweeps.
+    if (iter + options_.estimation_samples >= options_.iterations) {
+      ++samples_taken;
+      for (size_t w = 0; w < vocab_size; ++w) {
+        const int32_t* word_counts = nwt.data() + w * num_topics;
+        for (size_t t = 0; t < num_topics; ++t) {
+          phi_acc[t * vocab_size + w] +=
+              (static_cast<double>(word_counts[t]) + beta) /
+              (static_cast<double>(nt[t]) + v_beta);
+        }
+      }
+      for (size_t d = 0; d < num_docs; ++d) {
+        const int32_t* doc_counts = ndt.data() + d * num_topics;
+        double nd = static_cast<double>(corpus.documents()[d].tokens.size());
+        double denom = nd + static_cast<double>(num_topics) * alpha;
+        for (size_t t = 0; t < num_topics; ++t) {
+          theta_acc[d * num_topics + t] +=
+              (static_cast<double>(doc_counts[t]) + alpha) / denom;
+        }
+      }
+    }
+  }
+
+  TOPPRIV_CHECK_GT(samples_taken, 0u);
+  std::vector<float> phi(vocab_size * num_topics);
+  for (size_t i = 0; i < phi.size(); ++i) {
+    phi[i] = static_cast<float>(phi_acc[i] / static_cast<double>(samples_taken));
+  }
+  std::vector<float> theta(num_docs * num_topics);
+  for (size_t i = 0; i < theta.size(); ++i) {
+    theta[i] =
+        static_cast<float>(theta_acc[i] / static_cast<double>(samples_taken));
+  }
+  return LdaModel::Create(num_topics, vocab_size, std::move(phi),
+                          std::move(theta), alpha, beta);
+}
+
+double GibbsTrainer::LogLikelihoodPerToken(const LdaModel& model,
+                                           const corpus::Corpus& corpus) {
+  double ll = 0.0;
+  uint64_t tokens = 0;
+  const size_t num_topics = model.num_topics();
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const corpus::Document& doc = corpus.documents()[d];
+    for (text::TermId w : doc.tokens) {
+      double p = 0.0;
+      for (size_t t = 0; t < num_topics; ++t) {
+        p += model.Theta(d, static_cast<TopicId>(t)) *
+             model.Phi(static_cast<TopicId>(t), w);
+      }
+      ll += std::log(p > 1e-300 ? p : 1e-300);
+      ++tokens;
+    }
+  }
+  return tokens == 0 ? 0.0 : ll / static_cast<double>(tokens);
+}
+
+}  // namespace toppriv::topicmodel

@@ -1,0 +1,53 @@
+// Collapsed Gibbs sampling trainer for LDA (Blei-Ng-Jordan model, Griffiths-
+// Steyvers estimator) — our from-scratch replacement for the GibbsLDA++ 0.2
+// library the paper uses.
+#ifndef TOPPRIV_TOPICMODEL_GIBBS_TRAINER_H_
+#define TOPPRIV_TOPICMODEL_GIBBS_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::topicmodel {
+
+/// Training hyperparameters (paper defaults: alpha = 50/T, beta = 0.1).
+struct TrainerOptions {
+  size_t num_topics = 200;
+  /// Dirichlet document-topic prior; <= 0 means use 50 / num_topics.
+  double alpha = -1.0;
+  /// Dirichlet topic-word prior.
+  double beta = 0.1;
+  /// Gibbs sweeps over the whole corpus.
+  size_t iterations = 120;
+  /// Final sweeps whose state is averaged into phi/theta (reduces sampling
+  /// noise relative to taking the last state only).
+  size_t estimation_samples = 8;
+  uint64_t seed = 7;
+  /// Print progress to stderr every N iterations (0 = silent).
+  size_t report_every = 0;
+};
+
+/// Gibbs trainer; Train() is deterministic given options.seed.
+class GibbsTrainer {
+ public:
+  explicit GibbsTrainer(TrainerOptions options);
+
+  /// Runs collapsed Gibbs sampling over `corpus` and estimates the model.
+  LdaModel Train(const corpus::Corpus& corpus) const;
+
+  const TrainerOptions& options() const { return options_; }
+
+  /// Per-token log-likelihood of a trained model on the corpus; used by
+  /// tests to verify training actually improves the fit.
+  static double LogLikelihoodPerToken(const LdaModel& model,
+                                      const corpus::Corpus& corpus);
+
+ private:
+  TrainerOptions options_;
+};
+
+}  // namespace toppriv::topicmodel
+
+#endif  // TOPPRIV_TOPICMODEL_GIBBS_TRAINER_H_

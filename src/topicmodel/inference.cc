@@ -1,0 +1,120 @@
+#include "topicmodel/inference.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace toppriv::topicmodel {
+
+namespace {
+
+// FNV-1a over the term ids, so identical queries share an RNG stream.
+uint64_t HashTerms(const std::vector<text::TermId>& terms) {
+  uint64_t h = 1469598103934665603ull;
+  for (text::TermId t : terms) {
+    h ^= t;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+LdaInferencer::LdaInferencer(const LdaModel& model, InferenceOptions options)
+    : model_(model), options_(options) {
+  TOPPRIV_CHECK_GT(options_.iterations, 0u);
+  TOPPRIV_CHECK_LT(options_.burn_in, options_.iterations);
+}
+
+std::vector<double> LdaInferencer::InferQuery(
+    const std::vector<text::TermId>& terms) const {
+  const size_t num_topics = model_.num_topics();
+  const double alpha = model_.alpha();
+
+  // Keep only in-vocabulary tokens.
+  std::vector<text::TermId> tokens;
+  tokens.reserve(terms.size());
+  for (text::TermId t : terms) {
+    if (t < model_.vocab_size()) tokens.push_back(t);
+  }
+  if (tokens.empty()) {
+    return std::vector<double>(num_topics, 1.0 / static_cast<double>(num_topics));
+  }
+
+  util::Rng rng(options_.seed ^ HashTerms(tokens));
+
+  std::vector<uint32_t> counts(num_topics, 0);
+  std::vector<uint16_t> z(tokens.size());
+  TOPPRIV_CHECK_LE(num_topics, 65535u);
+
+  // Random init.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    uint16_t t = static_cast<uint16_t>(rng.UniformInt(num_topics));
+    z[i] = t;
+    ++counts[t];
+  }
+
+  std::vector<double> cdf(num_topics);
+  std::vector<double> accum(num_topics, 0.0);
+  size_t samples = 0;
+
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      uint16_t old_t = z[i];
+      --counts[old_t];
+      const text::TermId w = tokens[i];
+      double total = 0.0;
+      for (size_t t = 0; t < num_topics; ++t) {
+        double p = (static_cast<double>(counts[t]) + alpha) *
+                   model_.Phi(static_cast<TopicId>(t), w);
+        total += p;
+        cdf[t] = total;
+      }
+      uint16_t new_t;
+      if (total <= 0.0) {
+        new_t = static_cast<uint16_t>(rng.UniformInt(num_topics));
+      } else {
+        double r = rng.Uniform() * total;
+        size_t lo = 0, hi = num_topics - 1;
+        while (lo < hi) {
+          size_t mid = (lo + hi) / 2;
+          if (cdf[mid] > r) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        new_t = static_cast<uint16_t>(lo);
+      }
+      z[i] = new_t;
+      ++counts[new_t];
+    }
+    if (iter >= options_.burn_in) {
+      ++samples;
+      double denom = static_cast<double>(tokens.size()) +
+                     static_cast<double>(num_topics) * alpha;
+      for (size_t t = 0; t < num_topics; ++t) {
+        accum[t] += (static_cast<double>(counts[t]) + alpha) / denom;
+      }
+    }
+  }
+
+  TOPPRIV_CHECK_GT(samples, 0u);
+  for (double& v : accum) v /= static_cast<double>(samples);
+  return accum;
+}
+
+std::vector<double> LdaInferencer::CyclePosterior(
+    const std::vector<std::vector<double>>& per_query_posteriors) {
+  TOPPRIV_CHECK(!per_query_posteriors.empty());
+  const size_t num_topics = per_query_posteriors.front().size();
+  std::vector<double> out(num_topics, 0.0);
+  for (const auto& posterior : per_query_posteriors) {
+    TOPPRIV_CHECK_EQ(posterior.size(), num_topics);
+    for (size_t t = 0; t < num_topics; ++t) out[t] += posterior[t];
+  }
+  const double inv = 1.0 / static_cast<double>(per_query_posteriors.size());
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace toppriv::topicmodel

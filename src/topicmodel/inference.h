@@ -1,0 +1,55 @@
+// Query-time LDA inference: Pr(t|q) for unseen word bags, and the cycle
+// posterior of paper Eq. 2.
+//
+// Inference folds the query into the trained model by Gibbs-sampling topic
+// assignments for the query tokens with phi held fixed — the same
+// "inference mode" the paper uses GibbsLDA++ for.
+#ifndef TOPPRIV_TOPICMODEL_INFERENCE_H_
+#define TOPPRIV_TOPICMODEL_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::topicmodel {
+
+/// Inference knobs.
+struct InferenceOptions {
+  /// Gibbs sweeps over the query tokens.
+  size_t iterations = 30;
+  /// Initial sweeps discarded before averaging.
+  size_t burn_in = 10;
+  /// Base seed; combined with a hash of the query so that the same query
+  /// always yields the same posterior (deterministic, thread-compatible).
+  uint64_t seed = 11;
+};
+
+/// Fold-in Gibbs inferencer over a fixed trained model.
+class LdaInferencer {
+ public:
+  /// The inferencer borrows `model`, which must outlive it.
+  explicit LdaInferencer(const LdaModel& model, InferenceOptions options = {});
+
+  /// Posterior Pr(t|q) for a query given as a bag of term ids. Unknown ids
+  /// (>= vocab_size) are ignored; an effectively-empty query returns the
+  /// uniform distribution (the symmetric-alpha posterior).
+  std::vector<double> InferQuery(const std::vector<text::TermId>& terms) const;
+
+  /// Paper Eq. 2: Pr(t|{q1..qv}) = (1/v) * sum_i Pr(t|qi), treating every
+  /// query in the cycle as equally likely to be the genuine one.
+  static std::vector<double> CyclePosterior(
+      const std::vector<std::vector<double>>& per_query_posteriors);
+
+  const LdaModel& model() const { return model_; }
+  const InferenceOptions& options() const { return options_; }
+
+ private:
+  const LdaModel& model_;
+  InferenceOptions options_;
+};
+
+}  // namespace toppriv::topicmodel
+
+#endif  // TOPPRIV_TOPICMODEL_INFERENCE_H_

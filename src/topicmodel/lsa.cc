@@ -1,0 +1,204 @@
+#include "topicmodel/lsa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace toppriv::topicmodel {
+
+namespace {
+
+// Sparse matrix in CSR-by-term layout: for each term, its (doc, weight)
+// entries. Weights are TF-IDF: (1 + log tf) * idf.
+struct SparseMatrix {
+  size_t num_terms = 0;
+  size_t num_docs = 0;
+  std::vector<size_t> row_start;       // num_terms + 1
+  std::vector<uint32_t> col;           // doc ids
+  std::vector<float> val;              // weights
+
+  // y = A^T x  (x over terms, y over docs)
+  void LeftApply(const std::vector<double>& x, std::vector<double>* y) const {
+    y->assign(num_docs, 0.0);
+    for (size_t t = 0; t < num_terms; ++t) {
+      double xt = x[t];
+      if (xt == 0.0) continue;
+      for (size_t i = row_start[t]; i < row_start[t + 1]; ++i) {
+        (*y)[col[i]] += xt * val[i];
+      }
+    }
+  }
+
+  // x = A y  (y over docs, x over terms)
+  void RightApply(const std::vector<double>& y, std::vector<double>* x) const {
+    x->assign(num_terms, 0.0);
+    for (size_t t = 0; t < num_terms; ++t) {
+      double acc = 0.0;
+      for (size_t i = row_start[t]; i < row_start[t + 1]; ++i) {
+        acc += val[i] * y[col[i]];
+      }
+      (*x)[t] = acc;
+    }
+  }
+};
+
+// Modified Gram-Schmidt orthonormalization of k column vectors, each of
+// dimension n, stored as vectors[j][i].
+void Orthonormalize(std::vector<std::vector<double>>* vectors) {
+  for (size_t j = 0; j < vectors->size(); ++j) {
+    std::vector<double>& v = (*vectors)[j];
+    for (size_t p = 0; p < j; ++p) {
+      const std::vector<double>& u = (*vectors)[p];
+      double dot = 0.0;
+      for (size_t i = 0; i < v.size(); ++i) dot += v[i] * u[i];
+      for (size_t i = 0; i < v.size(); ++i) v[i] -= dot * u[i];
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate direction; leave as zeros (rank-deficient input).
+      std::fill(v.begin(), v.end(), 0.0);
+    } else {
+      for (double& x : v) x /= norm;
+    }
+  }
+}
+
+}  // namespace
+
+std::span<const float> LsaModel::TermVector(text::TermId term) const {
+  TOPPRIV_CHECK_LT(term, vocab_size_);
+  return {term_factors_.data() + static_cast<size_t>(term) * num_factors_,
+          num_factors_};
+}
+
+std::vector<float> LsaModel::ProjectQuery(
+    const std::vector<text::TermId>& terms) const {
+  std::vector<float> out(num_factors_, 0.f);
+  std::unordered_map<text::TermId, uint32_t> tf;
+  for (text::TermId t : terms) {
+    if (t < vocab_size_) ++tf[t];
+  }
+  for (const auto& [term, count] : tf) {
+    std::span<const float> row = TermVector(term);
+    float weight =
+        (1.f + std::log(static_cast<float>(count))) * idf_[term];
+    for (size_t f = 0; f < num_factors_; ++f) out[f] += weight * row[f];
+  }
+  return out;
+}
+
+double LsaModel::Cosine(std::span<const float> a, std::span<const float> b) {
+  TOPPRIV_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na < 1e-18 || nb < 1e-18) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+LsaModel LsaTrainer::Train(const corpus::Corpus& corpus) const {
+  const text::Vocabulary& vocab = corpus.vocabulary();
+  const size_t vocab_size = vocab.size();
+  const size_t num_docs = corpus.num_documents();
+  const size_t k = options_.num_factors;
+  TOPPRIV_CHECK_GT(k, 0u);
+  TOPPRIV_CHECK_GT(num_docs, 0u);
+
+  // IDF; terms below min_doc_freq get idf 0 (dropped from the matrix).
+  std::vector<float> idf(vocab_size, 0.f);
+  for (text::TermId w = 0; w < vocab_size; ++w) {
+    uint32_t df = vocab.DocFreq(w);
+    if (df >= options_.min_doc_freq) {
+      idf[w] = std::log(static_cast<float>(num_docs) /
+                        static_cast<float>(df));
+    }
+  }
+
+  // Build the sparse TF-IDF matrix, term-major.
+  std::vector<std::vector<std::pair<uint32_t, float>>> rows(vocab_size);
+  {
+    std::unordered_map<text::TermId, uint32_t> tf;
+    for (const corpus::Document& d : corpus.documents()) {
+      tf.clear();
+      for (text::TermId t : d.tokens) ++tf[t];
+      for (const auto& [term, count] : tf) {
+        if (idf[term] <= 0.f) continue;
+        float weight =
+            (1.f + std::log(static_cast<float>(count))) * idf[term];
+        rows[term].push_back({d.id, weight});
+      }
+    }
+  }
+  SparseMatrix matrix;
+  matrix.num_terms = vocab_size;
+  matrix.num_docs = num_docs;
+  matrix.row_start.resize(vocab_size + 1, 0);
+  for (size_t t = 0; t < vocab_size; ++t) {
+    matrix.row_start[t + 1] = matrix.row_start[t] + rows[t].size();
+  }
+  matrix.col.resize(matrix.row_start.back());
+  matrix.val.resize(matrix.row_start.back());
+  for (size_t t = 0; t < vocab_size; ++t) {
+    size_t base = matrix.row_start[t];
+    for (size_t i = 0; i < rows[t].size(); ++i) {
+      matrix.col[base + i] = rows[t][i].first;
+      matrix.val[base + i] = rows[t][i].second;
+    }
+  }
+
+  // Subspace iteration on A A^T for the top-k left singular vectors.
+  util::Rng rng(options_.seed);
+  std::vector<std::vector<double>> basis(k,
+                                         std::vector<double>(vocab_size));
+  for (auto& v : basis) {
+    for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  }
+  Orthonormalize(&basis);
+
+  std::vector<double> tmp_docs, tmp_terms;
+  for (size_t iter = 0; iter < options_.power_iterations; ++iter) {
+    for (auto& v : basis) {
+      matrix.LeftApply(v, &tmp_docs);
+      matrix.RightApply(tmp_docs, &tmp_terms);
+      v = tmp_terms;
+    }
+    Orthonormalize(&basis);
+  }
+
+  // Singular values: s_i = ||A^T u_i||; sort descending.
+  std::vector<std::pair<double, size_t>> order;
+  std::vector<double> sigmas(k, 0.0);
+  for (size_t j = 0; j < k; ++j) {
+    matrix.LeftApply(basis[j], &tmp_docs);
+    double norm = 0.0;
+    for (double x : tmp_docs) norm += x * x;
+    sigmas[j] = std::sqrt(norm);
+    order.push_back({sigmas[j], j});
+  }
+  std::sort(order.rbegin(), order.rend());
+
+  LsaModel model;
+  model.num_factors_ = k;
+  model.vocab_size_ = vocab_size;
+  model.idf_ = std::move(idf);
+  model.singular_values_.resize(k);
+  model.term_factors_.assign(vocab_size * k, 0.f);
+  for (size_t rank = 0; rank < k; ++rank) {
+    size_t j = order[rank].second;
+    model.singular_values_[rank] = static_cast<float>(sigmas[j]);
+    for (size_t t = 0; t < vocab_size; ++t) {
+      model.term_factors_[t * k + rank] = static_cast<float>(basis[j][t]);
+    }
+  }
+  return model;
+}
+
+}  // namespace toppriv::topicmodel

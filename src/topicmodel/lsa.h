@@ -1,0 +1,89 @@
+// Latent Semantic Analysis via truncated SVD (paper Appendix A.2).
+//
+// The paper discusses LSA as an alternative topical-modeling technique and
+// rejects it for TopPriv because materializing the term-document matrix for
+// WSJ is infeasible; it is, however, exactly the machinery the
+// Murugesan-Clifton baseline [10] uses (a 30-factor LSI space for forming
+// canonical queries). We implement a sparse truncated SVD by subspace
+// (block power) iteration so that baseline can be reproduced faithfully.
+#ifndef TOPPRIV_TOPICMODEL_LSA_H_
+#define TOPPRIV_TOPICMODEL_LSA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/vocabulary.h"
+
+namespace toppriv::topicmodel {
+
+/// LSA training knobs.
+struct LsaOptions {
+  /// Number of retained factors (the baseline paper uses 30).
+  size_t num_factors = 30;
+  /// Subspace-iteration sweeps (each sweep multiplies by A A^T once).
+  size_t power_iterations = 25;
+  uint64_t seed = 13;
+  /// Terms with document frequency below this are dropped from the matrix
+  /// (they carry no co-occurrence signal and slow the factorization).
+  uint32_t min_doc_freq = 2;
+};
+
+/// Truncated SVD of the TF-IDF term-document matrix A ~= U S V^T.
+/// Only the term side (U, S) is retained: that is what query folding
+/// (q -> q^T U) and term-space geometry need.
+class LsaModel {
+ public:
+  LsaModel() = default;
+
+  LsaModel(const LsaModel&) = delete;
+  LsaModel& operator=(const LsaModel&) = delete;
+  LsaModel(LsaModel&&) = default;
+  LsaModel& operator=(LsaModel&&) = default;
+
+  size_t num_factors() const { return num_factors_; }
+  size_t vocab_size() const { return vocab_size_; }
+
+  /// Row of U for a term (all-zero for terms dropped by min_doc_freq).
+  std::span<const float> TermVector(text::TermId term) const;
+
+  /// Singular values, descending.
+  const std::vector<float>& singular_values() const {
+    return singular_values_;
+  }
+
+  /// Projects a bag of terms into factor space: sum of TF-IDF-weighted
+  /// term vectors (the standard LSI query folding q^T U).
+  std::vector<float> ProjectQuery(const std::vector<text::TermId>& terms) const;
+
+  /// Cosine similarity of two factor-space vectors (0 if either is ~0).
+  static double Cosine(std::span<const float> a, std::span<const float> b);
+
+ private:
+  friend class LsaTrainer;
+
+  size_t num_factors_ = 0;
+  size_t vocab_size_ = 0;
+  std::vector<float> term_factors_;    // V x k row-major
+  std::vector<float> singular_values_;  // k
+  std::vector<float> idf_;              // V (0 for dropped terms)
+};
+
+/// Computes the truncated SVD of a corpus's TF-IDF matrix.
+class LsaTrainer {
+ public:
+  explicit LsaTrainer(LsaOptions options) : options_(options) {}
+
+  /// Deterministic given options.seed.
+  LsaModel Train(const corpus::Corpus& corpus) const;
+
+  const LsaOptions& options() const { return options_; }
+
+ private:
+  LsaOptions options_;
+};
+
+}  // namespace toppriv::topicmodel
+
+#endif  // TOPPRIV_TOPICMODEL_LSA_H_

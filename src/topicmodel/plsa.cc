@@ -1,0 +1,134 @@
+#include "topicmodel/plsa.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace toppriv::topicmodel {
+
+PlsaTrainer::PlsaTrainer(PlsaOptions options) : options_(options) {
+  TOPPRIV_CHECK_GT(options_.num_topics, 0u);
+  TOPPRIV_CHECK_GT(options_.iterations, 0u);
+}
+
+LdaModel PlsaTrainer::Train(const corpus::Corpus& corpus) const {
+  const size_t num_topics = options_.num_topics;
+  const size_t vocab_size = corpus.vocabulary_size();
+  const size_t num_docs = corpus.num_documents();
+  TOPPRIV_CHECK_GT(vocab_size, 0u);
+  TOPPRIV_CHECK_GT(num_docs, 0u);
+
+  // Collapse documents to (term, count) pairs once.
+  struct Cell {
+    uint32_t term;
+    uint32_t count;
+  };
+  std::vector<std::vector<Cell>> cells(num_docs);
+  {
+    std::unordered_map<text::TermId, uint32_t> tf;
+    for (const corpus::Document& d : corpus.documents()) {
+      tf.clear();
+      for (text::TermId t : d.tokens) ++tf[t];
+      cells[d.id].reserve(tf.size());
+      for (const auto& [term, count] : tf) {
+        cells[d.id].push_back({term, count});
+      }
+    }
+  }
+
+  // Parameters: phi[t][w] = Pr(w|t), theta[d][t] = Pr(t|d).
+  util::Rng rng(options_.seed);
+  std::vector<double> phi(num_topics * vocab_size);
+  std::vector<double> theta(num_docs * num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    double sum = 0.0;
+    for (size_t w = 0; w < vocab_size; ++w) {
+      double v = 0.5 + rng.Uniform();
+      phi[t * vocab_size + w] = v;
+      sum += v;
+    }
+    for (size_t w = 0; w < vocab_size; ++w) phi[t * vocab_size + w] /= sum;
+  }
+  for (size_t d = 0; d < num_docs; ++d) {
+    double sum = 0.0;
+    for (size_t t = 0; t < num_topics; ++t) {
+      double v = 0.5 + rng.Uniform();
+      theta[d * num_topics + t] = v;
+      sum += v;
+    }
+    for (size_t t = 0; t < num_topics; ++t) theta[d * num_topics + t] /= sum;
+  }
+
+  // EM. The E-step responsibility Pr(t|d,w) ∝ phi[t][w] * theta[d][t] is
+  // folded directly into the M-step accumulators (standard memory-saving
+  // formulation: no responsibilities are materialized).
+  std::vector<double> phi_acc(num_topics * vocab_size);
+  std::vector<double> theta_acc(num_docs * num_topics);
+  std::vector<double> resp(num_topics);
+
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    std::fill(phi_acc.begin(), phi_acc.end(), 0.0);
+    std::fill(theta_acc.begin(), theta_acc.end(), 0.0);
+
+    for (size_t d = 0; d < num_docs; ++d) {
+      const double* doc_theta = theta.data() + d * num_topics;
+      double* doc_theta_acc = theta_acc.data() + d * num_topics;
+      for (const Cell& cell : cells[d]) {
+        double total = 0.0;
+        for (size_t t = 0; t < num_topics; ++t) {
+          double r = phi[t * vocab_size + cell.term] * doc_theta[t];
+          resp[t] = r;
+          total += r;
+        }
+        if (total <= 0.0) continue;
+        double scale = static_cast<double>(cell.count) / total;
+        for (size_t t = 0; t < num_topics; ++t) {
+          double weighted = resp[t] * scale;
+          phi_acc[t * vocab_size + cell.term] += weighted;
+          doc_theta_acc[t] += weighted;
+        }
+      }
+    }
+
+    // M-step normalization.
+    for (size_t t = 0; t < num_topics; ++t) {
+      double sum = 0.0;
+      for (size_t w = 0; w < vocab_size; ++w) sum += phi_acc[t * vocab_size + w];
+      if (sum <= 0.0) continue;
+      for (size_t w = 0; w < vocab_size; ++w) {
+        phi[t * vocab_size + w] = phi_acc[t * vocab_size + w] / sum;
+      }
+    }
+    for (size_t d = 0; d < num_docs; ++d) {
+      double sum = 0.0;
+      for (size_t t = 0; t < num_topics; ++t) sum += theta_acc[d * num_topics + t];
+      if (sum <= 0.0) continue;
+      for (size_t t = 0; t < num_topics; ++t) {
+        theta[d * num_topics + t] = theta_acc[d * num_topics + t] / sum;
+      }
+    }
+  }
+
+  // Final smoothing + packaging. The container's alpha doubles as the
+  // fold-in pseudo-count at query time.
+  std::vector<float> phi_out(num_topics * vocab_size);
+  for (size_t t = 0; t < num_topics; ++t) {
+    double sum = 0.0;
+    for (size_t w = 0; w < vocab_size; ++w) {
+      sum += phi[t * vocab_size + w] + options_.smoothing;
+    }
+    for (size_t w = 0; w < vocab_size; ++w) {
+      phi_out[t * vocab_size + w] = static_cast<float>(
+          (phi[t * vocab_size + w] + options_.smoothing) / sum);
+    }
+  }
+  std::vector<float> theta_out(theta.begin(), theta.end());
+  const double fold_in_alpha = 0.1;
+  return LdaModel::Create(num_topics, vocab_size, std::move(phi_out),
+                          std::move(theta_out), fold_in_alpha,
+                          options_.smoothing);
+}
+
+}  // namespace toppriv::topicmodel

@@ -1,0 +1,52 @@
+// Probabilistic Latent Semantic Analysis (Hofmann) via EM
+// (paper Appendix A.2).
+//
+// The paper declines pLSA for TopPriv because its generative semantics for
+// unseen queries are ill-defined; the standard workaround is "folding in"
+// (EM over the query with Pr(w|t) frozen). We implement both so the
+// alternative can be measured rather than argued:
+// bench/topicmodel_alternatives runs TopPriv end-to-end on a pLSA model by
+// packaging its parameters in the LdaModel container.
+#ifndef TOPPRIV_TOPICMODEL_PLSA_H_
+#define TOPPRIV_TOPICMODEL_PLSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::topicmodel {
+
+/// pLSA training knobs.
+struct PlsaOptions {
+  size_t num_topics = 50;
+  /// EM iterations over the corpus.
+  size_t iterations = 40;
+  uint64_t seed = 23;
+  /// Additive smoothing applied to the final parameter estimates so that
+  /// no Pr(w|t) is exactly zero (query folding needs full support).
+  double smoothing = 1e-4;
+};
+
+/// EM trainer producing Pr(w|t) and Pr(t|d).
+class PlsaTrainer {
+ public:
+  explicit PlsaTrainer(PlsaOptions options);
+
+  /// Trains pLSA and packages the estimates in the LdaModel container
+  /// (phi = Pr(w|t), theta = Pr(t|d); alpha is set to a small pseudo-count
+  /// used by fold-in inference). Deterministic given options.seed.
+  LdaModel Train(const corpus::Corpus& corpus) const;
+
+  /// Per-token training log-likelihood of a trained model (same metric as
+  /// GibbsTrainer::LogLikelihoodPerToken; usable for comparison).
+  const PlsaOptions& options() const { return options_; }
+
+ private:
+  PlsaOptions options_;
+};
+
+}  // namespace toppriv::topicmodel
+
+#endif  // TOPPRIV_TOPICMODEL_PLSA_H_

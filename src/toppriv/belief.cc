@@ -1,0 +1,79 @@
+#include "toppriv/belief.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace toppriv::core {
+
+BeliefProfile MakeBeliefProfile(const topicmodel::LdaModel& model,
+                                std::vector<double> posterior) {
+  const std::vector<double>& prior = model.prior();
+  TOPPRIV_CHECK_EQ(posterior.size(), prior.size());
+  BeliefProfile profile;
+  profile.boost.resize(posterior.size());
+  for (size_t t = 0; t < posterior.size(); ++t) {
+    profile.boost[t] = posterior[t] - prior[t];
+  }
+  profile.posterior = std::move(posterior);
+  return profile;
+}
+
+std::vector<topicmodel::TopicId> ExtractIntention(const BeliefProfile& profile,
+                                                  double epsilon1) {
+  std::vector<topicmodel::TopicId> intention;
+  for (size_t t = 0; t < profile.boost.size(); ++t) {
+    if (profile.boost[t] > epsilon1) {
+      intention.push_back(static_cast<topicmodel::TopicId>(t));
+    }
+  }
+  return intention;
+}
+
+double Exposure(const std::vector<double>& boost,
+                const std::vector<topicmodel::TopicId>& intention) {
+  double worst = 0.0;
+  bool first = true;
+  for (topicmodel::TopicId t : intention) {
+    TOPPRIV_CHECK_LT(t, boost.size());
+    if (first || boost[t] > worst) {
+      worst = boost[t];
+      first = false;
+    }
+  }
+  return intention.empty() ? 0.0 : worst;
+}
+
+double MaskLevel(const std::vector<double>& boost,
+                 const std::vector<topicmodel::TopicId>& intention) {
+  std::vector<bool> in_u(boost.size(), false);
+  for (topicmodel::TopicId t : intention) in_u[t] = true;
+  double best = 0.0;
+  bool first = true;
+  for (size_t t = 0; t < boost.size(); ++t) {
+    if (in_u[t]) continue;
+    if (first || boost[t] > best) {
+      best = boost[t];
+      first = false;
+    }
+  }
+  return first ? 0.0 : best;
+}
+
+size_t BestRankOfIntention(const std::vector<double>& boost,
+                           const std::vector<topicmodel::TopicId>& intention) {
+  if (intention.empty()) return 0;
+  // The best rank of an intention topic = 1 + number of topics with strictly
+  // greater boost than the best intention topic.
+  double best_intention_boost = boost[intention.front()];
+  for (topicmodel::TopicId t : intention) {
+    best_intention_boost = std::max(best_intention_boost, boost[t]);
+  }
+  size_t rank = 1;
+  for (double b : boost) {
+    if (b > best_intention_boost) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace toppriv::core

@@ -1,0 +1,44 @@
+// Belief bookkeeping: posterior Pr(t|.), boost B(t|.) = Pr(t|.) - Pr(t),
+// intention extraction and the exposure/mask metrics of Section V.
+#ifndef TOPPRIV_TOPPRIV_BELIEF_H_
+#define TOPPRIV_TOPPRIV_BELIEF_H_
+
+#include <vector>
+
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::core {
+
+/// Posterior and boost over all topics for one query (or cycle).
+struct BeliefProfile {
+  std::vector<double> posterior;
+  /// boost[t] = posterior[t] - prior[t]; may be negative.
+  std::vector<double> boost;
+};
+
+/// Builds a profile from a posterior and the model prior.
+BeliefProfile MakeBeliefProfile(const topicmodel::LdaModel& model,
+                                std::vector<double> posterior);
+
+/// Def. 2: the user intention U = {t : boost[t] > epsilon1}.
+std::vector<topicmodel::TopicId> ExtractIntention(const BeliefProfile& profile,
+                                                  double epsilon1);
+
+/// Exposure: max boost over the intention topics (0 if U is empty).
+double Exposure(const std::vector<double>& boost,
+                const std::vector<topicmodel::TopicId>& intention);
+
+/// Mask level: max boost over topics *outside* the intention.
+double MaskLevel(const std::vector<double>& boost,
+                 const std::vector<topicmodel::TopicId>& intention);
+
+/// Best (numerically smallest, 1-based) rank attained by any intention topic
+/// when all topics are ordered by descending boost. Large values mean the
+/// genuine topics are buried under irrelevant ones (paper Fig. 3f). Returns
+/// 0 when the intention is empty.
+size_t BestRankOfIntention(const std::vector<double>& boost,
+                           const std::vector<topicmodel::TopicId>& intention);
+
+}  // namespace toppriv::core
+
+#endif  // TOPPRIV_TOPPRIV_BELIEF_H_

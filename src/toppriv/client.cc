@@ -1,0 +1,39 @@
+#include "toppriv/client.h"
+
+#include "util/check.h"
+
+namespace toppriv::core {
+
+ProtectedSearchResult TrustedClient::Search(
+    const std::vector<text::TermId>& user_query, size_t k) {
+  TOPPRIV_CHECK(!user_query.empty());
+  ProtectedSearchResult out;
+  out.cycle = generator_->Protect(user_query, &rng_);
+  out.cycle_id = next_cycle_id_++;
+
+  // Submit every query in the (already shuffled) cycle; keep only the
+  // genuine query's results. The engine logs all of them identically.
+  for (size_t i = 0; i < out.cycle.queries.size(); ++i) {
+    std::vector<search::ScoredDoc> results =
+        engine_->Search(out.cycle.queries[i], k, out.cycle_id);
+    if (i == out.cycle.user_index) {
+      out.results = std::move(results);
+    }
+    // Ghost results are discarded here (paper Fig. 1 step 4).
+  }
+  return out;
+}
+
+ProtectedSearchResult TrustedClient::SearchText(
+    const std::string& raw_query, size_t k, const text::Analyzer& analyzer) {
+  std::vector<text::TermId> terms =
+      analyzer.AnalyzeWithVocabulary(raw_query, engine_->corpus().vocabulary());
+  return Search(terms, k);
+}
+
+std::vector<search::ScoredDoc> TrustedClient::UnprotectedSearch(
+    const std::vector<text::TermId>& user_query, size_t k) {
+  return engine_->Search(user_query, k, next_cycle_id_++);
+}
+
+}  // namespace toppriv::core

@@ -1,0 +1,57 @@
+// A query cycle C = {q1 .. qv}: the user query hidden among ghost queries,
+// plus the generation diagnostics the experiments report.
+#ifndef TOPPRIV_TOPPRIV_CYCLE_H_
+#define TOPPRIV_TOPPRIV_CYCLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "topicmodel/lda_model.h"
+
+namespace toppriv::core {
+
+/// Output of the ghost-query generator.
+struct QueryCycle {
+  /// The shuffled cycle as submitted to the search engine.
+  std::vector<std::vector<text::TermId>> queries;
+  /// Position of the genuine user query inside `queries`. Known only to the
+  /// trusted client; never exposed to the engine.
+  size_t user_index = 0;
+
+  // -- Diagnostics (client-side only) --
+
+  /// The extracted user intention U at epsilon1.
+  std::vector<topicmodel::TopicId> intention;
+  /// Masking topics actually used (paper's T_m), in generation order.
+  std::vector<topicmodel::TopicId> masking_topics;
+  /// Masking topics attempted but rejected as ineffective (paper's X).
+  std::vector<topicmodel::TopicId> rejected_topics;
+  /// Boost profile of the user query alone.
+  std::vector<double> user_boost;
+  /// Boost profile of the full cycle (Eq. 2 posterior minus prior).
+  std::vector<double> cycle_boost;
+  /// max_{t in U} B(t|qu): exposure before protection.
+  double exposure_before = 0.0;
+  /// max_{t in U} B(t|C): exposure after protection.
+  double exposure_after = 0.0;
+  /// max_{t not in U} B(t|C): mask level.
+  double mask_level = 0.0;
+  /// Whether B(t|C) <= epsilon2 was met for all t in U on exit.
+  bool met_epsilon2 = false;
+  /// Wall-clock seconds spent generating the cycle (Fig. 2d/3d).
+  double generation_seconds = 0.0;
+
+  /// Cycle length v (user query + ghosts).
+  size_t length() const { return queries.size(); }
+  /// Number of ghost queries (v - 1).
+  size_t num_ghosts() const { return queries.empty() ? 0 : queries.size() - 1; }
+  /// The genuine query.
+  const std::vector<text::TermId>& user_query() const {
+    return queries[user_index];
+  }
+};
+
+}  // namespace toppriv::core
+
+#endif  // TOPPRIV_TOPPRIV_CYCLE_H_

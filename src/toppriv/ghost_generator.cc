@@ -1,0 +1,256 @@
+#include "toppriv/ghost_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "toppriv/belief.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace toppriv::core {
+
+namespace {
+
+// Exposure of intention U under the Eq. 2 mixture of `posteriors`.
+double CycleExposure(const std::vector<std::vector<double>>& posteriors,
+                     const topicmodel::LdaModel& model,
+                     const std::vector<topicmodel::TopicId>& intention) {
+  std::vector<double> mix =
+      topicmodel::LdaInferencer::CyclePosterior(posteriors);
+  const std::vector<double>& prior = model.prior();
+  double worst = 0.0;
+  bool first = true;
+  for (topicmodel::TopicId t : intention) {
+    double boost = mix[t] - prior[t];
+    if (first || boost > worst) {
+      worst = boost;
+      first = false;
+    }
+  }
+  return intention.empty() ? 0.0 : worst;
+}
+
+}  // namespace
+
+GhostQueryGenerator::GhostQueryGenerator(
+    const topicmodel::LdaModel& model,
+    const topicmodel::LdaInferencer& inferencer, PrivacySpec spec,
+    GeneratorOptions options)
+    : model_(model),
+      inferencer_(inferencer),
+      spec_(spec),
+      options_(options),
+      topic_cdfs_(model.num_topics()) {
+  TOPPRIV_CHECK(spec_.Validate().ok());
+}
+
+const std::vector<double>& GhostQueryGenerator::TopicCdf(
+    topicmodel::TopicId topic) {
+  TOPPRIV_CHECK_LT(topic, topic_cdfs_.size());
+  std::vector<double>& cdf = topic_cdfs_[topic];
+  if (cdf.empty()) {
+    std::span<const float> row = model_.PhiRow(topic);
+    cdf.reserve(row.size());
+    double acc = 0.0;
+    for (float p : row) {
+      acc += static_cast<double>(p);
+      cdf.push_back(acc);
+    }
+  }
+  return cdf;
+}
+
+std::vector<text::TermId> GhostQueryGenerator::SampleGhostTerms(
+    topicmodel::TopicId topic, size_t length, util::Rng* rng) {
+  if (options_.ghost_cache != nullptr) {
+    auto it = options_.ghost_cache->find(topic);
+    if (it != options_.ghost_cache->end()) return it->second;
+  }
+  const size_t vocab_size = model_.vocab_size();
+  length = std::min(length, vocab_size);
+
+  const std::vector<double>* cdf;
+  if (options_.coherent_ghosts) {
+    cdf = &TopicCdf(topic);
+  } else {
+    // Ablation: uniform over the vocabulary (TrackMeNot-style random words).
+    if (uniform_cdf_.empty()) {
+      uniform_cdf_.reserve(vocab_size);
+      for (size_t w = 0; w < vocab_size; ++w) {
+        uniform_cdf_.push_back(static_cast<double>(w + 1));
+      }
+    }
+    cdf = &uniform_cdf_;
+  }
+
+  std::unordered_set<text::TermId> used;
+  std::vector<text::TermId> terms;
+  terms.reserve(length);
+  size_t attempts = 0;
+  const size_t max_attempts = 60 * length + 200;
+  while (terms.size() < length && attempts < max_attempts) {
+    ++attempts;
+    text::TermId w = static_cast<text::TermId>(rng->DiscreteFromCdf(*cdf));
+    if (used.insert(w).second) terms.push_back(w);
+  }
+  if (options_.ghost_cache != nullptr && !terms.empty()) {
+    (*options_.ghost_cache)[topic] = terms;
+  }
+  return terms;
+}
+
+QueryCycle GhostQueryGenerator::Protect(
+    const std::vector<text::TermId>& user_query, util::Rng* rng) {
+  util::WallTimer timer;
+  const size_t num_topics = model_.num_topics();
+
+  QueryCycle cycle;
+
+  // Step 1: infer Pr(t|qu), extract U.
+  BeliefProfile user_profile =
+      MakeBeliefProfile(model_, inferencer_.InferQuery(user_query));
+  cycle.intention = ExtractIntention(user_profile, spec_.epsilon1);
+  cycle.user_boost = user_profile.boost;
+  cycle.exposure_before = Exposure(user_profile.boost, cycle.intention);
+
+  // Step 2: C = {qu}; Tm = X = empty.
+  std::vector<std::vector<text::TermId>> queries = {user_query};
+  std::vector<std::vector<double>> posteriors = {
+      std::move(user_profile.posterior)};
+  std::vector<bool> in_u(num_topics, false);
+  for (topicmodel::TopicId t : cycle.intention) in_u[t] = true;
+  std::vector<bool> in_tm(num_topics, false);
+  std::vector<bool> in_x(num_topics, false);
+
+  const bool has_preference = !options_.preferred_masking_topics.empty();
+
+  // Returns the usable masking-topic candidates. When a session cover story
+  // is configured, its topics come first IN PREFERENCE ORDER and
+  // `use_in_order` is set: the caller must then take the front candidate
+  // rather than a random one, so that consecutive cycles exercise the same
+  // cover topics (otherwise short cycles would sample random cover subsets
+  // and the cover would churn, defeating its purpose).
+  auto candidate_topics = [&](bool* use_in_order) {
+    std::vector<topicmodel::TopicId> out;
+    *use_in_order = false;
+    if (has_preference) {
+      for (topicmodel::TopicId t : options_.preferred_masking_topics) {
+        if (t < num_topics && !in_u[t] && !in_tm[t] && !in_x[t]) {
+          out.push_back(t);
+        }
+      }
+      if (!out.empty()) {
+        *use_in_order = true;
+        return out;
+      }
+    }
+    for (size_t t = 0; t < num_topics; ++t) {
+      if (!in_u[t] && !in_tm[t] && !in_x[t]) {
+        out.push_back(static_cast<topicmodel::TopicId>(t));
+      }
+    }
+    return out;
+  };
+
+  const bool fixed_mode = spec_.fixed_ghost_count > 0;
+  // Set once fixed mode exhausts all candidate topics: from then on ghosts
+  // are accepted unconditionally so the requested count is always reached.
+  bool relax_rejection = false;
+  double current_exposure = CycleExposure(posteriors, model_, cycle.intention);
+
+  // Step 3: add ghosts until the intention is suppressed below epsilon2
+  // (or, in fixed mode, until the requested count is reached).
+  for (;;) {
+    if (fixed_mode) {
+      if (queries.size() - 1 >= spec_.fixed_ghost_count) break;
+    } else {
+      if (current_exposure <= spec_.epsilon2) break;
+    }
+
+    bool use_in_order = false;
+    std::vector<topicmodel::TopicId> candidates = candidate_topics(&use_in_order);
+    if (candidates.empty()) {
+      if (fixed_mode) {
+        // Reset X so the fixed count can always be met (the stopping rule
+        // here is the count, not the exposure test), and stop rejecting —
+        // otherwise the same topics would be rejected forever.
+        relax_rejection = true;
+        for (size_t t = 0; t < num_topics; ++t) in_x[t] = false;
+        candidates = candidate_topics(&use_in_order);
+        if (candidates.empty()) {
+          // Every topic is in U or already used for a ghost; reuse allowed.
+          for (size_t t = 0; t < num_topics; ++t) in_tm[t] = false;
+          candidates = candidate_topics(&use_in_order);
+        }
+        if (candidates.empty()) break;
+      } else {
+        break;  // all masking topics exhausted (paper: exit the repeat loop)
+      }
+    }
+
+    // Step 3a: ghost length as a random multiple of |qu|.
+    size_t length;
+    if (options_.fixed_ghost_length > 0) {
+      length = options_.fixed_ghost_length;
+    } else {
+      double mult =
+          rng->Uniform(spec_.min_length_mult, spec_.max_length_mult);
+      length = static_cast<size_t>(
+          std::lround(mult * static_cast<double>(user_query.size())));
+    }
+    if (length == 0) length = 1;
+
+    // Step 3b: random masking topic, coherent ghost words.
+    topicmodel::TopicId tm =
+        use_in_order ? candidates.front()
+                     : candidates[rng->UniformInt(candidates.size())];
+    std::vector<text::TermId> ghost = SampleGhostTerms(tm, length, rng);
+    if (ghost.empty()) {
+      in_x[tm] = true;
+      cycle.rejected_topics.push_back(tm);
+      continue;
+    }
+
+    // Step 3c: accept only if the ghost reduces the intention's exposure.
+    std::vector<double> ghost_posterior = inferencer_.InferQuery(ghost);
+    posteriors.push_back(std::move(ghost_posterior));
+    double new_exposure = CycleExposure(posteriors, model_, cycle.intention);
+    bool effective = new_exposure < current_exposure || cycle.intention.empty();
+    if (options_.use_rejection_test && !effective && !relax_rejection) {
+      posteriors.pop_back();
+      in_x[tm] = true;
+      cycle.rejected_topics.push_back(tm);
+      continue;
+    }
+
+    // Step 3d: accept.
+    in_tm[tm] = true;
+    cycle.masking_topics.push_back(tm);
+    queries.push_back(std::move(ghost));
+    current_exposure = new_exposure;
+  }
+
+  // Final cycle-level belief profile.
+  std::vector<double> mix = topicmodel::LdaInferencer::CyclePosterior(posteriors);
+  BeliefProfile cycle_profile = MakeBeliefProfile(model_, std::move(mix));
+  cycle.cycle_boost = cycle_profile.boost;
+  cycle.exposure_after = Exposure(cycle_profile.boost, cycle.intention);
+  cycle.mask_level = MaskLevel(cycle_profile.boost, cycle.intention);
+  cycle.met_epsilon2 = cycle.exposure_after <= spec_.epsilon2;
+
+  // Step 4: shuffle, remembering where the user query landed.
+  std::vector<size_t> order(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  cycle.queries.resize(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    cycle.queries[i] = std::move(queries[order[i]]);
+    if (order[i] == 0) cycle.user_index = i;
+  }
+
+  cycle.generation_seconds = timer.ElapsedSeconds();
+  return cycle;
+}
+
+}  // namespace toppriv::core

@@ -1,0 +1,94 @@
+// The TopPriv topic-cognizant ghost-query generation algorithm
+// (paper Section IV-C).
+//
+// Given a user query, the generator:
+//   1. infers the posterior Pr(t|qu) and extracts the intention
+//      U = {t : B(t|qu) > epsilon1};
+//   2. repeatedly picks a random masking topic tm from T \ U \ Tm \ X,
+//      composes a semantically coherent ghost query from words with high
+//      Pr(w|tm) (Step 3b), and accepts it only if it strictly reduces
+//      max_{t in U} B(t|C) (Step 3c, rejected topics accumulate in X);
+//   3. stops when B(t|C) <= epsilon2 for all t in U, or when every masking
+//      topic has been tried (termination is therefore guaranteed);
+//   4. shuffles the cycle (Step 4).
+//
+// Exposure over a growing cycle uses Eq. 2: the cycle posterior is the
+// uniform mixture of per-query posteriors, so each candidate ghost costs a
+// single query inference rather than a whole-cycle inference.
+#ifndef TOPPRIV_TOPPRIV_GHOST_GENERATOR_H_
+#define TOPPRIV_TOPPRIV_GHOST_GENERATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "topicmodel/inference.h"
+#include "topicmodel/lda_model.h"
+#include "toppriv/cycle.h"
+#include "toppriv/privacy_spec.h"
+#include "util/rng.h"
+
+namespace toppriv::core {
+
+/// Ablation/behavior switches (defaults = the paper's algorithm).
+struct GeneratorOptions {
+  /// Step 3c: reject ghosts that fail to reduce the intention's exposure.
+  /// Disabling this is the "no rejection test" ablation.
+  bool use_rejection_test = true;
+  /// Step 3b: draw all ghost words from one masking topic (semantic
+  /// coherence, Def. 3). Disabling samples words uniformly from the whole
+  /// vocabulary — the TrackMeNot-style ablation.
+  bool coherent_ghosts = true;
+  /// Fixed ghost length (tokens) when > 0; otherwise the spec's
+  /// length-multiplier rule applies. Ablation knob.
+  size_t fixed_ghost_length = 0;
+  /// When non-empty, masking topics are drawn from this set first and from
+  /// the full catalog only once it is exhausted. Used by the session-
+  /// hardened client (toppriv/session.h) to keep a consistent cover story
+  /// across cycles, which blunts the cross-cycle intersection attack.
+  std::vector<topicmodel::TopicId> preferred_masking_topics;
+  /// Optional ghost-query memo, owned by the caller (session client):
+  /// the first ghost generated for a masking topic is remembered and reused
+  /// verbatim in later cycles. A consistent fake interest both looks like
+  /// real repeat-searching behaviour and keeps the cover topics' per-cycle
+  /// boosts stable, which is what defeats the intersection attack.
+  std::map<topicmodel::TopicId, std::vector<text::TermId>>* ghost_cache =
+      nullptr;
+};
+
+/// Generates (epsilon1, epsilon2)-private query cycles.
+class GhostQueryGenerator {
+ public:
+  /// Borrows the model and inferencer; both must outlive the generator.
+  GhostQueryGenerator(const topicmodel::LdaModel& model,
+                      const topicmodel::LdaInferencer& inferencer,
+                      PrivacySpec spec, GeneratorOptions options = {});
+
+  /// Runs the algorithm for one user query. `rng` drives masking-topic and
+  /// word selection (the randomness that defeats the probing attack of
+  /// Section IV-D).
+  QueryCycle Protect(const std::vector<text::TermId>& user_query,
+                     util::Rng* rng);
+
+  const PrivacySpec& spec() const { return spec_; }
+  const GeneratorOptions& generator_options() const { return options_; }
+
+ private:
+  /// Samples `length` distinct terms biased towards high Pr(w|topic).
+  std::vector<text::TermId> SampleGhostTerms(topicmodel::TopicId topic,
+                                             size_t length, util::Rng* rng);
+
+  /// Lazily-built per-topic CDF over Pr(w|t) for fast word sampling.
+  const std::vector<double>& TopicCdf(topicmodel::TopicId topic);
+
+  const topicmodel::LdaModel& model_;
+  const topicmodel::LdaInferencer& inferencer_;
+  PrivacySpec spec_;
+  GeneratorOptions options_;
+  std::vector<std::vector<double>> topic_cdfs_;
+  std::vector<double> uniform_cdf_;
+};
+
+}  // namespace toppriv::core
+
+#endif  // TOPPRIV_TOPPRIV_GHOST_GENERATOR_H_

@@ -1,0 +1,57 @@
+// The (epsilon1, epsilon2)-privacy model (paper Definitions 1-4).
+#ifndef TOPPRIV_TOPPRIV_PRIVACY_SPEC_H_
+#define TOPPRIV_TOPPRIV_PRIVACY_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace toppriv::core {
+
+/// User-chosen privacy requirement plus ghost-generation knobs.
+///
+/// Semantics (paper Def. 4): every topic whose boost in belief under the
+/// user query exceeds `epsilon1` (i.e. every topic in the user intention U)
+/// must, under the full query cycle, have boost at most `epsilon2`. The
+/// model requires epsilon1 >= epsilon2; both are secret to the adversary.
+struct PrivacySpec {
+  /// Relevance threshold: topics with B(t|qu) > epsilon1 form U.
+  double epsilon1 = 0.05;
+  /// Exposure threshold: require B(t|C) <= epsilon2 for all t in U.
+  double epsilon2 = 0.01;
+
+  /// Ghost-query length is |qu| scaled by a uniform draw from
+  /// [min_length_mult, max_length_mult] (paper Step 3a: "between some
+  /// minimum and maximum multiples of |qu|").
+  double min_length_mult = 0.8;
+  double max_length_mult = 1.5;
+
+  /// When > 0, ignore the epsilon2 stopping rule and emit exactly this many
+  /// ghost queries (used by the Fig. 5 comparison, which matches TopPriv's
+  /// cycle length to PDX's expansion factor).
+  size_t fixed_ghost_count = 0;
+
+  /// Validates the spec (epsilon1 >= epsilon2 > 0 etc.).
+  util::Status Validate() const {
+    if (epsilon1 <= 0.0 || epsilon1 >= 1.0) {
+      return util::Status::InvalidArgument("epsilon1 must be in (0,1)");
+    }
+    if (epsilon2 <= 0.0 || epsilon2 >= 1.0) {
+      return util::Status::InvalidArgument("epsilon2 must be in (0,1)");
+    }
+    if (epsilon1 < epsilon2) {
+      // Paper Section IV-A: epsilon1 >= epsilon2, otherwise a query could
+      // satisfy the model with null ghost queries.
+      return util::Status::InvalidArgument("requires epsilon1 >= epsilon2");
+    }
+    if (min_length_mult <= 0.0 || max_length_mult < min_length_mult) {
+      return util::Status::InvalidArgument("bad ghost length multipliers");
+    }
+    return util::Status::Ok();
+  }
+};
+
+}  // namespace toppriv::core
+
+#endif  // TOPPRIV_TOPPRIV_PRIVACY_SPEC_H_

@@ -1,0 +1,35 @@
+#include "toppriv/session.h"
+
+namespace toppriv::core {
+
+SessionProtector::SessionProtector(const topicmodel::LdaModel& model,
+                                   const topicmodel::LdaInferencer& inferencer,
+                                   PrivacySpec spec, SessionOptions options)
+    : model_(model),
+      inferencer_(inferencer),
+      spec_(spec),
+      options_(options) {}
+
+QueryCycle SessionProtector::Protect(
+    const std::vector<text::TermId>& user_query, util::Rng* rng) {
+  GeneratorOptions generator_options = options_.generator;
+  generator_options.preferred_masking_topics = {cover_.begin(), cover_.end()};
+  generator_options.ghost_cache = &ghosts_;
+
+  // A fresh generator per call is cheap relative to inference, and keeps
+  // the per-cycle algorithm identical to the paper's.
+  GhostQueryGenerator generator(model_, inferencer_, spec_,
+                                generator_options);
+  QueryCycle cycle = generator.Protect(user_query, rng);
+
+  // Absorb newly used masking topics into the cover story (bounded).
+  for (topicmodel::TopicId t : cycle.masking_topics) {
+    if (cover_.size() >= options_.max_cover_topics && !cover_.count(t)) {
+      continue;
+    }
+    cover_.insert(t);
+  }
+  return cycle;
+}
+
+}  // namespace toppriv::core

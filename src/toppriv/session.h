@@ -1,0 +1,65 @@
+// Session-hardened TopPriv client (an extension beyond the paper).
+//
+// The paper protects each query cycle independently. A user who queries the
+// SAME topic repeatedly, however, leaks through a cross-cycle intersection
+// attack (adversary/intersection.h): her genuine topics recur in every
+// cycle while the randomly-drawn masking topics churn, so intersecting the
+// per-cycle top topics isolates the intention as the number of cycles
+// grows. The defense here keeps a persistent per-user "cover story": the
+// first cycle's masking topics are remembered and reused preferentially in
+// later cycles, so the intersection converges to U ∪ cover-story instead of
+// U alone, preserving the single-cycle (epsilon1, epsilon2) guarantee.
+#ifndef TOPPRIV_TOPPRIV_SESSION_H_
+#define TOPPRIV_TOPPRIV_SESSION_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "toppriv/ghost_generator.h"
+
+namespace toppriv::core {
+
+/// Session policy knobs.
+struct SessionOptions {
+  /// Base generator options (ablation switches etc.).
+  GeneratorOptions generator;
+  /// Maximum cover-story size; once reached, new masking topics are only
+  /// adopted when the existing ones are unusable for a query (e.g. they
+  /// fall inside its intention).
+  size_t max_cover_topics = 12;
+};
+
+/// Stateful wrapper that maintains the cover story across Protect calls.
+class SessionProtector {
+ public:
+  /// Borrows the model and inferencer (must outlive the protector).
+  SessionProtector(const topicmodel::LdaModel& model,
+                   const topicmodel::LdaInferencer& inferencer,
+                   PrivacySpec spec, SessionOptions options = {});
+
+  /// Protects one query, reusing the session's cover-story topics where
+  /// possible and absorbing any newly used masking topics into it.
+  QueryCycle Protect(const std::vector<text::TermId>& user_query,
+                     util::Rng* rng);
+
+  /// Current cover story (sorted).
+  std::vector<topicmodel::TopicId> cover_story() const {
+    return {cover_.begin(), cover_.end()};
+  }
+
+  const PrivacySpec& spec() const { return spec_; }
+
+ private:
+  const topicmodel::LdaModel& model_;
+  const topicmodel::LdaInferencer& inferencer_;
+  PrivacySpec spec_;
+  SessionOptions options_;
+  std::set<topicmodel::TopicId> cover_;
+  /// Per-topic memoized ghost queries (the textual cover story).
+  std::map<topicmodel::TopicId, std::vector<text::TermId>> ghosts_;
+};
+
+}  // namespace toppriv::core
+
+#endif  // TOPPRIV_TOPPRIV_SESSION_H_

@@ -1,0 +1,46 @@
+// Lightweight CHECK/DCHECK assertion macros.
+//
+// The library follows the Google style convention of not using exceptions;
+// programming errors (violated invariants) terminate the process with a
+// diagnostic, while recoverable errors travel through util::Status.
+#ifndef TOPPRIV_UTIL_CHECK_H_
+#define TOPPRIV_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace toppriv::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace toppriv::util
+
+/// Aborts the process with a diagnostic when `expr` is false.
+#define TOPPRIV_CHECK(expr)                                        \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::toppriv::util::CheckFailed(__FILE__, __LINE__, #expr);     \
+    }                                                              \
+  } while (0)
+
+#define TOPPRIV_CHECK_EQ(a, b) TOPPRIV_CHECK((a) == (b))
+#define TOPPRIV_CHECK_NE(a, b) TOPPRIV_CHECK((a) != (b))
+#define TOPPRIV_CHECK_LT(a, b) TOPPRIV_CHECK((a) < (b))
+#define TOPPRIV_CHECK_LE(a, b) TOPPRIV_CHECK((a) <= (b))
+#define TOPPRIV_CHECK_GT(a, b) TOPPRIV_CHECK((a) > (b))
+#define TOPPRIV_CHECK_GE(a, b) TOPPRIV_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define TOPPRIV_DCHECK(expr) TOPPRIV_CHECK(expr)
+#else
+#define TOPPRIV_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // TOPPRIV_UTIL_CHECK_H_

@@ -1,0 +1,44 @@
+// Streaming and batch statistics used by the experiment harness to aggregate
+// per-query metrics (exposure, mask level, cycle length, timings).
+#ifndef TOPPRIV_UTIL_STATS_H_
+#define TOPPRIV_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace toppriv::util {
+
+/// Welford streaming mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  OnlineStats() = default;
+
+  void Add(double x);
+  /// Merges another accumulator into this one.
+  void Merge(const OnlineStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) via linear interpolation; copies & sorts.
+double Percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_STATS_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#ifndef TOPPRIV_UTIL_STRINGS_H_
+#define TOPPRIV_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace toppriv::util {
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view text, std::string_view delims);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_STRINGS_H_

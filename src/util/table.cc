@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace toppriv::util {
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      if (i + 1 < row.size()) {
+        line.append(widths[i] - row[i].size(), ' ');
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render(header_);
+  std::string rule;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) rule += "  ";
+    rule.append(widths[i], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out = Join(header_, ",") + "\n";
+  for (const auto& row : rows_) out += Join(row, ",") + "\n";
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  return StrFormat("%.*f", digits, v);
+}
+
+}  // namespace toppriv::util

@@ -1,0 +1,43 @@
+// Aligned ASCII table printer used by the bench binaries to emit the same
+// rows/series the paper's figures and tables report.
+#ifndef TOPPRIV_UTIL_TABLE_H_
+#define TOPPRIV_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace toppriv::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; cell count need not match the header (ragged allowed).
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders the table, e.g.:
+  ///   eps2(%)  exposure(%)  mask(%)
+  ///   -------  -----------  -------
+  ///   0.50     0.81         9.30
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (machine-readable sidecar).
+  std::string ToCsv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+// Wall-clock timer for the query-generation-time measurements (Fig. 2d/3d).
+#ifndef TOPPRIV_UTIL_TIMER_H_
+#define TOPPRIV_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace toppriv::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_TIMER_H_

@@ -1,0 +1,206 @@
+// Unit tests for the adversary suite (paper Section IV-D attack scenarios).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/inference.h"
+#include "toppriv/belief.h"
+#include "toppriv/ghost_generator.h"
+
+namespace toppriv::adversary {
+namespace {
+
+using toppriv::testing::World;
+
+class AdversaryTest : public ::testing::Test {
+ protected:
+  AdversaryTest() : inferencer_(World().model) {}
+
+  // Builds a protected CycleView for workload query `qi`.
+  CycleView MakeProtectedCycle(size_t qi, uint64_t seed = 3) {
+    core::PrivacySpec spec;
+    core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+    util::Rng rng(seed);
+    core::QueryCycle cycle =
+        generator.Protect(World().workload[qi].term_ids, &rng);
+    CycleView view;
+    view.queries = cycle.queries;
+    view.true_user_index = cycle.user_index;
+    view.true_intention = cycle.intention;
+    return view;
+  }
+
+  // Unprotected view: the bare user query.
+  CycleView MakeUnprotectedCycle(size_t qi) {
+    core::BeliefProfile profile = core::MakeBeliefProfile(
+        World().model, inferencer_.InferQuery(World().workload[qi].term_ids));
+    CycleView view;
+    view.queries = {World().workload[qi].term_ids};
+    view.true_user_index = 0;
+    view.true_intention = core::ExtractIntention(profile, 0.05);
+    return view;
+  }
+
+  topicmodel::LdaInferencer inferencer_;
+};
+
+// ---------------------------------------------------------- ScoreRecovery --
+
+TEST(ScoreRecoveryTest, KnownCases) {
+  RecoveryScore s = ScoreRecovery({1, 2, 3}, {2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  s = ScoreRecovery({}, {1});
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  s = ScoreRecovery({1}, {});
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  s = ScoreRecovery({7, 8}, {7, 8});
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+// ----------------------------------------------------- TopicInferenceAttack --
+
+TEST_F(AdversaryTest, RecoversIntentionFromUnprotectedQuery) {
+  TopicInferenceAttack attack(World().model, inferencer_);
+  double total_recall = 0.0;
+  size_t evaluated = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    CycleView view = MakeUnprotectedCycle(qi);
+    if (view.true_intention.empty()) continue;
+    RecoveryScore score = attack.Evaluate(view, 3);
+    total_recall += score.recall;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 4u);
+  // Without protection the top-boost topics ARE the intention.
+  EXPECT_GT(total_recall / static_cast<double>(evaluated), 0.9);
+}
+
+TEST_F(AdversaryTest, ProtectionCollapsesTopicRecovery) {
+  TopicInferenceAttack attack(World().model, inferencer_);
+  double protected_recall = 0.0, plain_recall = 0.0;
+  size_t evaluated = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    CycleView plain = MakeUnprotectedCycle(qi);
+    if (plain.true_intention.empty()) continue;
+    CycleView guarded = MakeProtectedCycle(qi);
+    plain_recall += attack.Evaluate(plain, 3).recall;
+    protected_recall += attack.Evaluate(guarded, 3).recall;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 4u);
+  EXPECT_LT(protected_recall, plain_recall * 0.6);
+}
+
+TEST_F(AdversaryTest, GuessedIntentionSizeIsM) {
+  TopicInferenceAttack attack(World().model, inferencer_);
+  CycleView view = MakeProtectedCycle(0);
+  EXPECT_EQ(attack.GuessIntention(view, 5).size(), 5u);
+  EXPECT_EQ(attack.GuessIntention(view, 1).size(), 1u);
+}
+
+// ------------------------------------------------------ GhostDiscountAttack --
+
+TEST_F(AdversaryTest, UserQueryIdentificationNearChance) {
+  // Over many protected cycles, identifying the genuine query should work
+  // at roughly chance level 1/v (the paper's resilience claim). We allow a
+  // generous margin but require it to be far from reliable.
+  GhostDiscountAttack attack(World().model, inferencer_, 0.05);
+  size_t correct = 0, total = 0;
+  double chance_sum = 0.0;
+  for (size_t qi = 0; qi < 12; ++qi) {
+    CycleView view = MakeProtectedCycle(qi, 100 + qi);
+    if (view.queries.size() < 2) continue;
+    if (attack.Evaluate(view)) ++correct;
+    chance_sum += 1.0 / static_cast<double>(view.queries.size());
+    ++total;
+  }
+  ASSERT_GT(total, 6u);
+  double accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  EXPECT_LT(accuracy, 0.75);  // far from reliable identification
+}
+
+TEST_F(AdversaryTest, SingletonCycleIsTriviallyIdentified) {
+  GhostDiscountAttack attack(World().model, inferencer_, 0.05);
+  CycleView view = MakeUnprotectedCycle(0);
+  EXPECT_EQ(attack.IdentifyUserQuery(view), 0u);
+}
+
+// ---------------------------------------------------- TermEliminationAttack --
+
+TEST_F(AdversaryTest, TermEliminationHasNoSafeDiscountDepth) {
+  // The paper's defense against term elimination is that the adversary does
+  // not know how many exposed topics to discount: too few leaves masking
+  // topics in place, too many eliminates the genuine terms along with the
+  // ghosts (the "apache" example). REPRODUCTION NOTE: with a shallow
+  // discount the attack recovers more here than the paper suggests, because
+  // our synthetic topics have nearly disjoint seed vocabularies (WSJ topics
+  // share terms, which is exactly what blunts the attack there); see
+  // EXPERIMENTS.md. What must still hold is the no-safe-depth property:
+  // discounting deeply (past the typical masking-topic count) destroys the
+  // recovery that shallow discounting achieves.
+  TermEliminationAttack attack(World().model, inferencer_);
+  double total_recall = 0.0, deep_recall = 0.0;
+  size_t evaluated = 0, depths = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    CycleView view = MakeProtectedCycle(qi, 200 + qi);
+    if (view.true_intention.empty()) continue;
+    for (size_t m : {2u, 3u, 6u, 12u}) {
+      total_recall += attack.Evaluate(view, m, /*guess_m=*/3).recall;
+      ++depths;
+    }
+    deep_recall += attack.Evaluate(view, /*discount_m=*/12,
+                                   /*guess_m=*/3).recall;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 4u);
+  EXPECT_LT(total_recall / static_cast<double>(depths), 0.35);
+  EXPECT_LT(deep_recall / static_cast<double>(evaluated), 0.2);
+}
+
+TEST_F(AdversaryTest, TermEliminationHandlesEmptyResidual) {
+  TermEliminationAttack attack(World().model, inferencer_);
+  CycleView view;
+  view.queries = {{0}};  // single term; discounting its topic empties the bag
+  view.true_intention = {0};
+  std::vector<topicmodel::TopicId> guess = attack.GuessIntention(
+      view, World().model.num_topics(), 3);
+  EXPECT_TRUE(guess.empty());
+}
+
+// ----------------------------------------------------------- ProbingAttack --
+
+TEST_F(AdversaryTest, ReplayCannotReproduceGhosts) {
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  ProbingAttack attack(&generator);
+  util::Rng rng(999);
+  double total_rate = 0.0;
+  size_t cycles = 0;
+  for (size_t qi = 0; qi < 5; ++qi) {
+    CycleView view = MakeProtectedCycle(qi, 300 + qi);
+    if (view.queries.size() < 2) continue;
+    total_rate += attack.BestReplayMatchRate(view, &rng);
+    ++cycles;
+  }
+  ASSERT_GT(cycles, 2u);
+  // Randomized topic/word selection makes exact reproduction essentially
+  // impossible (paper Section IV-D, probing queries).
+  EXPECT_LT(total_rate / static_cast<double>(cycles), 0.05);
+}
+
+TEST_F(AdversaryTest, ProbingSingletonCycleIsZero) {
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  ProbingAttack attack(&generator);
+  util::Rng rng(1);
+  CycleView view = MakeUnprotectedCycle(0);
+  EXPECT_DOUBLE_EQ(attack.BestReplayMatchRate(view, &rng), 0.0);
+}
+
+}  // namespace
+}  // namespace toppriv::adversary

@@ -1,0 +1,231 @@
+// Tests for the TrackMeNot and Murugesan-Clifton baselines.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/canonical.h"
+#include "baselines/trackmenot.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/lsa.h"
+
+namespace toppriv::baselines {
+namespace {
+
+using toppriv::testing::World;
+
+// ------------------------------------------------------------- TrackMeNot --
+
+TEST(TrackMeNotTest, CycleContainsGenuineQuery) {
+  TrackMeNot tmn(World().corpus, TrackMeNotMode::kUniformRandom);
+  util::Rng rng(1);
+  size_t user_index = 99;
+  auto cycle = tmn.MakeCycle(World().workload[0].term_ids, 5, &rng,
+                             &user_index);
+  ASSERT_EQ(cycle.size(), 6u);
+  ASSERT_LT(user_index, cycle.size());
+  EXPECT_EQ(cycle[user_index], World().workload[0].term_ids);
+}
+
+TEST(TrackMeNotTest, GhostsAreNonEmptyAndInVocabulary) {
+  for (TrackMeNotMode mode : {TrackMeNotMode::kUniformRandom,
+                              TrackMeNotMode::kFrequencyWeighted}) {
+    TrackMeNot tmn(World().corpus, mode);
+    util::Rng rng(2);
+    size_t user_index = 0;
+    auto cycle = tmn.MakeCycle(World().workload[1].term_ids, 8, &rng,
+                               &user_index);
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      if (i == user_index) continue;
+      EXPECT_FALSE(cycle[i].empty()) << i;
+      std::set<text::TermId> distinct(cycle[i].begin(), cycle[i].end());
+      EXPECT_EQ(distinct.size(), cycle[i].size());
+      for (text::TermId w : cycle[i]) {
+        EXPECT_LT(w, World().corpus.vocabulary_size());
+      }
+    }
+  }
+}
+
+TEST(TrackMeNotTest, FrequencyModeFavorsCommonTerms) {
+  TrackMeNot uniform(World().corpus, TrackMeNotMode::kUniformRandom);
+  TrackMeNot frequent(World().corpus, TrackMeNotMode::kFrequencyWeighted);
+  const text::Vocabulary& vocab = World().corpus.vocabulary();
+  util::Rng rng_a(3), rng_b(3);
+  double cf_uniform = 0.0, cf_frequent = 0.0;
+  size_t n_uniform = 0, n_frequent = 0;
+  for (int round = 0; round < 20; ++round) {
+    size_t idx;
+    for (const auto& q :
+         uniform.MakeCycle(World().workload[2].term_ids, 4, &rng_a, &idx)) {
+      for (text::TermId w : q) {
+        cf_uniform += static_cast<double>(vocab.CollectionFreq(w));
+        ++n_uniform;
+      }
+    }
+    for (const auto& q :
+         frequent.MakeCycle(World().workload[2].term_ids, 4, &rng_b, &idx)) {
+      for (text::TermId w : q) {
+        cf_frequent += static_cast<double>(vocab.CollectionFreq(w));
+        ++n_frequent;
+      }
+    }
+  }
+  EXPECT_GT(cf_frequent / n_frequent, cf_uniform / n_uniform);
+}
+
+// -------------------------------------------------------------------- LSA --
+
+class LsaTest : public ::testing::Test {
+ protected:
+  static const topicmodel::LsaModel& Model() {
+    static const topicmodel::LsaModel* model = [] {
+      topicmodel::LsaOptions options;
+      options.num_factors = 16;
+      options.power_iterations = 20;
+      return new topicmodel::LsaModel(
+          topicmodel::LsaTrainer(options).Train(World().corpus));
+    }();
+    return *model;
+  }
+};
+
+TEST_F(LsaTest, SingularValuesDescendingPositive) {
+  const auto& sv = Model().singular_values();
+  ASSERT_EQ(sv.size(), 16u);
+  for (size_t i = 0; i < sv.size(); ++i) {
+    EXPECT_GT(sv[i], 0.f);
+    if (i > 0) {
+      EXPECT_LE(sv[i], sv[i - 1] * 1.0001f);
+    }
+  }
+}
+
+TEST_F(LsaTest, RelatedTermsCloserThanUnrelated) {
+  // Terms from the same ground-truth topic should have higher cosine than
+  // terms from different topics, on average.
+  const auto& truth = World().truth;
+  double same_sum = 0.0, diff_sum = 0.0;
+  size_t same_n = 0, diff_n = 0;
+  for (size_t t = 0; t + 1 < truth.seed_term_ids.size() && t < 8; ++t) {
+    const auto& a = truth.seed_term_ids[t];
+    const auto& b = truth.seed_term_ids[t + 1];
+    for (size_t i = 0; i + 1 < a.size() && i < 5; ++i) {
+      same_sum += topicmodel::LsaModel::Cosine(Model().TermVector(a[i]),
+                                               Model().TermVector(a[i + 1]));
+      ++same_n;
+      diff_sum += topicmodel::LsaModel::Cosine(Model().TermVector(a[i]),
+                                               Model().TermVector(b[i]));
+      ++diff_n;
+    }
+  }
+  EXPECT_GT(same_sum / same_n, diff_sum / diff_n + 0.1);
+}
+
+TEST_F(LsaTest, QueryProjectionNearItsTopicTerms) {
+  const auto& truth = World().truth;
+  // Project a query made of topic-0 seeds; it should be closer to another
+  // topic-0 seed than to a topic-5 seed.
+  std::vector<text::TermId> query(truth.seed_term_ids[0].begin(),
+                                  truth.seed_term_ids[0].begin() + 4);
+  std::vector<float> projection = Model().ProjectQuery(query);
+  double own = topicmodel::LsaModel::Cosine(
+      projection, Model().TermVector(truth.seed_term_ids[0][5]));
+  double other = topicmodel::LsaModel::Cosine(
+      projection, Model().TermVector(truth.seed_term_ids[5][0]));
+  EXPECT_GT(own, other);
+}
+
+TEST_F(LsaTest, CosineEdgeCases) {
+  std::vector<float> zero(16, 0.f), unit(16, 0.f);
+  unit[0] = 1.f;
+  EXPECT_DOUBLE_EQ(topicmodel::LsaModel::Cosine(zero, unit), 0.0);
+  EXPECT_NEAR(topicmodel::LsaModel::Cosine(unit, unit), 1.0, 1e-9);
+}
+
+// -------------------------------------------------- CanonicalQueryScheme --
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  static const topicmodel::LsaModel& Lsa() {
+    static const topicmodel::LsaModel* model = [] {
+      topicmodel::LsaOptions options;
+      options.num_factors = 16;
+      options.power_iterations = 15;
+      return new topicmodel::LsaModel(
+          topicmodel::LsaTrainer(options).Train(World().corpus));
+    }();
+    return *model;
+  }
+  static const CanonicalQueryScheme& Scheme() {
+    static const CanonicalQueryScheme* scheme = [] {
+      CanonicalOptions options;
+      options.terms_per_query = 5;
+      options.group_size = 4;
+      options.max_terms_considered = 800;
+      return new CanonicalQueryScheme(World().corpus, Lsa(), options);
+    }();
+    return *scheme;
+  }
+};
+
+TEST_F(CanonicalTest, BuildsDisjointCanonicalQueries) {
+  const auto& queries = Scheme().canonical_queries();
+  ASSERT_GT(queries.size(), 20u);
+  std::set<text::TermId> seen;
+  for (const CanonicalQuery& q : queries) {
+    EXPECT_EQ(q.terms.size(), 5u);
+    EXPECT_GT(q.popularity, 0.0);
+    for (text::TermId w : q.terms) {
+      EXPECT_TRUE(seen.insert(w).second) << "term in two canonical queries";
+    }
+  }
+  EXPECT_GT(Scheme().num_groups(), 2u);
+}
+
+TEST_F(CanonicalTest, EveryQueryBelongsToItsGroup) {
+  const auto& queries = Scheme().canonical_queries();
+  for (const CanonicalQuery& q : queries) {
+    EXPECT_LT(q.group, Scheme().num_groups());
+  }
+}
+
+TEST_F(CanonicalTest, SubstituteReturnsWholeGroup) {
+  util::Rng rng(4);
+  size_t position = 1234;
+  auto cycle =
+      Scheme().Substitute(World().workload[0].term_ids, &rng, &position);
+  ASSERT_GE(cycle.size(), 2u);
+  ASSERT_LT(position, cycle.size());
+  // The substituted entry is the canonical query closest to the original.
+  size_t canonical = Scheme().ClosestCanonical(World().workload[0].term_ids);
+  EXPECT_EQ(cycle[position],
+            Scheme().canonical_queries()[canonical].terms);
+}
+
+TEST_F(CanonicalTest, ClosestCanonicalSharesTopicWithQuery) {
+  // For a strongly topical query, the substituted canonical query should
+  // contain at least one term of the query's ground-truth topic family
+  // most of the time (that is the usability premise of [10]).
+  size_t aligned = 0, total = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const corpus::BenchmarkQuery& q = World().workload[qi];
+    size_t canonical = Scheme().ClosestCanonical(q.term_ids);
+    const CanonicalQuery& c = Scheme().canonical_queries()[canonical];
+    std::set<text::TermId> intent_seeds;
+    for (uint32_t t : q.intent_topics) {
+      intent_seeds.insert(World().truth.seed_term_ids[t].begin(),
+                          World().truth.seed_term_ids[t].end());
+    }
+    bool hit = false;
+    for (text::TermId w : c.terms) {
+      if (intent_seeds.count(w)) hit = true;
+    }
+    ++total;
+    if (hit) ++aligned;
+  }
+  EXPECT_GE(aligned * 2, total);  // at least half align
+}
+
+}  // namespace
+}  // namespace toppriv::baselines

@@ -1,0 +1,258 @@
+// Unit and property tests for the synthetic corpus and workload generators.
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+#include "corpus/topic_spec.h"
+#include "corpus/workload.h"
+#include "tests/test_helpers.h"
+
+namespace toppriv::corpus {
+namespace {
+
+// ------------------------------------------------------------- TopicSpec --
+
+TEST(TopicSpecTest, CatalogIsSane) {
+  const std::vector<TopicSpec>& topics = BuiltinTopics();
+  EXPECT_GE(topics.size(), 25u);
+  std::set<std::string> names;
+  for (const TopicSpec& t : topics) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GE(t.seed_words.size(), 15u) << t.name;
+    names.insert(t.name);
+    std::set<std::string> distinct(t.seed_words.begin(), t.seed_words.end());
+    EXPECT_EQ(distinct.size(), t.seed_words.size())
+        << "duplicate seed word in " << t.name;
+  }
+  EXPECT_EQ(names.size(), topics.size()) << "duplicate topic names";
+}
+
+TEST(TopicSpecTest, PaperRunningExamplesPresent) {
+  // The paper's example query 91 terms and ghost-query topics must exist so
+  // the demos can reproduce the narrative: weaponry, aviation, finance,
+  // technology, education.
+  const std::vector<TopicSpec>& topics = BuiltinTopics();
+  std::set<std::string> all_words;
+  for (const TopicSpec& t : topics) {
+    all_words.insert(t.seed_words.begin(), t.seed_words.end());
+  }
+  for (const char* w : {"apache", "abrams", "tank", "patriot", "helicopter",
+                        "dow", "stock", "computer", "school", "students"}) {
+    EXPECT_TRUE(all_words.count(w)) << w;
+  }
+}
+
+TEST(TopicSpecTest, GeneralWordsNonEmptyAndDistinctFromSeeds) {
+  EXPECT_GE(GeneralWords().size(), 80u);
+}
+
+// ------------------------------------------------------------ PseudoWords --
+
+TEST(PseudoWordTest, DeterministicAndDistinct) {
+  std::unordered_set<std::string> words;
+  for (size_t i = 0; i < 4000; ++i) {
+    std::string w = MakePseudoWord(i);
+    EXPECT_EQ(w, MakePseudoWord(i));
+    EXPECT_TRUE(words.insert(w).second) << "collision at " << i << ": " << w;
+    EXPECT_GE(w.size(), 2u);
+  }
+}
+
+// ----------------------------------------------------------------- Corpus --
+
+TEST(CorpusTest, AddDocumentUpdatesStatistics) {
+  Corpus c = toppriv::testing::TinyCorpus();
+  EXPECT_EQ(c.num_documents(), 4u);
+  EXPECT_EQ(c.vocabulary_size(), 4u);
+  EXPECT_EQ(c.total_tokens(), 12u);
+  const text::Vocabulary& v = c.vocabulary();
+  text::TermId tank = v.Lookup("tank");
+  ASSERT_NE(tank, text::kInvalidTerm);
+  EXPECT_EQ(v.DocFreq(tank), 3u);         // war1, war2, mix1
+  EXPECT_EQ(v.CollectionFreq(tank), 4u);  // 2 + 1 + 1
+}
+
+TEST(CorpusTest, SerializeRoundtrip) {
+  Corpus c = toppriv::testing::TinyCorpus();
+  c.set_true_topic_names({"war", "finance"});
+  auto restored = Corpus::Deserialize(c.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_documents(), c.num_documents());
+  EXPECT_EQ(restored->vocabulary_size(), c.vocabulary_size());
+  EXPECT_EQ(restored->total_tokens(), c.total_tokens());
+  EXPECT_EQ(restored->true_topic_names(),
+            (std::vector<std::string>{"war", "finance"}));
+  for (size_t d = 0; d < c.num_documents(); ++d) {
+    EXPECT_EQ(restored->documents()[d].tokens, c.documents()[d].tokens);
+    EXPECT_EQ(restored->documents()[d].title, c.documents()[d].title);
+  }
+  text::TermId tank = restored->vocabulary().Lookup("tank");
+  EXPECT_EQ(restored->vocabulary().DocFreq(tank), 3u);
+}
+
+TEST(CorpusTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(Corpus::Deserialize("not a corpus").ok());
+}
+
+// -------------------------------------------------------------- Generator --
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  GeneratorParams params;
+  params.num_docs = 120;
+  params.mean_doc_length = 60;
+  params.tail_vocab_size = 500;
+  CorpusGenerator generator(params);
+  GroundTruthModel truth;
+  Corpus corpus = generator.Generate(&truth);
+
+  EXPECT_EQ(corpus.num_documents(), 120u);
+  EXPECT_EQ(corpus.true_topic_names().size(), BuiltinTopics().size());
+  // Vocabulary covers seeds + general pool + tail.
+  EXPECT_GT(corpus.vocabulary_size(), 500u);
+  EXPECT_EQ(truth.term_weights.size(), BuiltinTopics().size());
+  EXPECT_EQ(truth.seed_term_ids.size(), BuiltinTopics().size());
+  for (const Document& d : corpus.documents()) {
+    EXPECT_GE(d.tokens.size(), 8u);
+    EXPECT_EQ(d.true_mixture.size(), BuiltinTopics().size());
+    float sum = 0.f;
+    for (float p : d.true_mixture) sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-3f);
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  GeneratorParams params;
+  params.num_docs = 50;
+  params.tail_vocab_size = 200;
+  Corpus a = CorpusGenerator(params).Generate();
+  Corpus b = CorpusGenerator(params).Generate();
+  ASSERT_EQ(a.num_documents(), b.num_documents());
+  for (size_t d = 0; d < a.num_documents(); ++d) {
+    EXPECT_EQ(a.documents()[d].tokens, b.documents()[d].tokens);
+  }
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  GeneratorParams params;
+  params.num_docs = 50;
+  params.tail_vocab_size = 200;
+  Corpus a = CorpusGenerator(params).Generate();
+  params.seed += 1;
+  Corpus b = CorpusGenerator(params).Generate();
+  EXPECT_NE(a.Serialize(), b.Serialize());
+}
+
+TEST(GeneratorTest, TopicalDocumentsUseTopicSeedWords) {
+  // A document dominated by one ground-truth topic should contain several
+  // of that topic's seed words.
+  GeneratorParams params;
+  params.num_docs = 400;
+  params.tail_vocab_size = 300;
+  CorpusGenerator generator(params);
+  GroundTruthModel truth;
+  Corpus corpus = generator.Generate(&truth);
+
+  size_t checked = 0;
+  for (const Document& d : corpus.documents()) {
+    // Find the dominant ground-truth topic.
+    size_t best_t = 0;
+    for (size_t t = 1; t < d.true_mixture.size(); ++t) {
+      if (d.true_mixture[t] > d.true_mixture[best_t]) best_t = t;
+    }
+    if (d.true_mixture[best_t] < 0.75f) continue;  // want strongly-topical docs
+    ++checked;
+    std::unordered_set<text::TermId> seeds(
+        truth.seed_term_ids[best_t].begin(), truth.seed_term_ids[best_t].end());
+    size_t hits = 0;
+    for (text::TermId tok : d.tokens) {
+      if (seeds.count(tok)) ++hits;
+    }
+    // seed_mass * purity ~= 0.62 * 0.75 ~= 0.46 of tokens; require > 1/4.
+    EXPECT_GT(hits, d.tokens.size() / 4) << "doc " << d.id;
+  }
+  EXPECT_GT(checked, 5u);  // sparse Dirichlet yields several near-pure docs
+}
+
+// --------------------------------------------------------------- Workload --
+
+class WorkloadProperties
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(WorkloadProperties, TermCountsWithinBounds) {
+  const auto& world = toppriv::testing::World();
+  WorkloadParams params;
+  params.num_queries = 30;
+  params.min_terms = GetParam().first;
+  params.max_terms = GetParam().second;
+  WorkloadGenerator generator(world.corpus, world.truth, params);
+  std::vector<BenchmarkQuery> queries = generator.Generate();
+  ASSERT_EQ(queries.size(), 30u);
+  for (const BenchmarkQuery& q : queries) {
+    EXPECT_GE(q.term_ids.size(), params.min_terms);
+    EXPECT_LE(q.term_ids.size(), params.max_terms);
+    EXPECT_EQ(q.term_ids.size(), q.terms.size());
+    // No duplicate terms.
+    std::set<text::TermId> distinct(q.term_ids.begin(), q.term_ids.end());
+    EXPECT_EQ(distinct.size(), q.term_ids.size());
+    // Intent topics valid.
+    ASSERT_FALSE(q.intent_topics.empty());
+    for (uint32_t t : q.intent_topics) {
+      EXPECT_LT(t, world.corpus.true_topic_names().size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, WorkloadProperties,
+                         ::testing::Values(std::make_pair(2u, 20u),
+                                           std::make_pair(2u, 5u),
+                                           std::make_pair(10u, 12u),
+                                           std::make_pair(1u, 3u)));
+
+TEST(WorkloadTest, Deterministic) {
+  const auto& world = toppriv::testing::World();
+  WorkloadParams params;
+  params.num_queries = 10;
+  std::vector<BenchmarkQuery> a =
+      WorkloadGenerator(world.corpus, world.truth, params).Generate();
+  std::vector<BenchmarkQuery> b =
+      WorkloadGenerator(world.corpus, world.truth, params).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].term_ids, b[i].term_ids);
+    EXPECT_EQ(a[i].intent_topics, b[i].intent_topics);
+  }
+}
+
+TEST(WorkloadTest, QueriesAreTopical) {
+  // Most query terms should come from the intent topics' seed vocabulary.
+  const auto& world = toppriv::testing::World();
+  size_t topical = 0, total = 0;
+  for (const BenchmarkQuery& q : world.workload) {
+    std::unordered_set<text::TermId> intent_seeds;
+    for (uint32_t t : q.intent_topics) {
+      intent_seeds.insert(world.truth.seed_term_ids[t].begin(),
+                          world.truth.seed_term_ids[t].end());
+    }
+    for (text::TermId w : q.term_ids) {
+      ++total;
+      if (intent_seeds.count(w)) ++topical;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(topical) / static_cast<double>(total), 0.6);
+}
+
+TEST(WorkloadTest, TextJoinsTerms) {
+  BenchmarkQuery q;
+  q.terms = {"apache", "helicopter"};
+  EXPECT_EQ(q.Text(), "apache helicopter");
+}
+
+}  // namespace
+}  // namespace toppriv::corpus

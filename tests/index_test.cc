@@ -1,0 +1,213 @@
+// Unit and property tests for posting lists and the inverted index.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "index/inverted_index.h"
+#include "index/posting_list.h"
+#include "tests/test_helpers.h"
+
+namespace toppriv::index {
+namespace {
+
+// ------------------------------------------------------------ PostingList --
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.Decode().empty());
+  EXPECT_FALSE(list.begin().Valid());
+}
+
+TEST(PostingListTest, SingleAndMultiplePostings) {
+  PostingList::Builder builder;
+  builder.Append(5, 2);
+  builder.Append(9, 1);
+  builder.Append(1000000, 7);
+  PostingList list = builder.Build();
+  EXPECT_EQ(list.size(), 3u);
+  std::vector<Posting> decoded = list.Decode();
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], (Posting{5, 2}));
+  EXPECT_EQ(decoded[1], (Posting{9, 1}));
+  EXPECT_EQ(decoded[2], (Posting{1000000, 7}));
+}
+
+TEST(PostingListTest, DeltaEncodingIsCompact) {
+  PostingList::Builder builder;
+  // 100 consecutive docs with tf=1: 1 byte delta + 1 byte tf each, plus the
+  // slightly larger first doc id.
+  for (corpus::DocId d = 1000; d < 1100; ++d) builder.Append(d, 1);
+  PostingList list = builder.Build();
+  EXPECT_LE(list.ByteSize(), 2u * 100 + 2);
+}
+
+TEST(PostingListTest, BuilderReusableAfterBuild) {
+  PostingList::Builder builder;
+  builder.Append(1, 1);
+  PostingList first = builder.Build();
+  builder.Append(2, 3);  // fresh sequence; doc ids restart
+  PostingList second = builder.Build();
+  EXPECT_EQ(first.Decode()[0], (Posting{1, 1}));
+  EXPECT_EQ(second.Decode()[0], (Posting{2, 3}));
+}
+
+class PostingListRoundtrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PostingListRoundtrip, EncodeDecodeRandomLists) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  PostingList::Builder builder;
+  std::vector<Posting> expected;
+  corpus::DocId doc = 0;
+  for (size_t i = 0; i < GetParam(); ++i) {
+    doc += 1 + static_cast<corpus::DocId>(rng.UniformInt(uint64_t{1000}));
+    uint32_t tf = 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{50}));
+    builder.Append(doc, tf);
+    expected.push_back({doc, tf});
+  }
+  PostingList list = builder.Build();
+  EXPECT_EQ(list.Decode(), expected);
+
+  // Serialization roundtrip.
+  std::string bytes;
+  list.EncodeTo(&bytes);
+  size_t pos = 0;
+  auto restored = PostingList::DecodeFrom(bytes, &pos);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(restored->Decode(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PostingListRoundtrip,
+                         ::testing::Values(1, 2, 10, 100, 1000, 5000));
+
+TEST(PostingListTest, DecodeFromTruncatedFails) {
+  PostingList::Builder builder;
+  builder.Append(10, 2);
+  builder.Append(20, 2);
+  PostingList list = builder.Build();
+  std::string bytes;
+  list.EncodeTo(&bytes);
+  bytes.resize(bytes.size() - 2);
+  size_t pos = 0;
+  EXPECT_FALSE(PostingList::DecodeFrom(bytes, &pos).ok());
+}
+
+// ---------------------------------------------------------- InvertedIndex --
+
+TEST(InvertedIndexTest, MatchesNaiveCountsOnTinyCorpus) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(c);
+  EXPECT_EQ(index.num_documents(), 4u);
+  EXPECT_EQ(index.num_terms(), 4u);
+
+  text::TermId tank = c.vocabulary().Lookup("tank");
+  std::vector<Posting> postings = index.Postings(tank).Decode();
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0], (Posting{0, 2}));  // war1: tank x2
+  EXPECT_EQ(postings[1], (Posting{1, 1}));  // war2
+  EXPECT_EQ(postings[2], (Posting{3, 1}));  // mix1
+
+  text::TermId stock = c.vocabulary().Lookup("stock");
+  EXPECT_EQ(index.DocFreq(stock), 2u);
+  EXPECT_EQ(index.DocLength(2), 5u);
+  EXPECT_DOUBLE_EQ(index.avg_doc_length(), 12.0 / 4.0);
+}
+
+TEST(InvertedIndexTest, MatchesBruteForceOnGeneratedCorpus) {
+  corpus::GeneratorParams params;
+  params.num_docs = 80;
+  params.tail_vocab_size = 200;
+  corpus::Corpus c = corpus::CorpusGenerator(params).Generate();
+  InvertedIndex index = InvertedIndex::Build(c);
+
+  // Brute-force df/cf per term from raw documents.
+  std::map<text::TermId, std::map<corpus::DocId, uint32_t>> brute;
+  for (const corpus::Document& d : c.documents()) {
+    for (text::TermId t : d.tokens) ++brute[t][d.id];
+  }
+  for (const auto& [term, docs] : brute) {
+    std::vector<Posting> postings = index.Postings(term).Decode();
+    ASSERT_EQ(postings.size(), docs.size()) << "term " << term;
+    size_t i = 0;
+    for (const auto& [doc, tf] : docs) {
+      EXPECT_EQ(postings[i].doc, doc);
+      EXPECT_EQ(postings[i].tf, tf);
+      ++i;
+    }
+  }
+  // Terms never used have empty lists.
+  for (text::TermId t = 0; t < c.vocabulary_size(); ++t) {
+    if (!brute.count(t)) {
+      EXPECT_TRUE(index.Postings(t).empty());
+    }
+  }
+}
+
+TEST(InvertedIndexTest, OutOfRangeTermIsEmpty) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(c);
+  EXPECT_TRUE(index.Postings(9999).empty());
+  EXPECT_EQ(index.DocFreq(9999), 0u);
+}
+
+TEST(InvertedIndexTest, StatsMatchPaperArithmetic) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(c);
+  IndexStats stats = index.ComputeStats();
+  EXPECT_EQ(stats.num_terms, 4u);
+  EXPECT_EQ(stats.num_documents, 4u);
+  // tank:3 missile:2 stock:2 market:1 postings.
+  EXPECT_EQ(stats.total_postings, 8u);
+  EXPECT_EQ(stats.max_list_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_list_length, 2.0);
+  // PIR padding: every list padded to max length at 8 bytes per pair.
+  EXPECT_EQ(stats.pir_padded_bytes, 4u * 3u * 8u);
+  EXPECT_GT(stats.encoded_bytes, 0u);
+  EXPECT_LT(stats.encoded_bytes, stats.pir_padded_bytes);
+}
+
+TEST(InvertedIndexTest, SerializeRoundtrip) {
+  const auto& world = toppriv::testing::World();
+  std::string bytes = world.index.Serialize();
+  auto restored = InvertedIndex::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_documents(), world.index.num_documents());
+  EXPECT_EQ(restored->num_terms(), world.index.num_terms());
+  EXPECT_DOUBLE_EQ(restored->avg_doc_length(), world.index.avg_doc_length());
+  for (text::TermId t = 0; t < 50 && t < world.index.num_terms(); ++t) {
+    EXPECT_EQ(restored->Postings(t).Decode(), world.index.Postings(t).Decode());
+  }
+  IndexStats a = restored->ComputeStats();
+  IndexStats b = world.index.ComputeStats();
+  EXPECT_EQ(a.total_postings, b.total_postings);
+  EXPECT_EQ(a.encoded_bytes, b.encoded_bytes);
+}
+
+TEST(InvertedIndexTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(InvertedIndex::Deserialize("garbage!").ok());
+}
+
+TEST(InvertedIndexTest, IndexGrowsLinearlyWithCorpus) {
+  // The Fig. 6 premise: posting data grows roughly linearly in documents.
+  corpus::GeneratorParams params;
+  params.tail_vocab_size = 400;
+  params.num_docs = 100;
+  uint64_t size100 =
+      InvertedIndex::Build(corpus::CorpusGenerator(params).Generate())
+          .ComputeStats()
+          .encoded_bytes;
+  params.num_docs = 400;
+  uint64_t size400 =
+      InvertedIndex::Build(corpus::CorpusGenerator(params).Generate())
+          .ComputeStats()
+          .encoded_bytes;
+  EXPECT_GT(size400, size100 * 3);
+  EXPECT_LT(size400, size100 * 6);
+}
+
+}  // namespace
+}  // namespace toppriv::index

@@ -1,0 +1,187 @@
+// Cross-module integration tests: the full TopPriv pipeline end to end.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.h"
+#include "search/engine.h"
+#include "search/eval.h"
+#include "search/scorer.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/inference.h"
+#include "toppriv/client.h"
+#include "toppriv/ghost_generator.h"
+
+namespace toppriv {
+namespace {
+
+using toppriv::testing::World;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : engine_(World().corpus, World().index, search::MakeBm25Scorer()),
+        inferencer_(World().model) {}
+
+  search::SearchEngine engine_;
+  topicmodel::LdaInferencer inferencer_;
+};
+
+TEST_F(PipelineTest, ProtectedSessionPreservesAllResults) {
+  // Run a whole session of protected queries; every single one must return
+  // exactly the results of the corresponding unprotected query (the paper's
+  // usability guarantee, in contrast to query-substitution schemes).
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  core::TrustedClient client(&engine_, &generator, util::Rng(4));
+
+  for (size_t qi = 0; qi < 20; ++qi) {
+    const auto& q = World().workload[qi];
+    core::ProtectedSearchResult out = client.Search(q.term_ids, 10);
+    std::vector<search::ScoredDoc> plain = engine_.Evaluate(q.term_ids, 10);
+    ASSERT_TRUE(search::SameRanking(out.results, plain, 1e-9))
+        << "query " << qi;
+  }
+}
+
+TEST_F(PipelineTest, SessionReducesExposureOnAverage) {
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  util::Rng rng(5);
+  double before = 0.0, after = 0.0;
+  size_t counted = 0;
+  for (size_t qi = 0; qi < 20; ++qi) {
+    core::QueryCycle cycle =
+        generator.Protect(World().workload[qi].term_ids, &rng);
+    if (cycle.intention.empty()) continue;
+    before += cycle.exposure_before;
+    after += cycle.exposure_after;
+    ++counted;
+  }
+  ASSERT_GT(counted, 10u);
+  EXPECT_LT(after, before * 0.35);  // strong average suppression
+}
+
+TEST_F(PipelineTest, MaskDominatesExposureAfterProtection) {
+  // The paper's headline behavior (Figs. 2a/2b): irrelevant topics end up
+  // with larger boosts than the genuine ones.
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  util::Rng rng(6);
+  size_t dominated = 0, counted = 0;
+  double mask_sum = 0.0, exposure_sum = 0.0;
+  for (size_t qi = 0; qi < 15; ++qi) {
+    core::QueryCycle cycle =
+        generator.Protect(World().workload[qi].term_ids, &rng);
+    if (cycle.intention.empty() || cycle.num_ghosts() == 0) continue;
+    ++counted;
+    mask_sum += cycle.mask_level;
+    exposure_sum += cycle.exposure_after;
+    if (cycle.mask_level > cycle.exposure_after) ++dominated;
+  }
+  ASSERT_GT(counted, 8u);
+  // The paper reports domination on average (Figs. 2a vs 2b); per-query it
+  // holds for the overwhelming majority.
+  EXPECT_GT(mask_sum, exposure_sum * 1.5);
+  EXPECT_GE(dominated * 5, counted * 4);  // >= 80% of queries
+}
+
+TEST_F(PipelineTest, AdversaryOnEngineLogFailsAgainstProtectedTraffic) {
+  // Wire the engine's own query log into the adversary: protected cycles
+  // grouped by cycle_id. This is the complete paper scenario in one test.
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  core::TrustedClient client(&engine_, &generator, util::Rng(7));
+
+  std::vector<adversary::CycleView> views;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    core::ProtectedSearchResult out =
+        client.Search(World().workload[qi].term_ids, 5);
+    adversary::CycleView view;
+    view.queries = out.cycle.queries;
+    view.true_user_index = out.cycle.user_index;
+    view.true_intention = out.cycle.intention;
+    views.push_back(std::move(view));
+  }
+
+  // Rebuild the cycles from the engine log and check they match what the
+  // client submitted (the adversary sees exactly this).
+  const search::QueryLog& log = engine_.query_log();
+  size_t pos = 0;
+  for (const adversary::CycleView& view : views) {
+    for (size_t i = 0; i < view.queries.size(); ++i, ++pos) {
+      ASSERT_LT(pos, log.size());
+      EXPECT_EQ(log.entries()[pos].terms, view.queries[i]);
+    }
+  }
+
+  adversary::TopicInferenceAttack attack(World().model, inferencer_);
+  double recall = 0.0;
+  size_t evaluated = 0;
+  for (const adversary::CycleView& view : views) {
+    if (view.true_intention.empty()) continue;
+    recall += attack.Evaluate(view, 3).recall;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 4u);
+  EXPECT_LT(recall / static_cast<double>(evaluated), 0.55);
+}
+
+TEST_F(PipelineTest, IntentionMatchesGroundTruthTopics) {
+  // Validation the paper could not do on WSJ: the extracted intention should
+  // correspond to LDA topics aligned with the query's ground-truth topics.
+  // We check alignment via the ghost generator's own user_boost: the top
+  // boosted LDA topic's top words should overlap the intent topic's seeds.
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  util::Rng rng(8);
+
+  size_t aligned = 0, counted = 0;
+  for (size_t qi = 0; qi < 12; ++qi) {
+    const auto& q = World().workload[qi];
+    core::QueryCycle cycle = generator.Protect(q.term_ids, &rng);
+    if (cycle.intention.empty()) continue;
+    ++counted;
+
+    std::set<text::TermId> intent_seeds;
+    for (uint32_t t : q.intent_topics) {
+      intent_seeds.insert(World().truth.seed_term_ids[t].begin(),
+                          World().truth.seed_term_ids[t].end());
+    }
+    // Does any intention topic's top-15 word list hit the seeds?
+    bool hit = false;
+    for (topicmodel::TopicId t : cycle.intention) {
+      size_t hits = 0;
+      for (const topicmodel::WordProb& wp : World().model.TopWords(t, 15)) {
+        if (intent_seeds.count(wp.term)) ++hits;
+      }
+      if (hits >= 5) hit = true;
+    }
+    if (hit) ++aligned;
+  }
+  ASSERT_GT(counted, 6u);
+  EXPECT_GE(aligned * 4, counted * 3);  // >= 75% aligned
+}
+
+TEST_F(PipelineTest, TighterEpsilon2NeedsLongerCycles) {
+  // Fig. 2c's qualitative shape: lowering epsilon2 increases cycle length.
+  core::PrivacySpec loose;
+  loose.epsilon2 = 0.04;
+  core::PrivacySpec tight;
+  tight.epsilon2 = 0.005;
+  core::GhostQueryGenerator loose_gen(World().model, inferencer_, loose);
+  core::GhostQueryGenerator tight_gen(World().model, inferencer_, tight);
+  util::Rng rng_a(9), rng_b(9);
+  double loose_len = 0.0, tight_len = 0.0;
+  for (size_t qi = 0; qi < 12; ++qi) {
+    loose_len += static_cast<double>(
+        loose_gen.Protect(World().workload[qi].term_ids, &rng_a).length());
+    tight_len += static_cast<double>(
+        tight_gen.Protect(World().workload[qi].term_ids, &rng_b).length());
+  }
+  EXPECT_GT(tight_len, loose_len);
+}
+
+}  // namespace
+}  // namespace toppriv

@@ -1,0 +1,101 @@
+// Tests for query-log anonymization (paper Section III, identity layer).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "search/log_anonymizer.h"
+#include "tests/test_helpers.h"
+
+namespace toppriv::search {
+namespace {
+
+using toppriv::testing::World;
+
+std::vector<LoggedQuery> SampleLog() {
+  std::vector<LoggedQuery> log;
+  for (size_t qi = 0; qi < 5; ++qi) {
+    LoggedQuery entry;
+    entry.sequence = qi;
+    entry.cycle_id = qi / 2;
+    entry.timestamp = static_cast<double>(qi) * 1800.0;
+    entry.terms = World().workload[qi].term_ids;
+    log.push_back(std::move(entry));
+  }
+  return log;
+}
+
+TEST(LogAnonymizerTest, PseudonymsAreStableAndKeyed) {
+  AnonymizerPolicy policy;
+  LogAnonymizer anonymizer(World().corpus.vocabulary(), policy);
+  EXPECT_EQ(anonymizer.Pseudonym(42), anonymizer.Pseudonym(42));
+  EXPECT_NE(anonymizer.Pseudonym(42), anonymizer.Pseudonym(43));
+  AnonymizerPolicy other_key = policy;
+  other_key.key = policy.key + 1;
+  LogAnonymizer rekeyed(World().corpus.vocabulary(), other_key);
+  EXPECT_NE(anonymizer.Pseudonym(42), rekeyed.Pseudonym(42));
+}
+
+TEST(LogAnonymizerTest, TermsHashedNotPlain) {
+  AnonymizerPolicy policy;
+  policy.min_doc_freq_to_keep = 0;
+  LogAnonymizer anonymizer(World().corpus.vocabulary(), policy);
+  std::vector<AnonymizedQuery> out = anonymizer.Anonymize(7, SampleLog());
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].hashed_terms.size(),
+              World().workload[i].term_ids.size());
+    for (size_t j = 0; j < out[i].hashed_terms.size(); ++j) {
+      // Hash is keyed and far from the raw id.
+      EXPECT_NE(out[i].hashed_terms[j], World().workload[i].term_ids[j]);
+    }
+  }
+}
+
+TEST(LogAnonymizerTest, RareTermsDropped) {
+  // Find a rare and a common term in the corpus.
+  const text::Vocabulary& vocab = World().corpus.vocabulary();
+  text::TermId rare = text::kInvalidTerm, common = text::kInvalidTerm;
+  for (text::TermId w = 0; w < vocab.size(); ++w) {
+    if (vocab.DocFreq(w) == 1) rare = w;
+    if (vocab.DocFreq(w) > 50) common = w;
+  }
+  ASSERT_NE(rare, text::kInvalidTerm);
+  ASSERT_NE(common, text::kInvalidTerm);
+
+  AnonymizerPolicy policy;
+  policy.min_doc_freq_to_keep = 3;
+  LogAnonymizer anonymizer(vocab, policy);
+  LoggedQuery entry;
+  entry.terms = {rare, common};
+  std::vector<AnonymizedQuery> out = anonymizer.Anonymize(1, {entry});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].hashed_terms.size(), 1u);
+  EXPECT_EQ(out[0].hashed_terms[0], anonymizer.HashTerm(common));
+}
+
+TEST(LogAnonymizerTest, TimeBucketsCoarsen) {
+  AnonymizerPolicy policy;
+  policy.time_bucket_seconds = 3600.0;
+  LogAnonymizer anonymizer(World().corpus.vocabulary(), policy);
+  std::vector<AnonymizedQuery> out = anonymizer.Anonymize(9, SampleLog());
+  // Timestamps 0, 1800, 3600, 5400, 7200 -> buckets 0,0,1,1,2.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].time_bucket, 0u);
+  EXPECT_EQ(out[1].time_bucket, 0u);
+  EXPECT_EQ(out[2].time_bucket, 1u);
+  EXPECT_EQ(out[3].time_bucket, 1u);
+  EXPECT_EQ(out[4].time_bucket, 2u);
+}
+
+TEST(LogAnonymizerTest, SameTermSameHashAcrossQueries) {
+  AnonymizerPolicy policy;
+  policy.min_doc_freq_to_keep = 0;
+  LogAnonymizer anonymizer(World().corpus.vocabulary(), policy);
+  // Co-occurrence analysis remains possible (hashing is deterministic); the
+  // protection is pseudonymity, not unlinkability -- same as [44].
+  EXPECT_EQ(anonymizer.HashTerm(5), anonymizer.HashTerm(5));
+  EXPECT_NE(anonymizer.HashTerm(5), anonymizer.HashTerm(6));
+}
+
+}  // namespace
+}  // namespace toppriv::search

@@ -1,0 +1,169 @@
+// Unit tests for the PDX baseline: thesaurus and query embellisher.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pdx/embellisher.h"
+#include "pdx/thesaurus.h"
+#include "tests/test_helpers.h"
+
+namespace toppriv::pdx {
+namespace {
+
+using toppriv::testing::World;
+
+class PdxTest : public ::testing::Test {
+ protected:
+  PdxTest() : thesaurus_(World().corpus, World().model) {}
+  Thesaurus thesaurus_;
+};
+
+// -------------------------------------------------------------- Thesaurus --
+
+TEST_F(PdxTest, BandsAreWithinRange) {
+  for (text::TermId w = 0; w < World().corpus.vocabulary_size(); ++w) {
+    EXPECT_LT(thesaurus_.SpecificityBand(w), Thesaurus::kNumBands);
+    EXPECT_LT(thesaurus_.DominantTopic(w), World().model.num_topics());
+  }
+}
+
+TEST_F(PdxTest, RareTermsGetHigherBandsThanCommonTerms) {
+  // Find the most and least frequent indexed terms and compare bands.
+  const text::Vocabulary& vocab = World().corpus.vocabulary();
+  text::TermId most_common = 0, rare = 0;
+  uint32_t best_df = 0;
+  uint32_t worst_df = UINT32_MAX;
+  for (text::TermId w = 0; w < vocab.size(); ++w) {
+    uint32_t df = vocab.DocFreq(w);
+    if (df > best_df) {
+      best_df = df;
+      most_common = w;
+    }
+    if (df > 0 && df < worst_df) {
+      worst_df = df;
+      rare = w;
+    }
+  }
+  ASSERT_GT(best_df, worst_df);
+  EXPECT_LT(thesaurus_.SpecificityBand(most_common),
+            thesaurus_.SpecificityBand(rare));
+  EXPECT_EQ(thesaurus_.SpecificityBand(most_common), 0u);
+}
+
+TEST_F(PdxTest, CandidatesPartitionIndexedTerms) {
+  // Every indexed term appears in exactly the (dominant topic, band) pool.
+  const text::Vocabulary& vocab = World().corpus.vocabulary();
+  size_t pooled = 0;
+  for (size_t t = 0; t < World().model.num_topics(); ++t) {
+    for (size_t b = 0; b < Thesaurus::kNumBands; ++b) {
+      for (text::TermId w :
+           thesaurus_.Candidates(static_cast<topicmodel::TopicId>(t), b)) {
+        EXPECT_EQ(thesaurus_.DominantTopic(w), t);
+        EXPECT_EQ(thesaurus_.SpecificityBand(w), b);
+        ++pooled;
+      }
+    }
+  }
+  size_t indexed = 0;
+  for (text::TermId w = 0; w < vocab.size(); ++w) {
+    if (vocab.DocFreq(w) > 0) ++indexed;
+  }
+  EXPECT_EQ(pooled, indexed);
+}
+
+// ------------------------------------------------------------ Embellisher --
+
+TEST_F(PdxTest, ExpansionFactorControlsQueryLength) {
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng rng(5);
+  const std::vector<text::TermId>& query = World().workload[0].term_ids;
+  for (double factor : {2.0, 4.0, 8.0}) {
+    EmbellishedQuery out = embellisher.Embellish(query, factor, &rng);
+    size_t want_decoys = static_cast<size_t>((factor - 1.0) * query.size());
+    EXPECT_EQ(out.num_decoys, want_decoys) << "factor " << factor;
+    EXPECT_EQ(out.terms.size(), query.size() + out.num_decoys);
+  }
+}
+
+TEST_F(PdxTest, FactorOneIsIdentity) {
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng rng(6);
+  const std::vector<text::TermId>& query = World().workload[0].term_ids;
+  EmbellishedQuery out = embellisher.Embellish(query, 1.0, &rng);
+  EXPECT_EQ(out.num_decoys, 0u);
+  EXPECT_EQ(out.terms, query);
+}
+
+TEST_F(PdxTest, GenuineTermsPreserved) {
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng rng(7);
+  const std::vector<text::TermId>& query = World().workload[1].term_ids;
+  EmbellishedQuery out = embellisher.Embellish(query, 4.0, &rng);
+  std::set<text::TermId> embellished(out.terms.begin(), out.terms.end());
+  for (text::TermId w : query) {
+    EXPECT_TRUE(embellished.count(w)) << "genuine term dropped";
+  }
+}
+
+TEST_F(PdxTest, NoDuplicateTerms) {
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng rng(8);
+  const std::vector<text::TermId>& query = World().workload[2].term_ids;
+  EmbellishedQuery out = embellisher.Embellish(query, 8.0, &rng);
+  std::set<text::TermId> distinct(out.terms.begin(), out.terms.end());
+  EXPECT_EQ(distinct.size(), out.terms.size());
+}
+
+TEST_F(PdxTest, DecoyTopicsAvoidGenuineDominantTopics) {
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng rng(9);
+  const std::vector<text::TermId>& query = World().workload[3].term_ids;
+  EmbellishedQuery out = embellisher.Embellish(query, 4.0, &rng);
+  std::set<topicmodel::TopicId> genuine_topics;
+  for (text::TermId w : query) {
+    genuine_topics.insert(thesaurus_.DominantTopic(w));
+  }
+  for (topicmodel::TopicId t : out.decoy_topics) {
+    EXPECT_FALSE(genuine_topics.count(t));
+  }
+  EXPECT_FALSE(out.decoy_topics.empty());
+}
+
+TEST_F(PdxTest, DecoysMatchSpecificityApproximately) {
+  // Decoys should track genuine-term specificity: mean band difference
+  // should be small (exact matches whenever pools allow).
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng rng(10);
+  double total_diff = 0.0;
+  size_t count = 0;
+  for (size_t qi = 0; qi < 6; ++qi) {
+    const std::vector<text::TermId>& query = World().workload[qi].term_ids;
+    EmbellishedQuery out = embellisher.Embellish(query, 2.0, &rng);
+    std::set<text::TermId> genuine(query.begin(), query.end());
+    double genuine_mean = 0.0;
+    for (text::TermId w : query) {
+      genuine_mean += static_cast<double>(thesaurus_.SpecificityBand(w));
+    }
+    genuine_mean /= static_cast<double>(query.size());
+    for (text::TermId w : out.terms) {
+      if (genuine.count(w)) continue;
+      total_diff += std::abs(
+          static_cast<double>(thesaurus_.SpecificityBand(w)) - genuine_mean);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_LT(total_diff / static_cast<double>(count), 2.5);
+}
+
+TEST_F(PdxTest, DeterministicGivenSeed) {
+  PdxEmbellisher embellisher(thesaurus_);
+  util::Rng a(11), b(11);
+  const std::vector<text::TermId>& query = World().workload[0].term_ids;
+  EXPECT_EQ(embellisher.Embellish(query, 4.0, &a).terms,
+            embellisher.Embellish(query, 4.0, &b).terms);
+}
+
+}  // namespace
+}  // namespace toppriv::pdx

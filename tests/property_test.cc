@@ -1,0 +1,253 @@
+// Cross-module property tests: parameterized sweeps of the invariants the
+// (epsilon1, epsilon2) model and its substrates must satisfy for EVERY
+// configuration, not just the defaults the unit tests pin down.
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "index/inverted_index.h"
+#include "search/engine.h"
+#include "search/scorer.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/inference.h"
+#include "toppriv/belief.h"
+#include "toppriv/ghost_generator.h"
+
+namespace toppriv {
+namespace {
+
+using toppriv::testing::World;
+
+// ------------------------------------------------ (eps1, eps2) grid sweep --
+
+struct SpecPoint {
+  double eps1;
+  double eps2;
+};
+
+class PrivacyModelGrid : public ::testing::TestWithParam<SpecPoint> {};
+
+TEST_P(PrivacyModelGrid, InvariantsHoldAcrossThresholds) {
+  core::PrivacySpec spec;
+  spec.epsilon1 = GetParam().eps1;
+  spec.epsilon2 = GetParam().eps2;
+  ASSERT_TRUE(spec.Validate().ok());
+
+  topicmodel::LdaInferencer inferencer(World().model);
+  core::GhostQueryGenerator generator(World().model, inferencer, spec);
+  util::Rng rng(4242);
+
+  for (size_t qi = 0; qi < 8; ++qi) {
+    core::QueryCycle cycle =
+        generator.Protect(World().workload[qi].term_ids, &rng);
+
+    // I1: the genuine query is in the cycle at user_index, unmodified.
+    ASSERT_LT(cycle.user_index, cycle.queries.size());
+    EXPECT_EQ(cycle.user_query(), World().workload[qi].term_ids);
+
+    // I2: exposure never increases.
+    EXPECT_LE(cycle.exposure_after, cycle.exposure_before + 1e-12);
+
+    // I3: every intention topic exceeded eps1 on the raw query; every
+    // non-intention topic did not.
+    for (size_t t = 0; t < cycle.user_boost.size(); ++t) {
+      bool in_u = false;
+      for (topicmodel::TopicId u : cycle.intention) {
+        if (u == t) in_u = true;
+      }
+      if (in_u) {
+        EXPECT_GT(cycle.user_boost[t], spec.epsilon1);
+      } else {
+        EXPECT_LE(cycle.user_boost[t], spec.epsilon1);
+      }
+    }
+
+    // I4: met_epsilon2 agrees with the final exposure.
+    EXPECT_EQ(cycle.met_epsilon2,
+              cycle.exposure_after <= spec.epsilon2);
+
+    // I5: masking topics are distinct, outside U, and one per ghost.
+    EXPECT_EQ(cycle.masking_topics.size(), cycle.num_ghosts());
+    std::set<topicmodel::TopicId> distinct(cycle.masking_topics.begin(),
+                                           cycle.masking_topics.end());
+    EXPECT_EQ(distinct.size(), cycle.masking_topics.size());
+    for (topicmodel::TopicId t : cycle.masking_topics) {
+      for (topicmodel::TopicId u : cycle.intention) EXPECT_NE(t, u);
+    }
+
+    // I6: no empty ghost queries.
+    for (const auto& q : cycle.queries) EXPECT_FALSE(q.empty());
+
+    // I7: termination bound — at most one ghost or rejection per topic.
+    EXPECT_LE(cycle.masking_topics.size() + cycle.rejected_topics.size(),
+              World().model.num_topics());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdGrid, PrivacyModelGrid,
+    ::testing::Values(SpecPoint{0.05, 0.05}, SpecPoint{0.05, 0.03},
+                      SpecPoint{0.05, 0.01}, SpecPoint{0.05, 0.005},
+                      SpecPoint{0.03, 0.03}, SpecPoint{0.03, 0.01},
+                      SpecPoint{0.02, 0.02}, SpecPoint{0.01, 0.01},
+                      SpecPoint{0.10, 0.02}));
+
+// -------------------------------------------------- fixed-cycle-count grid --
+
+class FixedCountGrid : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FixedCountGrid, ExactGhostCountAndMonotoneDilution) {
+  core::PrivacySpec spec;
+  spec.fixed_ghost_count = GetParam();
+  topicmodel::LdaInferencer inferencer(World().model);
+  core::GhostQueryGenerator generator(World().model, inferencer, spec);
+  util::Rng rng(5);
+  core::QueryCycle cycle =
+      generator.Protect(World().workload[1].term_ids, &rng);
+  EXPECT_EQ(cycle.num_ghosts(), GetParam());
+  EXPECT_LE(cycle.exposure_after, cycle.exposure_before + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FixedCountGrid,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ----------------------------------------------------- inference sweeps --
+
+class InferenceDistribution : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(InferenceDistribution, PosteriorsAreDistributionsForAllQueries) {
+  topicmodel::LdaInferencer inferencer(World().model);
+  const auto& q = World().workload[GetParam()];
+  std::vector<double> posterior = inferencer.InferQuery(q.term_ids);
+  double sum = std::accumulate(posterior.begin(), posterior.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double p : posterior) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+  // Boost sums to ~0 (both posterior and prior are distributions).
+  core::BeliefProfile profile =
+      core::MakeBeliefProfile(World().model, posterior);
+  double boost_sum =
+      std::accumulate(profile.boost.begin(), profile.boost.end(), 0.0);
+  EXPECT_NEAR(boost_sum, 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, InferenceDistribution,
+                         ::testing::Range<size_t>(0, 20));
+
+TEST(InferencePropertyTest, CyclePosteriorIsConvexCombination) {
+  topicmodel::LdaInferencer inferencer(World().model);
+  std::vector<std::vector<double>> posteriors;
+  for (size_t qi = 0; qi < 4; ++qi) {
+    posteriors.push_back(inferencer.InferQuery(World().workload[qi].term_ids));
+  }
+  std::vector<double> mix =
+      topicmodel::LdaInferencer::CyclePosterior(posteriors);
+  for (size_t t = 0; t < mix.size(); ++t) {
+    double lo = posteriors[0][t], hi = posteriors[0][t];
+    for (const auto& p : posteriors) {
+      lo = std::min(lo, p[t]);
+      hi = std::max(hi, p[t]);
+    }
+    EXPECT_GE(mix[t], lo - 1e-12);
+    EXPECT_LE(mix[t], hi + 1e-12);
+  }
+  // k copies of one posterior mix to itself.
+  std::vector<std::vector<double>> copies(5, posteriors[0]);
+  std::vector<double> self = topicmodel::LdaInferencer::CyclePosterior(copies);
+  for (size_t t = 0; t < self.size(); ++t) {
+    EXPECT_NEAR(self[t], posteriors[0][t], 1e-12);
+  }
+}
+
+// ---------------------------------------------- corpus/index size sweeps --
+
+class CorpusScale : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorpusScale, EndToEndConsistencyAtEveryScale) {
+  corpus::GeneratorParams params;
+  params.num_docs = GetParam();
+  params.tail_vocab_size = 200;
+  corpus::CorpusGenerator generator(params);
+  corpus::Corpus corpus = generator.Generate();
+
+  // Vocabulary statistics agree with a direct recount.
+  uint64_t token_count = 0;
+  for (const corpus::Document& d : corpus.documents()) {
+    token_count += d.tokens.size();
+  }
+  EXPECT_EQ(token_count, corpus.total_tokens());
+  EXPECT_EQ(corpus.vocabulary().total_tokens(), corpus.total_tokens());
+
+  // Index invariants: postings count per term == df == DocFreq.
+  index::InvertedIndex index = index::InvertedIndex::Build(corpus);
+  uint64_t posting_tf_total = 0;
+  for (text::TermId t = 0; t < corpus.vocabulary_size(); ++t) {
+    const index::PostingList& list = index.Postings(t);
+    EXPECT_EQ(list.size(), corpus.vocabulary().DocFreq(t));
+    uint64_t cf = 0;
+    for (auto it = list.begin(); it.Valid(); it.Next()) cf += it.Get().tf;
+    EXPECT_EQ(cf, corpus.vocabulary().CollectionFreq(t));
+    posting_tf_total += cf;
+  }
+  EXPECT_EQ(posting_tf_total, corpus.total_tokens());
+
+  // Serialization roundtrips at this scale.
+  auto corpus2 = corpus::Corpus::Deserialize(corpus.Serialize());
+  ASSERT_TRUE(corpus2.ok());
+  EXPECT_EQ(corpus2->Serialize(), corpus.Serialize());
+  auto index2 = index::InvertedIndex::Deserialize(index.Serialize());
+  ASSERT_TRUE(index2.ok());
+  EXPECT_EQ(index2->Serialize(), index.Serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CorpusScale,
+                         ::testing::Values(1, 5, 40, 150, 400));
+
+// --------------------------------------------------------- scorer sweeps --
+
+class ScorerRankingSanity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScorerRankingSanity, AllScorersRankMatchingDocsAboveNonMatching) {
+  const auto& world = World();
+  std::unique_ptr<search::Scorer> scorer;
+  switch (GetParam()) {
+    case 0:
+      scorer = search::MakeTfIdfScorer();
+      break;
+    case 1:
+      scorer = search::MakeBm25Scorer();
+      break;
+    default:
+      scorer = std::make_unique<search::LmDirichletScorer>(world.corpus);
+      break;
+  }
+  search::SearchEngine engine(world.corpus, world.index, std::move(scorer));
+  for (size_t qi = 0; qi < 5; ++qi) {
+    const auto& q = world.workload[qi];
+    std::vector<search::ScoredDoc> results = engine.Evaluate(q.term_ids, 10);
+    ASSERT_FALSE(results.empty());
+    std::set<text::TermId> terms(q.term_ids.begin(), q.term_ids.end());
+    for (const search::ScoredDoc& sd : results) {
+      // Every returned document must contain at least one query term.
+      bool contains = false;
+      for (text::TermId t : world.corpus.document(sd.doc).tokens) {
+        if (terms.count(t)) contains = true;
+      }
+      EXPECT_TRUE(contains) << "scorer " << GetParam();
+    }
+    // Scores descend.
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_GE(results[i - 1].score, results[i].score - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scorers, ScorerRankingSanity,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace toppriv

@@ -1,0 +1,196 @@
+// Tests for representative-corpus sampling (the paper's Section V-A future
+// work) and query-log segmentation (the threat model's grouping assumption).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "adversary/log_segmentation.h"
+#include "corpus/sampling.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/gibbs_trainer.h"
+#include "topicmodel/inference.h"
+#include "toppriv/belief.h"
+
+namespace toppriv {
+namespace {
+
+using toppriv::testing::World;
+
+// --------------------------------------------------------------- Sampling --
+
+TEST(SamplingTest, ImpactfulTermsRankedAndTruncated) {
+  std::vector<text::TermId> half =
+      corpus::ImpactfulTerms(World().corpus, 0.5);
+  std::vector<text::TermId> all = corpus::ImpactfulTerms(World().corpus, 1.0);
+  EXPECT_LT(half.size(), all.size());
+  EXPECT_GE(half.size(), all.size() / 2);
+  // The retained half must be a subset of the full ranking's prefix.
+  std::set<text::TermId> half_set(half.begin(), half.end());
+  for (size_t i = 0; i < half.size(); ++i) {
+    EXPECT_TRUE(half_set.count(all[i])) << "rank " << i;
+  }
+}
+
+TEST(SamplingTest, DocumentFractionControlsSize) {
+  corpus::SamplingOptions options;
+  options.document_fraction = 0.25;
+  corpus::Corpus sample = corpus::SampleCorpus(World().corpus, options);
+  EXPECT_NEAR(static_cast<double>(sample.num_documents()),
+              0.25 * static_cast<double>(World().corpus.num_documents()),
+              2.0);
+  // Term-id space preserved.
+  EXPECT_EQ(sample.vocabulary_size(), World().corpus.vocabulary_size());
+  EXPECT_EQ(sample.true_topic_names(), World().corpus.true_topic_names());
+}
+
+TEST(SamplingTest, VocabularyFractionDropsTokens) {
+  corpus::SamplingOptions options;
+  options.vocabulary_fraction = 0.3;
+  corpus::Corpus sample = corpus::SampleCorpus(World().corpus, options);
+  EXPECT_EQ(sample.num_documents(), World().corpus.num_documents());
+  EXPECT_LT(sample.total_tokens(), World().corpus.total_tokens());
+  // Every surviving token is in the impactful set.
+  std::vector<text::TermId> kept =
+      corpus::ImpactfulTerms(World().corpus, 0.3);
+  std::set<text::TermId> kept_set(kept.begin(), kept.end());
+  for (const corpus::Document& d : sample.documents()) {
+    for (text::TermId t : d.tokens) {
+      EXPECT_TRUE(kept_set.count(t));
+    }
+  }
+}
+
+TEST(SamplingTest, FullFractionsAreIdentityOnContent) {
+  corpus::SamplingOptions options;  // 1.0 / 1.0
+  corpus::Corpus sample = corpus::SampleCorpus(World().corpus, options);
+  ASSERT_EQ(sample.num_documents(), World().corpus.num_documents());
+  for (size_t d = 0; d < sample.num_documents(); ++d) {
+    EXPECT_EQ(sample.documents()[d].tokens, World().corpus.documents()[d].tokens);
+  }
+}
+
+TEST(SamplingTest, Deterministic) {
+  corpus::SamplingOptions options;
+  options.document_fraction = 0.5;
+  options.vocabulary_fraction = 0.5;
+  corpus::Corpus a = corpus::SampleCorpus(World().corpus, options);
+  corpus::Corpus b = corpus::SampleCorpus(World().corpus, options);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST(SamplingTest, SampleTrainedModelStillFindsIntention) {
+  // The future-work claim: a model trained on a reduced corpus should still
+  // extract (roughly) the same intention for topical queries.
+  corpus::SamplingOptions options;
+  options.document_fraction = 0.5;
+  options.vocabulary_fraction = 0.6;
+  corpus::Corpus sample = corpus::SampleCorpus(World().corpus, options);
+
+  topicmodel::TrainerOptions trainer_options;
+  trainer_options.num_topics = 40;
+  trainer_options.iterations = 50;
+  trainer_options.seed = 99;
+  topicmodel::LdaModel sampled_model =
+      topicmodel::GibbsTrainer(trainer_options).Train(sample);
+  ASSERT_EQ(sampled_model.vocab_size(), World().corpus.vocabulary_size());
+
+  topicmodel::LdaInferencer full(World().model);
+  topicmodel::LdaInferencer reduced(sampled_model);
+  size_t both = 0, full_only = 0;
+  for (size_t qi = 0; qi < 15; ++qi) {
+    const auto& q = World().workload[qi];
+    bool has_full = !core::ExtractIntention(
+                         core::MakeBeliefProfile(World().model,
+                                                 full.InferQuery(q.term_ids)),
+                         0.05)
+                         .empty();
+    bool has_reduced =
+        !core::ExtractIntention(
+             core::MakeBeliefProfile(sampled_model,
+                                     reduced.InferQuery(q.term_ids)),
+             0.05)
+             .empty();
+    if (has_full && has_reduced) ++both;
+    if (has_full && !has_reduced) ++full_only;
+  }
+  // Most queries with an intention under the full model keep one under the
+  // reduced model.
+  EXPECT_GE(both, full_only);
+  EXPECT_GT(both, 5u);
+}
+
+// ----------------------------------------------------------- Segmentation --
+
+std::vector<search::LoggedQuery> MakeLog(
+    const std::vector<size_t>& cycle_sizes) {
+  std::vector<search::LoggedQuery> log;
+  uint64_t seq = 0;
+  for (size_t c = 0; c < cycle_sizes.size(); ++c) {
+    for (size_t i = 0; i < cycle_sizes[c]; ++i) {
+      search::LoggedQuery entry;
+      entry.sequence = seq++;
+      entry.cycle_id = c + 1;
+      entry.terms = {static_cast<text::TermId>(c)};
+      log.push_back(std::move(entry));
+    }
+  }
+  return log;
+}
+
+TEST(SegmentationTest, PerfectRecoveryWithBurstTraffic) {
+  std::vector<search::LoggedQuery> log = MakeLog({4, 1, 6, 3, 5});
+  util::Rng rng(1);
+  adversary::SimulateArrivalTimes(&log, /*burst_spacing=*/0.05,
+                                  /*min_think=*/5.0, /*max_think=*/60.0,
+                                  /*pacing_jitter=*/0.0, &rng);
+  std::vector<adversary::Segment> segments =
+      adversary::SegmentByGaps(log, /*gap_threshold_seconds=*/1.0);
+  ASSERT_EQ(segments.size(), 5u);
+  adversary::SegmentationScore score =
+      adversary::ScoreSegmentation(segments, log);
+  EXPECT_DOUBLE_EQ(score.pair_precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.pair_recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.exact_cycles, 1.0);
+}
+
+TEST(SegmentationTest, PacingJitterDegradesRecovery) {
+  std::vector<search::LoggedQuery> log = MakeLog({5, 5, 5, 5, 5, 5, 5, 5});
+  util::Rng rng(2);
+  // Countermeasure: the client stretches intra-cycle spacing to think-time
+  // scales, so the gap signal vanishes.
+  adversary::SimulateArrivalTimes(&log, 0.05, 5.0, 60.0,
+                                  /*pacing_jitter=*/40.0, &rng);
+  std::vector<adversary::Segment> segments =
+      adversary::SegmentByGaps(log, 1.0);
+  adversary::SegmentationScore score =
+      adversary::ScoreSegmentation(segments, log);
+  EXPECT_LT(score.exact_cycles, 0.3);
+  EXPECT_LT(score.pair_recall, 0.5);
+}
+
+TEST(SegmentationTest, ThresholdExtremes) {
+  std::vector<search::LoggedQuery> log = MakeLog({3, 3});
+  util::Rng rng(3);
+  adversary::SimulateArrivalTimes(&log, 0.05, 5.0, 10.0, 0.0, &rng);
+  // Huge threshold: everything is one segment (recall 1, precision low).
+  auto one = adversary::SegmentByGaps(log, 1e9);
+  ASSERT_EQ(one.size(), 1u);
+  auto score_one = adversary::ScoreSegmentation(one, log);
+  EXPECT_DOUBLE_EQ(score_one.pair_recall, 1.0);
+  EXPECT_LT(score_one.pair_precision, 1.0);
+  // Zero threshold: every query its own segment (no pairs at all).
+  auto atomized = adversary::SegmentByGaps(log, 0.0);
+  EXPECT_EQ(atomized.size(), log.size());
+  auto score_atom = adversary::ScoreSegmentation(atomized, log);
+  EXPECT_DOUBLE_EQ(score_atom.pair_recall, 0.0);
+}
+
+TEST(SegmentationTest, EmptyLog) {
+  std::vector<search::LoggedQuery> log;
+  EXPECT_TRUE(adversary::SegmentByGaps(log, 1.0).empty());
+  auto score = adversary::ScoreSegmentation({}, log);
+  EXPECT_DOUBLE_EQ(score.pair_precision, 0.0);
+}
+
+}  // namespace
+}  // namespace toppriv

@@ -1,0 +1,295 @@
+// Unit and property tests for the search engine substrate.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/engine.h"
+#include "search/eval.h"
+#include "search/scorer.h"
+#include "search/topk.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace toppriv::search {
+namespace {
+
+// ------------------------------------------------------------------ TopK --
+
+TEST(TopKTest, KeepsHighestScores) {
+  TopK topk(3);
+  topk.Offer(0, 1.0);
+  topk.Offer(1, 5.0);
+  topk.Offer(2, 3.0);
+  topk.Offer(3, 4.0);
+  topk.Offer(4, 0.5);
+  std::vector<ScoredDoc> out = topk.Finish();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].doc, 1u);
+  EXPECT_EQ(out[1].doc, 3u);
+  EXPECT_EQ(out[2].doc, 2u);
+}
+
+TEST(TopKTest, TiesBreakTowardsLowerDocIds) {
+  TopK topk(2);
+  topk.Offer(9, 1.0);
+  topk.Offer(3, 1.0);
+  topk.Offer(5, 1.0);
+  std::vector<ScoredDoc> out = topk.Finish();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 3u);
+  EXPECT_EQ(out[1].doc, 5u);
+}
+
+TEST(TopKTest, FewerThanK) {
+  TopK topk(10);
+  topk.Offer(1, 2.0);
+  topk.Offer(0, 1.0);
+  std::vector<ScoredDoc> out = topk.Finish();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 1u);
+}
+
+class TopKProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKProperty, MatchesNaiveSort) {
+  util::Rng rng(GetParam() * 31 + 7);
+  const size_t n = 500;
+  std::vector<ScoredDoc> all;
+  TopK topk(GetParam());
+  for (size_t i = 0; i < n; ++i) {
+    double score = rng.Uniform() * 10.0;
+    // Duplicate scores occasionally to exercise tie-breaking.
+    if (rng.Bernoulli(0.3)) score = std::floor(score);
+    all.push_back({static_cast<corpus::DocId>(i), score});
+    topk.Offer(static_cast<corpus::DocId>(i), score);
+  }
+  std::sort(all.begin(), all.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  all.resize(std::min(GetParam(), n));
+  std::vector<ScoredDoc> got = topk.Finish();
+  ASSERT_EQ(got.size(), all.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].doc, all[i].doc) << "rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].score, all[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKProperty,
+                         ::testing::Values(1, 2, 5, 10, 50, 499, 500, 600));
+
+// ---------------------------------------------------------------- Scorers --
+
+TEST(ScorerTest, Bm25MonotoneInTf) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  Bm25Scorer scorer;
+  double s1 = scorer.TermScore(index, 0, 1, 2, 1);
+  double s2 = scorer.TermScore(index, 0, 3, 2, 1);
+  EXPECT_GT(s2, s1);
+  EXPECT_GT(s1, 0.0);
+}
+
+TEST(ScorerTest, Bm25RarerTermsScoreHigher) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  Bm25Scorer scorer;
+  double rare = scorer.TermScore(index, 0, 2, 1, 1);
+  double common = scorer.TermScore(index, 0, 2, 4, 1);
+  EXPECT_GT(rare, common);
+}
+
+TEST(ScorerTest, TfIdfNormalizationDividesBySqrtLength) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  TfIdfCosineScorer scorer;
+  // doc 2 has length 5.
+  EXPECT_NEAR(scorer.Normalize(index, 2, 10.0), 10.0 / std::sqrt(5.0), 1e-12);
+}
+
+TEST(ScorerTest, TfIdfZeroDfIsZero) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  TfIdfCosineScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.TermScore(index, 0, 3, 0, 1), 0.0);
+}
+
+TEST(ScorerTest, LmDirichletPrefersMatchingDocs) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  LmDirichletScorer scorer(c, 100.0);
+  double with_term = scorer.TermScore(index, 0, 2, 3, 1);
+  EXPECT_GT(with_term, 0.0);
+}
+
+TEST(ScorerTest, Names) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  EXPECT_EQ(TfIdfCosineScorer().Name(), "tfidf-cosine");
+  EXPECT_EQ(Bm25Scorer().Name(), "bm25");
+  EXPECT_EQ(LmDirichletScorer(c).Name(), "lm-dirichlet");
+}
+
+// ----------------------------------------------------------------- Engine --
+
+TEST(EngineTest, FindsMatchingDocuments) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  SearchEngine engine(c, index, MakeBm25Scorer());
+  text::TermId tank = c.vocabulary().Lookup("tank");
+  std::vector<ScoredDoc> results = engine.Search({tank}, 10);
+  // Docs 0, 1, 3 contain "tank"; doc 2 does not.
+  ASSERT_EQ(results.size(), 3u);
+  for (const ScoredDoc& sd : results) EXPECT_NE(sd.doc, 2u);
+  // war1 has tank twice in 3 tokens: highest score.
+  EXPECT_EQ(results[0].doc, 0u);
+}
+
+TEST(EngineTest, MatchesBruteForceScoring) {
+  const auto& world = toppriv::testing::World();
+  SearchEngine engine(world.corpus, world.index, MakeBm25Scorer());
+  Bm25Scorer reference;
+
+  util::Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random 3-term query over the vocabulary.
+    std::vector<text::TermId> query;
+    for (int i = 0; i < 3; ++i) {
+      query.push_back(static_cast<text::TermId>(
+          rng.UniformInt(uint64_t{world.corpus.vocabulary_size()})));
+    }
+    std::vector<ScoredDoc> got = engine.Evaluate(query, 20);
+
+    // Brute force: score every document directly.
+    std::map<text::TermId, uint32_t> qtf;
+    for (text::TermId t : query) ++qtf[t];
+    TopK expected(20);
+    for (const corpus::Document& d : world.corpus.documents()) {
+      std::map<text::TermId, uint32_t> tf;
+      for (text::TermId t : d.tokens) ++tf[t];
+      double score = 0.0;
+      bool any = false;
+      for (const auto& [term, qcount] : qtf) {
+        auto it = tf.find(term);
+        if (it == tf.end()) continue;
+        any = true;
+        score += reference.TermScore(world.index, d.id, it->second,
+                                     world.index.DocFreq(term), qcount);
+      }
+      if (any) expected.Offer(d.id, score);
+    }
+    std::vector<ScoredDoc> want = expected.Finish();
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doc, want[i].doc);
+      EXPECT_NEAR(got[i].score, want[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(EngineTest, EmptyQueryReturnsNothing) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  SearchEngine engine(c, index, MakeBm25Scorer());
+  EXPECT_TRUE(engine.Search({}, 10).empty());
+  EXPECT_TRUE(engine.Evaluate({0}, 0).empty());
+}
+
+TEST(EngineTest, QueryLogRecordsEverything) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  SearchEngine engine(c, index, MakeBm25Scorer());
+  engine.Search({0}, 5, /*cycle_id=*/1);
+  engine.Search({1, 2}, 5, /*cycle_id=*/1);
+  engine.Search({3}, 5, /*cycle_id=*/2);
+  const QueryLog& log = engine.query_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.entries()[0].cycle_id, 1u);
+  EXPECT_EQ(log.entries()[1].cycle_id, 1u);
+  EXPECT_EQ(log.entries()[2].cycle_id, 2u);
+  EXPECT_EQ(log.entries()[1].terms, (std::vector<text::TermId>{1, 2}));
+  EXPECT_EQ(log.entries()[0].sequence, 0u);
+  EXPECT_EQ(log.entries()[2].sequence, 2u);
+  engine.mutable_query_log().Clear();
+  EXPECT_EQ(engine.query_log().size(), 0u);
+}
+
+TEST(EngineTest, EvaluateDoesNotLog) {
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  index::InvertedIndex index = index::InvertedIndex::Build(c);
+  SearchEngine engine(c, index, MakeBm25Scorer());
+  engine.Evaluate({0}, 5);
+  EXPECT_EQ(engine.query_log().size(), 0u);
+}
+
+// ------------------------------------------------------------------- Eval --
+
+TEST(EvalTest, PrecisionRecallKnownCase) {
+  std::vector<ScoredDoc> ranked = {{1, .9}, {2, .8}, {3, .7}, {4, .6}};
+  std::vector<corpus::DocId> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 4), 2.0 / 3.0);
+}
+
+TEST(EvalTest, AveragePrecisionKnownCase) {
+  std::vector<ScoredDoc> ranked = {{1, .9}, {2, .8}, {3, .7}};
+  std::vector<corpus::DocId> relevant = {1, 3};
+  // Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision(ranked, relevant), (1.0 + 2.0 / 3.0) / 2.0,
+              1e-12);
+}
+
+TEST(EvalTest, NdcgPerfectRankingIsOne) {
+  std::vector<ScoredDoc> ranked = {{1, .9}, {2, .8}, {3, .7}};
+  std::vector<corpus::DocId> relevant = {1, 2};
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 3), 1.0, 1e-12);
+  // Relevant docs at the bottom score lower.
+  std::vector<ScoredDoc> bad = {{3, .9}, {1, .8}, {2, .7}};
+  EXPECT_LT(NdcgAtK(bad, relevant, 3), 1.0);
+}
+
+TEST(EvalTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {1}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({{1, 1.0}}, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, {}, 5), 0.0);
+}
+
+TEST(EvalTest, SameRanking) {
+  std::vector<ScoredDoc> a = {{1, 1.0}, {2, 0.5}};
+  std::vector<ScoredDoc> b = {{1, 1.0 + 1e-12}, {2, 0.5}};
+  std::vector<ScoredDoc> c = {{2, 1.0}, {1, 0.5}};
+  EXPECT_TRUE(SameRanking(a, b, 1e-9));
+  EXPECT_FALSE(SameRanking(a, c, 1e-9));
+  EXPECT_FALSE(SameRanking(a, {}, 1e-9));
+}
+
+TEST(EvalTest, RetrievalQualityOnTopicalQueries) {
+  // Sanity check of the whole retrieval substrate: for a topical query, the
+  // top results should be documents whose ground-truth mixture favors the
+  // query's intent topic.
+  const auto& world = toppriv::testing::World();
+  SearchEngine engine(world.corpus, world.index, MakeBm25Scorer());
+  size_t good = 0, total = 0;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const corpus::BenchmarkQuery& q = world.workload[qi];
+    std::vector<ScoredDoc> results = engine.Evaluate(q.term_ids, 5);
+    for (const ScoredDoc& sd : results) {
+      const corpus::Document& d = world.corpus.document(sd.doc);
+      float intent_mass = 0.f;
+      for (uint32_t t : q.intent_topics) intent_mass += d.true_mixture[t];
+      ++total;
+      if (intent_mass > 0.2f) ++good;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(good) / static_cast<double>(total), 0.7);
+}
+
+}  // namespace
+}  // namespace toppriv::search

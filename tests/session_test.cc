@@ -1,0 +1,241 @@
+// Tests for the session-hardened protector, the pLSA alternative and the
+// cross-cycle intersection attack (extensions beyond the paper's per-cycle
+// analysis; see DESIGN.md section 5).
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/intersection.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/inference.h"
+#include "topicmodel/plsa.h"
+#include "toppriv/session.h"
+
+namespace toppriv {
+namespace {
+
+using toppriv::testing::World;
+
+// ---------------------------------------------------------------- Session --
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : inferencer_(World().model) {}
+
+  // Repeats the same user query n times through a protector, returning the
+  // resulting cycle views (same-intent session).
+  std::vector<adversary::CycleView> RepeatQuery(core::SessionProtector* sp,
+                                                size_t query_index, size_t n,
+                                                uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<adversary::CycleView> views;
+    for (size_t i = 0; i < n; ++i) {
+      core::QueryCycle cycle =
+          sp->Protect(World().workload[query_index].term_ids, &rng);
+      views.push_back(adversary::CycleView{cycle.queries, cycle.user_index,
+                                           cycle.intention});
+    }
+    return views;
+  }
+
+  topicmodel::LdaInferencer inferencer_;
+};
+
+TEST_F(SessionTest, CoverStoryGrowsThenStabilizes) {
+  core::PrivacySpec spec;
+  core::SessionProtector protector(World().model, inferencer_, spec);
+  EXPECT_TRUE(protector.cover_story().empty());
+  RepeatQuery(&protector, 0, 1, 1);
+  std::vector<topicmodel::TopicId> after_one = protector.cover_story();
+  EXPECT_FALSE(after_one.empty());
+  RepeatQuery(&protector, 0, 4, 2);
+  std::vector<topicmodel::TopicId> after_five = protector.cover_story();
+  // The cover story is reused, so it should not balloon with repetition.
+  EXPECT_LE(after_five.size(),
+            after_one.size() + 4);  // near-stable, not 4x growth
+}
+
+TEST_F(SessionTest, SessionCyclesStillMeetEpsilon2) {
+  core::PrivacySpec spec;  // (5%, 1%)
+  core::SessionProtector protector(World().model, inferencer_, spec);
+  util::Rng rng(3);
+  for (size_t i = 0; i < 6; ++i) {
+    core::QueryCycle cycle =
+        protector.Protect(World().workload[0].term_ids, &rng);
+    if (!cycle.intention.empty()) {
+      EXPECT_TRUE(cycle.met_epsilon2);
+    }
+  }
+}
+
+TEST_F(SessionTest, SessionReusesMaskingTopics) {
+  core::PrivacySpec spec;
+  core::SessionProtector protector(World().model, inferencer_, spec);
+  std::vector<adversary::CycleView> views;
+  util::Rng rng(4);
+  std::vector<std::set<topicmodel::TopicId>> used_per_cycle;
+  for (size_t i = 0; i < 5; ++i) {
+    core::QueryCycle cycle =
+        protector.Protect(World().workload[0].term_ids, &rng);
+    used_per_cycle.push_back({cycle.masking_topics.begin(),
+                              cycle.masking_topics.end()});
+  }
+  // Later cycles should overlap heavily with the first cycle's topics.
+  size_t overlap = 0, total = 0;
+  for (size_t i = 1; i < used_per_cycle.size(); ++i) {
+    for (topicmodel::TopicId t : used_per_cycle[i]) {
+      ++total;
+      if (used_per_cycle[0].count(t)) ++overlap;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(overlap) / static_cast<double>(total), 0.6);
+}
+
+// ----------------------------------------------------------- Intersection --
+
+TEST_F(SessionTest, IntersectionAttackBeatsStatelessTopPriv) {
+  // Stateless per-cycle protection: masking topics churn, so intersecting
+  // candidate sets across a same-intent session isolates the intention.
+  core::PrivacySpec spec;
+  topicmodel::LdaInferencer inferencer(World().model);
+  core::GhostQueryGenerator stateless(World().model, inferencer, spec);
+
+  adversary::IntersectionAttack attack(World().model, inferencer);
+  double stateless_precision = 0.0, session_precision = 0.0;
+  double stateless_survivors = 0.0, session_survivors = 0.0;
+  size_t evaluated = 0;
+  for (size_t qi = 0; qi < 6; ++qi) {
+    // Build an 8-cycle same-intent session under both protectors.
+    util::Rng rng(100 + qi);
+    std::vector<adversary::CycleView> stateless_views;
+    for (size_t i = 0; i < 8; ++i) {
+      core::QueryCycle cycle =
+          stateless.Protect(World().workload[qi].term_ids, &rng);
+      stateless_views.push_back(adversary::CycleView{
+          cycle.queries, cycle.user_index, cycle.intention});
+    }
+    if (stateless_views.front().true_intention.empty()) continue;
+
+    core::SessionProtector session(World().model, inferencer, spec);
+    std::vector<adversary::CycleView> session_views =
+        RepeatQuery(&session, qi, 8, 200 + qi);
+
+    stateless_precision += attack.Evaluate(stateless_views, 6).precision;
+    session_precision += attack.Evaluate(session_views, 6).precision;
+    stateless_survivors +=
+        static_cast<double>(attack.Intersect(stateless_views, 6).size());
+    session_survivors +=
+        static_cast<double>(attack.Intersect(session_views, 6).size());
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 3u);
+  // Against the stateless scheme the masking topics churn, so only a small
+  // set survives the intersection and most survivors are genuine (that is
+  // the new attack). The session-hardened protector keeps its cover story
+  // inside the intersection, so the adversary is left with a large
+  // ambiguous set and low precision (it cannot tell cover from intention).
+  EXPECT_LT(stateless_survivors / evaluated, 3.0);
+  EXPECT_GT(stateless_precision / evaluated, 0.4);
+  EXPECT_GT(session_survivors / evaluated,
+            stateless_survivors / evaluated + 1.5);
+  EXPECT_LT(session_precision, stateless_precision * 0.75);
+}
+
+TEST_F(SessionTest, IntersectionSingleCycleEqualsTopM) {
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(World().model, inferencer_, spec);
+  util::Rng rng(5);
+  core::QueryCycle cycle =
+      generator.Protect(World().workload[0].term_ids, &rng);
+  adversary::CycleView view{cycle.queries, cycle.user_index, cycle.intention};
+
+  adversary::IntersectionAttack attack(World().model, inferencer_);
+  adversary::TopicInferenceAttack single(World().model, inferencer_);
+  std::vector<topicmodel::TopicId> a = attack.Intersect({view}, 4);
+  std::vector<topicmodel::TopicId> b = single.GuessIntention(view, 4);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------------- pLSA --
+
+TEST(PlsaTest, ProducesNormalizedDistributions) {
+  topicmodel::PlsaOptions options;
+  options.num_topics = 20;
+  options.iterations = 25;
+  topicmodel::LdaModel model =
+      topicmodel::PlsaTrainer(options).Train(World().corpus);
+  EXPECT_EQ(model.num_topics(), 20u);
+  for (size_t t = 0; t < model.num_topics(); ++t) {
+    double sum = 0.0;
+    for (size_t w = 0; w < model.vocab_size(); ++w) {
+      double p = model.Phi(static_cast<topicmodel::TopicId>(t),
+                           static_cast<text::TermId>(w));
+      EXPECT_GT(p, 0.0);  // smoothing guarantees support
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-3);
+  }
+  double prior_sum = 0.0;
+  for (double p : model.prior()) prior_sum += p;
+  EXPECT_NEAR(prior_sum, 1.0, 1e-6);
+}
+
+TEST(PlsaTest, DeterministicAndSeedSensitive) {
+  topicmodel::PlsaOptions options;
+  options.num_topics = 8;
+  options.iterations = 10;
+  corpus::GeneratorParams params;
+  params.num_docs = 80;
+  params.tail_vocab_size = 150;
+  corpus::Corpus c = corpus::CorpusGenerator(params).Generate();
+  topicmodel::LdaModel a = topicmodel::PlsaTrainer(options).Train(c);
+  topicmodel::LdaModel b = topicmodel::PlsaTrainer(options).Train(c);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  options.seed += 1;
+  topicmodel::LdaModel d = topicmodel::PlsaTrainer(options).Train(c);
+  EXPECT_NE(a.Serialize(), d.Serialize());
+}
+
+TEST(PlsaTest, LearnsTopicalStructure) {
+  topicmodel::PlsaOptions options;
+  options.num_topics = 35;
+  options.iterations = 30;
+  topicmodel::LdaModel model =
+      topicmodel::PlsaTrainer(options).Train(World().corpus);
+  // The model should fit the corpus far better than a uniform model:
+  // per-token log-likelihood above log(1/V) by a wide margin.
+  double ll =
+      topicmodel::GibbsTrainer::LogLikelihoodPerToken(model, World().corpus);
+  double uniform_ll =
+      -std::log(static_cast<double>(World().corpus.vocabulary_size()));
+  EXPECT_GT(ll, uniform_ll + 1.5);
+}
+
+TEST(PlsaTest, SupportsTopPrivEndToEnd) {
+  // The packaged pLSA parameters must drive the whole TopPriv pipeline.
+  topicmodel::PlsaOptions options;
+  options.num_topics = 25;
+  options.iterations = 25;
+  topicmodel::LdaModel model =
+      topicmodel::PlsaTrainer(options).Train(World().corpus);
+  topicmodel::LdaInferencer inferencer(model);
+  core::PrivacySpec spec;
+  core::GhostQueryGenerator generator(model, inferencer, spec);
+  util::Rng rng(6);
+  size_t suppressed = 0, with_intent = 0;
+  for (size_t qi = 0; qi < 8; ++qi) {
+    core::QueryCycle cycle =
+        generator.Protect(World().workload[qi].term_ids, &rng);
+    if (cycle.intention.empty()) continue;
+    ++with_intent;
+    if (cycle.exposure_after < cycle.exposure_before) ++suppressed;
+  }
+  ASSERT_GT(with_intent, 2u);
+  EXPECT_EQ(suppressed, with_intent);
+}
+
+}  // namespace
+}  // namespace toppriv

@@ -1,0 +1,240 @@
+// Unit tests for the text-analysis substrate.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace toppriv::text {
+namespace {
+
+// -------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, HyphenatedCompoundsSplit) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("clean-room AH-64"),
+            (std::vector<std::string>{"clean", "room", "ah", "64"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  Tokenizer tok;  // min length 2
+  EXPECT_EQ(tok.Tokenize("a bc d ef"),
+            (std::vector<std::string>{"bc", "ef"}));
+}
+
+TEST(TokenizerTest, MinLengthOne) {
+  TokenizerOptions opts;
+  opts.min_token_length = 1;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("a bc"), (std::vector<std::string>{"a", "bc"}));
+}
+
+TEST(TokenizerTest, DropsOversizedRunsEntirely) {
+  TokenizerOptions opts;
+  opts.max_token_length = 5;
+  Tokenizer tok(opts);
+  // The 9-char run must be dropped, not truncated to a 5-char prefix.
+  EXPECT_EQ(tok.Tokenize("abcdefghi ok"),
+            (std::vector<std::string>{"ok"}));
+}
+
+TEST(TokenizerTest, NumberHandling) {
+  TokenizerOptions keep;
+  keep.keep_numbers = true;
+  EXPECT_EQ(Tokenizer(keep).Tokenize("sq 333 changi"),
+            (std::vector<std::string>{"sq", "333", "changi"}));
+  TokenizerOptions drop;
+  drop.keep_numbers = false;
+  EXPECT_EQ(Tokenizer(drop).Tokenize("sq 333 changi"),
+            (std::vector<std::string>{"sq", "changi"}));
+}
+
+TEST(TokenizerTest, EmptyAndDelimiterOnlyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("... --- !!!").empty());
+}
+
+// -------------------------------------------------------------- Stopwords --
+
+TEST(StopwordsTest, CommonWordsPresent) {
+  const StopwordList& sw = DefaultStopwords();
+  EXPECT_TRUE(sw.Contains("the"));
+  EXPECT_TRUE(sw.Contains("a"));
+  EXPECT_TRUE(sw.Contains("because"));
+  EXPECT_FALSE(sw.Contains("helicopter"));
+  EXPECT_FALSE(sw.Contains("tank"));
+  EXPECT_GT(sw.size(), 100u);
+}
+
+// ----------------------------------------------------------------- Porter --
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterKnownVectors : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterKnownVectors, StemsCorrectly) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().word), GetParam().stem)
+      << "word: " << GetParam().word;
+}
+
+// Vectors cross-checked against Porter's reference implementation.
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, PorterKnownVectors,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"digitizer", "digit"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"formaliti", "formal"}, StemCase{"triplicate", "triplic"},
+        StemCase{"formative", "form"}, StemCase{"formalize", "formal"},
+        StemCase{"electricity", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+        StemCase{"homologous", "homolog"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"}, StemCase{"roll", "roll"}));
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("at"), "at");
+  EXPECT_EQ(stemmer.Stem("by"), "by");
+}
+
+TEST(PorterTest, NonAlphaUnchanged) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("ah-64"), "ah-64");
+  EXPECT_EQ(stemmer.Stem("123"), "123");
+}
+
+// ------------------------------------------------------------- Vocabulary --
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  TermId a1 = vocab.AddTerm("apache");
+  TermId a2 = vocab.AddTerm("apache");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.TermString(a1), "apache");
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.AddTerm("tank");
+  EXPECT_EQ(vocab.Lookup("helicopter"), kInvalidTerm);
+  EXPECT_TRUE(vocab.Contains("tank"));
+  EXPECT_FALSE(vocab.Contains("helicopter"));
+}
+
+TEST(VocabularyTest, IdsAreDense) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.AddTerm("a"), 0u);
+  EXPECT_EQ(vocab.AddTerm("b"), 1u);
+  EXPECT_EQ(vocab.AddTerm("c"), 2u);
+}
+
+TEST(VocabularyTest, CountsAccumulate) {
+  Vocabulary vocab;
+  TermId t = vocab.AddTerm("stock");
+  vocab.AddCounts(t, 1, 3);
+  vocab.AddCounts(t, 1, 2);
+  EXPECT_EQ(vocab.DocFreq(t), 2u);
+  EXPECT_EQ(vocab.CollectionFreq(t), 5u);
+  EXPECT_EQ(vocab.total_tokens(), 5u);
+}
+
+TEST(VocabularyTest, SerializeRoundtrip) {
+  Vocabulary vocab;
+  TermId a = vocab.AddTerm("alpha");
+  TermId b = vocab.AddTerm("beta");
+  vocab.AddCounts(a, 2, 7);
+  vocab.AddCounts(b, 1, 1);
+  auto restored = Vocabulary::Deserialize(vocab.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->Lookup("alpha"), a);
+  EXPECT_EQ(restored->DocFreq(a), 2u);
+  EXPECT_EQ(restored->CollectionFreq(a), 7u);
+  EXPECT_EQ(restored->total_tokens(), 8u);
+}
+
+TEST(VocabularyTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(Vocabulary::Deserialize("!!!garbage").ok());
+}
+
+// --------------------------------------------------------------- Analyzer --
+
+TEST(AnalyzerTest, RemovesStopwords) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("the apache helicopter is a weapon"),
+            (std::vector<std::string>{"apache", "helicopter", "weapon"}));
+}
+
+TEST(AnalyzerTest, KeepStopwordsWhenDisabled) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  Analyzer analyzer(opts);
+  EXPECT_EQ(analyzer.Analyze("the tank"),
+            (std::vector<std::string>{"the", "tank"}));
+}
+
+TEST(AnalyzerTest, StemmingPipeline) {
+  AnalyzerOptions opts;
+  opts.stem = true;
+  Analyzer analyzer(opts);
+  EXPECT_EQ(analyzer.Analyze("helicopters flying"),
+            (std::vector<std::string>{"helicopt", "fly"}));
+}
+
+TEST(AnalyzerTest, InternAndLookupPaths) {
+  Analyzer analyzer;
+  Vocabulary vocab;
+  std::vector<TermId> ids =
+      analyzer.AnalyzeAndIntern("apache helicopter apache", &vocab);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(vocab.size(), 2u);
+
+  // Lookup path drops unknown terms instead of interning them.
+  std::vector<TermId> lookup =
+      analyzer.AnalyzeWithVocabulary("apache submarine", vocab);
+  EXPECT_EQ(lookup, (std::vector<TermId>{ids[0]}));
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+}  // namespace
+}  // namespace toppriv::text
