@@ -11,7 +11,7 @@ namespace toppriv::baselines {
 namespace {
 
 // Euclidean distance in factor space.
-double Distance(std::span<const float> a, std::span<const float> b) {
+double Distance(util::Span<const float> a, util::Span<const float> b) {
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     double d = static_cast<double>(a[i]) - b[i];
@@ -56,7 +56,7 @@ CanonicalQueryScheme::CanonicalQueryScheme(const corpus::Corpus& corpus,
   util::Rng rng(options_.seed);
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (assigned[i]) continue;
-    std::span<const float> seed_vec = lsa_.TermVector(candidates[i]);
+    util::Span<const float> seed_vec = lsa_.TermVector(candidates[i]);
     // Collect the nearest unassigned neighbors of the seed.
     std::vector<std::pair<double, size_t>> near;
     for (size_t j = 0; j < candidates.size(); ++j) {
@@ -77,7 +77,7 @@ CanonicalQueryScheme::CanonicalQueryScheme(const corpus::Corpus& corpus,
     // Centroid and popularity.
     query.centroid.assign(lsa_.num_factors(), 0.f);
     for (text::TermId w : query.terms) {
-      std::span<const float> v = lsa_.TermVector(w);
+      util::Span<const float> v = lsa_.TermVector(w);
       for (size_t f = 0; f < v.size(); ++f) query.centroid[f] += v[f];
       query.popularity += static_cast<double>(vocab.CollectionFreq(w));
     }

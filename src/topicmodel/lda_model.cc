@@ -42,7 +42,7 @@ std::vector<WordProb> LdaModel::TopWords(TopicId t, size_t k) const {
   TOPPRIV_CHECK_LT(t, num_topics_);
   std::vector<WordProb> all;
   all.reserve(vocab_size_);
-  std::span<const float> row = PhiRow(t);
+  util::Span<const float> row = PhiRow(t);
   for (size_t w = 0; w < vocab_size_; ++w) {
     all.push_back(WordProb{static_cast<text::TermId>(w), row[w]});
   }

@@ -4,11 +4,11 @@
 #define TOPPRIV_TOPICMODEL_LDA_MODEL_H_
 
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "text/vocabulary.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace toppriv::topicmodel {
@@ -53,7 +53,7 @@ class LdaModel {
     return phi_[static_cast<size_t>(t) * vocab_size_ + w];
   }
   /// Row view of Pr(.|t).
-  std::span<const float> PhiRow(TopicId t) const {
+  util::Span<const float> PhiRow(TopicId t) const {
     return {phi_.data() + static_cast<size_t>(t) * vocab_size_, vocab_size_};
   }
 

@@ -70,7 +70,7 @@ void Orthonormalize(std::vector<std::vector<double>>* vectors) {
 
 }  // namespace
 
-std::span<const float> LsaModel::TermVector(text::TermId term) const {
+util::Span<const float> LsaModel::TermVector(text::TermId term) const {
   TOPPRIV_CHECK_LT(term, vocab_size_);
   return {term_factors_.data() + static_cast<size_t>(term) * num_factors_,
           num_factors_};
@@ -84,7 +84,7 @@ std::vector<float> LsaModel::ProjectQuery(
     if (t < vocab_size_) ++tf[t];
   }
   for (const auto& [term, count] : tf) {
-    std::span<const float> row = TermVector(term);
+    util::Span<const float> row = TermVector(term);
     float weight =
         (1.f + std::log(static_cast<float>(count))) * idf_[term];
     for (size_t f = 0; f < num_factors_; ++f) out[f] += weight * row[f];
@@ -92,7 +92,7 @@ std::vector<float> LsaModel::ProjectQuery(
   return out;
 }
 
-double LsaModel::Cosine(std::span<const float> a, std::span<const float> b) {
+double LsaModel::Cosine(util::Span<const float> a, util::Span<const float> b) {
   TOPPRIV_CHECK_EQ(a.size(), b.size());
   double dot = 0.0, na = 0.0, nb = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {

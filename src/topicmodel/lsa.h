@@ -10,11 +10,11 @@
 #define TOPPRIV_TOPICMODEL_LSA_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "corpus/corpus.h"
 #include "text/vocabulary.h"
+#include "util/span.h"
 
 namespace toppriv::topicmodel {
 
@@ -46,7 +46,7 @@ class LsaModel {
   size_t vocab_size() const { return vocab_size_; }
 
   /// Row of U for a term (all-zero for terms dropped by min_doc_freq).
-  std::span<const float> TermVector(text::TermId term) const;
+  util::Span<const float> TermVector(text::TermId term) const;
 
   /// Singular values, descending.
   const std::vector<float>& singular_values() const {
@@ -58,7 +58,7 @@ class LsaModel {
   std::vector<float> ProjectQuery(const std::vector<text::TermId>& terms) const;
 
   /// Cosine similarity of two factor-space vectors (0 if either is ~0).
-  static double Cosine(std::span<const float> a, std::span<const float> b);
+  static double Cosine(util::Span<const float> a, util::Span<const float> b);
 
  private:
   friend class LsaTrainer;

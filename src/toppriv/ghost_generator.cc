@@ -50,7 +50,7 @@ const std::vector<double>& GhostQueryGenerator::TopicCdf(
   TOPPRIV_CHECK_LT(topic, topic_cdfs_.size());
   std::vector<double>& cdf = topic_cdfs_[topic];
   if (cdf.empty()) {
-    std::span<const float> row = model_.PhiRow(topic);
+    util::Span<const float> row = model_.PhiRow(topic);
     cdf.reserve(row.size());
     double acc = 0.0;
     for (float p : row) {

@@ -1,0 +1,40 @@
+// Minimal read/write view over a contiguous sequence — the C++17 subset of
+// std::span (which is C++20) that the topic-model layer needs.
+#ifndef TOPPRIV_UTIL_SPAN_H_
+#define TOPPRIV_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace toppriv::util {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() : data_(nullptr), size_(0) {}
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+  template <typename U>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+  template <typename U>
+  Span(std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+  constexpr Span subspan(std::size_t offset, std::size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_;
+  std::size_t size_;
+};
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_SPAN_H_

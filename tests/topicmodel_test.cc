@@ -22,7 +22,7 @@ using toppriv::testing::World;
 TEST(LdaModelTest, PhiRowsAreDistributions) {
   const LdaModel& model = World().model;
   for (size_t t = 0; t < model.num_topics(); ++t) {
-    std::span<const float> row = model.PhiRow(static_cast<TopicId>(t));
+    util::Span<const float> row = model.PhiRow(static_cast<TopicId>(t));
     double sum = 0.0;
     for (float p : row) {
       EXPECT_GE(p, 0.0f);
