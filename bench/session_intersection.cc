@@ -32,6 +32,15 @@ int main() {
 
   adversary::IntersectionAttack attack(model, inferencer);
 
+  // One CDF table for the hundreds of per-(user, n) generators below; a
+  // private table per generator would redo the O(T*V) build every
+  // iteration.
+  core::TopicCdfTable topic_cdfs(model);
+  core::GeneratorOptions generator_options;
+  generator_options.shared_topic_cdfs = &topic_cdfs;
+  core::SessionOptions session_options;
+  session_options.generator = generator_options;
+
   util::TablePrinter table({"cycles n", "scheme", "survivors", "precision",
                             "recall"});
 
@@ -44,7 +53,8 @@ int main() {
           fixture.workload()[user % fixture.workload().size()];
 
       // Stateless: fresh random masking topics every cycle.
-      core::GhostQueryGenerator stateless(model, inferencer, spec);
+      core::GhostQueryGenerator stateless(model, inferencer, spec,
+                                          generator_options);
       util::Rng rng_a(1000 + user * 37 + n);
       std::vector<adversary::CycleView> stateless_views;
       for (size_t i = 0; i < n; ++i) {
@@ -56,7 +66,8 @@ int main() {
       ++evaluated;
 
       // Session-hardened: persistent cover story.
-      core::SessionProtector session(model, inferencer, spec);
+      core::SessionProtector session(model, inferencer, spec,
+                                     session_options);
       util::Rng rng_b(2000 + user * 37 + n);
       std::vector<adversary::CycleView> session_views;
       for (size_t i = 0; i < n; ++i) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/io.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -26,11 +27,8 @@ std::string EnvString(const char* name, const std::string& fallback) {
 
 // FNV-1a over a byte string, for cache keys.
 uint64_t HashBytes(const std::string& s) {
-  uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
+  uint64_t h = util::kFnv1aOffsetBasis;
+  for (unsigned char c : s) h = util::Fnv1aStep(h, c);
   return h;
 }
 

@@ -89,11 +89,20 @@ util::StatusOr<InvertedIndex> InvertedIndex::Deserialize(
   util::BinaryReader r(bytes);
   uint64_t num_docs = 0;
   TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_docs));
+  // Every document length costs at least one varint byte, so a count larger
+  // than the remaining payload is hostile — without this bound a few-byte
+  // blob could demand a multi-gigabyte resize before any payload is read.
+  if (num_docs > r.remaining()) {
+    return util::Status::DataLoss("document count exceeds payload");
+  }
   InvertedIndex index;
   index.doc_lengths_.resize(num_docs);
   for (uint64_t i = 0; i < num_docs; ++i) {
     uint64_t len = 0;
     TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&len));
+    if (len > UINT32_MAX) {
+      return util::Status::DataLoss("document length overflows u32");
+    }
     index.doc_lengths_[i] = static_cast<uint32_t>(len);
     index.total_tokens_ += len;
   }
@@ -101,10 +110,18 @@ util::StatusOr<InvertedIndex> InvertedIndex::Deserialize(
   TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_terms));
   std::string body;
   TOPPRIV_RETURN_IF_ERROR(r.ReadString(&body));
+  // Each posting list costs at least one byte of `body` (an empty list is a
+  // single zero varint).
+  if (num_terms > body.size()) {
+    return util::Status::DataLoss("term count exceeds payload");
+  }
   size_t pos = 0;
   index.lists_.reserve(num_terms);
   for (uint64_t i = 0; i < num_terms; ++i) {
-    auto list = PostingList::DecodeFrom(body, &pos);
+    // Bounding doc ids by num_docs matters as much as the structural
+    // checks: consumers (the contiguous score accumulator, the doc-length
+    // lookups) index per-document arrays with posting doc ids.
+    auto list = PostingList::DecodeFrom(body, &pos, num_docs);
     if (!list.ok()) return list.status();
     index.lists_.push_back(std::move(list).value());
   }

@@ -68,20 +68,54 @@ void PostingList::EncodeTo(std::string* out) const {
   out->append(bytes_);
 }
 
-util::StatusOr<PostingList> PostingList::DecodeFrom(const std::string& buf,
-                                                    size_t* pos) {
+util::StatusOr<PostingList> PostingList::DecodeFrom(
+    const std::string& buf, size_t* pos, uint64_t max_doc_exclusive) {
   uint64_t count = 0, nbytes = 0;
   if (!util::DecodeVarint(buf, pos, &count) ||
       !util::DecodeVarint(buf, pos, &nbytes)) {
     return util::Status::DataLoss("posting list header overrun");
   }
-  if (*pos + nbytes > buf.size()) {
+  // Overflow-safe bound (hostile nbytes can wrap `*pos + nbytes`).
+  if (nbytes > buf.size() - *pos) {
     return util::Status::DataLoss("posting list body overrun");
   }
   PostingList list;
   list.count_ = static_cast<uint32_t>(count);
   list.bytes_ = buf.substr(*pos, nbytes);
   *pos += nbytes;
+  // Validate the body in one pass before anyone iterates it: the Iterator
+  // CHECK-aborts on malformed varints (fine for Builder-produced lists,
+  // fatal if attacker bytes reach it). The body must decode to exactly
+  // `count` (delta, tf) pairs consuming exactly `nbytes`, with every doc
+  // id below `max_doc_exclusive`. Doc ids accumulate in 64 bits here, so a
+  // hostile delta that would wrap the Iterator's 32-bit accumulation back
+  // into range is rejected too.
+  size_t body_pos = 0;
+  uint64_t pairs = 0;
+  uint64_t doc = 0;
+  bool first = true;
+  while (body_pos < list.bytes_.size()) {
+    uint64_t delta = 0, tf = 0;
+    if (!util::DecodeVarint(list.bytes_, &body_pos, &delta) ||
+        !util::DecodeVarint(list.bytes_, &body_pos, &tf)) {
+      return util::Status::DataLoss("posting list body malformed");
+    }
+    if (first) {
+      doc = delta;
+      first = false;
+    } else if (delta > UINT64_MAX - doc) {
+      return util::Status::DataLoss("posting doc id overflow");
+    } else {
+      doc += delta;
+    }
+    if (doc >= max_doc_exclusive) {
+      return util::Status::DataLoss("posting doc id out of range");
+    }
+    ++pairs;
+  }
+  if (pairs != count) {
+    return util::Status::DataLoss("posting list count mismatch");
+  }
   return list;
 }
 

@@ -78,10 +78,15 @@ class PostingList {
   /// Decodes the whole list (convenience for tests / scoring).
   std::vector<Posting> Decode() const;
 
-  /// Serialization.
+  /// Serialization. DecodeFrom validates the body structurally (exactly
+  /// `count` well-formed (delta, tf) pairs) before returning, so hostile
+  /// bytes never reach the CHECK-aborting Iterator, and rejects any doc id
+  /// at or above `max_doc_exclusive` (accumulated in 64 bits, so wrapped
+  /// hostile deltas cannot sneak back into range).
   void EncodeTo(std::string* out) const;
-  static util::StatusOr<PostingList> DecodeFrom(const std::string& buf,
-                                                size_t* pos);
+  static util::StatusOr<PostingList> DecodeFrom(
+      const std::string& buf, size_t* pos,
+      uint64_t max_doc_exclusive = UINT64_MAX);
 
  private:
   std::string bytes_;

@@ -6,6 +6,18 @@
 
 namespace toppriv::search {
 
+void EvalScratch::Prepare(size_t num_documents) {
+  if (scores_.size() < num_documents) {
+    // Scores need no initialization: a slot is only read after its
+    // first-touch assignment below.
+    scores_.resize(num_documents);
+    is_touched_.resize(num_documents, 0);
+  }
+  // Self-healing reset in case a previous query was abandoned mid-flight.
+  for (corpus::DocId doc : touched_) is_touched_[doc] = 0;
+  touched_.clear();
+}
+
 SearchEngine::SearchEngine(const corpus::Corpus& corpus,
                            const index::InvertedIndex& index,
                            std::unique_ptr<Scorer> scorer)
@@ -21,31 +33,57 @@ std::vector<ScoredDoc> SearchEngine::Search(
 
 std::vector<ScoredDoc> SearchEngine::Evaluate(
     const std::vector<text::TermId>& terms, size_t k) const {
+  static thread_local EvalScratch scratch;
+  return Evaluate(terms, k, &scratch);
+}
+
+std::vector<ScoredDoc> SearchEngine::Evaluate(
+    const std::vector<text::TermId>& terms, size_t k,
+    EvalScratch* scratch) const {
   if (terms.empty() || k == 0) return {};
 
-  // Collapse the query to (term, qtf) pairs.
+  scratch->Prepare(index_.num_documents());
+
+  // Collapse the query to (term, qtf) pairs. Deliberately a fresh map per
+  // call, not part of the scratch: a reused map's bucket history would
+  // change its iteration order — and with it the floating-point
+  // accumulation order — making results depend on what the thread ran
+  // before. Queries are a handful of terms; the per-document accumulator
+  // was the allocation that mattered.
   std::unordered_map<text::TermId, uint32_t> query_tf;
   for (text::TermId t : terms) ++query_tf[t];
 
-  // Term-at-a-time accumulation over posting lists; documents containing
-  // none of the query terms are never touched (the scalability property the
-  // paper's PIR discussion contrasts against).
-  std::unordered_map<corpus::DocId, double> accumulators;
+  // Term-at-a-time accumulation over posting lists into the contiguous
+  // per-document array; documents containing none of the query terms are
+  // never touched (the scalability property the paper's PIR discussion
+  // contrasts against). The first touch assigns 0.0 before accumulating so
+  // the arithmetic matches the old hash-map accumulator bit for bit.
+  std::vector<double>& scores = scratch->scores_;
+  std::vector<char>& is_touched = scratch->is_touched_;
+  std::vector<corpus::DocId>& touched = scratch->touched_;
   for (const auto& [term, qtf] : query_tf) {
     const index::PostingList& list = index_.Postings(term);
     uint32_t df = list.size();
     if (df == 0) continue;
     for (auto it = list.begin(); it.Valid(); it.Next()) {
       const index::Posting& p = it.Get();
-      accumulators[p.doc] +=
-          scorer_->TermScore(index_, p.doc, p.tf, df, qtf);
+      TOPPRIV_DCHECK(p.doc < scores.size());
+      if (!is_touched[p.doc]) {
+        is_touched[p.doc] = 1;
+        touched.push_back(p.doc);
+        scores[p.doc] = 0.0;
+      }
+      scores[p.doc] += scorer_->TermScore(index_, p.doc, p.tf, df, qtf);
     }
   }
 
   TopK topk(k);
-  for (const auto& [doc, acc] : accumulators) {
-    topk.Offer(doc, scorer_->Normalize(index_, doc, acc));
+  for (corpus::DocId doc : touched) {
+    topk.Offer(doc, scorer_->Normalize(index_, doc, scores[doc]));
   }
+  // Leave the scratch clean for the next query (O(touched), not O(docs)).
+  for (corpus::DocId doc : touched) is_touched[doc] = 0;
+  touched.clear();
   return topk.Finish();
 }
 

@@ -16,6 +16,30 @@
 
 namespace toppriv::search {
 
+/// Reusable evaluation scratch: a contiguous score accumulator with one
+/// slot per document, plus the touched-document list that makes clearing
+/// O(touched) instead of O(num_documents). Reusing one scratch across
+/// queries removes the per-query hash-map allocation that used to dominate
+/// Evaluate. Not thread-safe: one scratch per thread (the scratch-less
+/// Evaluate overload keeps a thread-local one).
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+  EvalScratch(const EvalScratch&) = delete;
+  EvalScratch& operator=(const EvalScratch&) = delete;
+
+ private:
+  friend class SearchEngine;
+
+  /// Grows the accumulator to cover `num_documents` and resets any state a
+  /// previous (possibly abandoned) query left behind.
+  void Prepare(size_t num_documents);
+
+  std::vector<double> scores_;
+  std::vector<char> is_touched_;
+  std::vector<corpus::DocId> touched_;
+};
+
 /// One entry in the engine-side query log: the adversary's view. Queries
 /// arrive as bags of term ids; the engine cannot tell user queries from
 /// ghost queries (that is the point of TopPriv).
@@ -71,9 +95,15 @@ class SearchEngine {
                                 size_t k, uint64_t cycle_id = 0);
 
   /// Term-at-a-time evaluation without logging (used internally and by
-  /// tests that compare against the logged path).
+  /// tests that compare against the logged path). Uses a thread-local
+  /// scratch, so concurrent callers (the serving driver's sessions) are
+  /// safe.
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
                                   size_t k) const;
+
+  /// Same, accumulating into the caller's scratch (identical results).
+  std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
+                                  size_t k, EvalScratch* scratch) const;
 
   const QueryLog& query_log() const { return log_; }
   QueryLog& mutable_query_log() { return log_; }

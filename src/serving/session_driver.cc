@@ -1,0 +1,132 @@
+#include "serving/session_driver.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace toppriv::serving {
+
+namespace {
+
+// Order-sensitive FNV-1a accumulator for the determinism digest.
+class Digest {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = util::Fnv1aStep(h_, (v >> (8 * i)) & 0xffu);
+    }
+  }
+  void MixDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = util::kFnv1aOffsetBasis;
+};
+
+}  // namespace
+
+SessionDriver::SessionDriver(const topicmodel::LdaModel& model,
+                             const topicmodel::LdaInferencer& inferencer,
+                             const search::SearchEngine& engine,
+                             DriverOptions options)
+    : model_(model),
+      inferencer_(inferencer),
+      engine_(engine),
+      options_(std::move(options)) {
+  TOPPRIV_CHECK(options_.spec.Validate().ok());
+  TOPPRIV_CHECK_GT(options_.top_k, 0u);
+  if (options_.session.generator.coherent_ghosts) {
+    topic_cdfs_.emplace(model_);
+    options_.session.generator.shared_topic_cdfs = &*topic_cdfs_;
+  }
+  const size_t num_threads = options_.num_threads == 0
+                                 ? util::ThreadPool::HardwareConcurrency()
+                                 : options_.num_threads;
+  if (num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads);
+  }
+}
+
+SessionStats SessionDriver::RunSession(uint64_t session_id,
+                                       const SessionWorkload& workload) const {
+  // Everything below depends only on (seed, session_id, workload): the
+  // protector, RNG stream and engine scratch are all session/thread-local.
+  util::Rng rng = util::Rng(options_.seed).Fork(session_id);
+  core::SessionProtector protector(model_, inferencer_, options_.spec,
+                                   options_.session);
+  SessionStats stats;
+  Digest digest;
+  for (const std::vector<text::TermId>& query : workload.queries) {
+    core::QueryCycle cycle = protector.Protect(query, &rng);
+    ++stats.cycles;
+    stats.ghosts += cycle.num_ghosts();
+    stats.generation_seconds += cycle.generation_seconds;
+    stats.exposure_after_sum += cycle.exposure_after;
+    if (cycle.met_epsilon2) ++stats.met_epsilon2;
+
+    digest.Mix(cycle.user_index);
+    digest.Mix(cycle.queries.size());
+    for (size_t i = 0; i < cycle.queries.size(); ++i) {
+      const std::vector<text::TermId>& q = cycle.queries[i];
+      digest.Mix(q.size());
+      for (text::TermId t : q) digest.Mix(t);
+      std::vector<search::ScoredDoc> results =
+          engine_.Evaluate(q, options_.top_k);
+      ++stats.queries_submitted;
+      digest.Mix(results.size());
+      for (const search::ScoredDoc& r : results) {
+        digest.Mix(r.doc);
+        digest.MixDouble(r.score);
+      }
+    }
+  }
+  stats.digest = digest.value();
+  return stats;
+}
+
+ServingReport SessionDriver::Run(const std::vector<SessionWorkload>& sessions) {
+  ServingReport report;
+  report.sessions.resize(sessions.size());
+  util::WallTimer timer;
+  if (pool_ == nullptr || sessions.size() <= 1) {
+    for (size_t s = 0; s < sessions.size(); ++s) {
+      report.sessions[s] = RunSession(s, sessions[s]);
+    }
+  } else {
+    pool_->ParallelFor(sessions.size(), [&](size_t s) {
+      report.sessions[s] = RunSession(s, sessions[s]);
+    });
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  for (const SessionStats& s : report.sessions) {
+    report.total_cycles += s.cycles;
+    report.total_queries += s.queries_submitted;
+  }
+  if (report.wall_seconds > 0.0) {
+    report.cycles_per_second =
+        static_cast<double>(report.total_cycles) / report.wall_seconds;
+    report.queries_per_second =
+        static_cast<double>(report.total_queries) / report.wall_seconds;
+  }
+  return report;
+}
+
+std::vector<SessionWorkload> DealSessions(
+    const std::vector<std::vector<text::TermId>>& queries,
+    size_t num_sessions) {
+  TOPPRIV_CHECK_GT(num_sessions, 0u);
+  std::vector<SessionWorkload> sessions(num_sessions);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sessions[i % num_sessions].queries.push_back(queries[i]);
+  }
+  return sessions;
+}
+
+}  // namespace toppriv::serving

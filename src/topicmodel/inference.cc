@@ -1,6 +1,7 @@
 #include "topicmodel/inference.h"
 
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace toppriv::topicmodel {
@@ -9,11 +10,8 @@ namespace {
 
 // FNV-1a over the term ids, so identical queries share an RNG stream.
 uint64_t HashTerms(const std::vector<text::TermId>& terms) {
-  uint64_t h = 1469598103934665603ull;
-  for (text::TermId t : terms) {
-    h ^= t;
-    h *= 1099511628211ull;
-  }
+  uint64_t h = util::kFnv1aOffsetBasis;
+  for (text::TermId t : terms) h = util::Fnv1aStep(h, t);
   return h;
 }
 
@@ -27,11 +25,19 @@ LdaInferencer::LdaInferencer(const LdaModel& model, InferenceOptions options)
 
 std::vector<double> LdaInferencer::InferQuery(
     const std::vector<text::TermId>& terms) const {
+  static thread_local InferenceWorkspace workspace;
+  return InferQuery(terms, &workspace);
+}
+
+std::vector<double> LdaInferencer::InferQuery(
+    const std::vector<text::TermId>& terms,
+    InferenceWorkspace* workspace) const {
   const size_t num_topics = model_.num_topics();
   const double alpha = model_.alpha();
 
   // Keep only in-vocabulary tokens.
-  std::vector<text::TermId> tokens;
+  std::vector<text::TermId>& tokens = workspace->tokens;
+  tokens.clear();
   tokens.reserve(terms.size());
   for (text::TermId t : terms) {
     if (t < model_.vocab_size()) tokens.push_back(t);
@@ -42,8 +48,10 @@ std::vector<double> LdaInferencer::InferQuery(
 
   util::Rng rng(options_.seed ^ HashTerms(tokens));
 
-  std::vector<uint32_t> counts(num_topics, 0);
-  std::vector<uint16_t> z(tokens.size());
+  std::vector<uint32_t>& counts = workspace->counts;
+  counts.assign(num_topics, 0);
+  std::vector<uint16_t>& z = workspace->z;
+  z.resize(tokens.size());
   TOPPRIV_CHECK_LE(num_topics, 65535u);
 
   // Random init.
@@ -53,8 +61,10 @@ std::vector<double> LdaInferencer::InferQuery(
     ++counts[t];
   }
 
-  std::vector<double> cdf(num_topics);
-  std::vector<double> accum(num_topics, 0.0);
+  std::vector<double>& cdf = workspace->cdf;
+  cdf.resize(num_topics);
+  std::vector<double>& accum = workspace->accum;
+  accum.assign(num_topics, 0.0);
   size_t samples = 0;
 
   for (size_t iter = 0; iter < options_.iterations; ++iter) {

@@ -26,6 +26,19 @@ struct InferenceOptions {
   uint64_t seed = 11;
 };
 
+/// Reusable Gibbs scratch buffers for InferQuery. One inference allocates
+/// five vectors; on the serving hot path (one inference per candidate
+/// ghost) that allocator traffic dominates, so callers in a loop keep a
+/// workspace alive across calls. Not thread-safe: use one workspace per
+/// thread (the workspace-less InferQuery overload does exactly that).
+struct InferenceWorkspace {
+  std::vector<text::TermId> tokens;
+  std::vector<uint32_t> counts;
+  std::vector<uint16_t> z;
+  std::vector<double> cdf;
+  std::vector<double> accum;
+};
+
 /// Fold-in Gibbs inferencer over a fixed trained model.
 class LdaInferencer {
  public:
@@ -34,8 +47,13 @@ class LdaInferencer {
 
   /// Posterior Pr(t|q) for a query given as a bag of term ids. Unknown ids
   /// (>= vocab_size) are ignored; an effectively-empty query returns the
-  /// uniform distribution (the symmetric-alpha posterior).
+  /// uniform distribution (the symmetric-alpha posterior). Uses a
+  /// thread-local workspace, so it is safe to call concurrently.
   std::vector<double> InferQuery(const std::vector<text::TermId>& terms) const;
+
+  /// Same, reusing the caller's scratch buffers (identical result).
+  std::vector<double> InferQuery(const std::vector<text::TermId>& terms,
+                                 InferenceWorkspace* workspace) const;
 
   /// Paper Eq. 2: Pr(t|{q1..qv}) = (1/v) * sum_i Pr(t|qi), treating every
   /// query in the cycle as equally likely to be the genuine one.

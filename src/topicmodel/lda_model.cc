@@ -83,9 +83,14 @@ util::StatusOr<LdaModel> LdaModel::Deserialize(const std::string& bytes) {
   std::vector<float> phi, theta;
   TOPPRIV_RETURN_IF_ERROR(r.ReadFloatVector(&phi));
   TOPPRIV_RETURN_IF_ERROR(r.ReadFloatVector(&theta));
+  // Validate phi.size() == num_topics * vocab_size by division: the product
+  // of two attacker-controlled uint64 dimensions can wrap and collide with
+  // the actual payload size (e.g. 2^32 x 2^32 "equals" an empty phi),
+  // smuggling an inconsistent model past the check.
   if (num_topics == 0 || vocab_size == 0 ||
-      phi.size() != num_topics * vocab_size ||
-      (num_topics != 0 && theta.size() % num_topics != 0)) {
+      phi.size() / vocab_size != num_topics ||
+      phi.size() % vocab_size != 0 ||
+      theta.size() % num_topics != 0) {
     return util::Status::DataLoss("inconsistent LDA model dimensions");
   }
   return Create(num_topics, vocab_size, std::move(phi), std::move(theta),

@@ -12,26 +12,48 @@ namespace toppriv::core {
 
 namespace {
 
-// Exposure of intention U under the Eq. 2 mixture of `posteriors`.
-double CycleExposure(const std::vector<std::vector<double>>& posteriors,
-                     const topicmodel::LdaModel& model,
-                     const std::vector<topicmodel::TopicId>& intention) {
-  std::vector<double> mix =
-      topicmodel::LdaInferencer::CyclePosterior(posteriors);
+// Exposure of intention U under the Eq. 2 mixture whose per-topic posterior
+// sums are `sum` (over `count` queries), optionally with one more candidate
+// posterior appended. This is the running-sum form of CyclePosterior: the
+// mixture for topic t is (sum[t] [+ candidate[t]]) / count, accumulated in
+// the same order as a from-scratch recomputation, so accept/reject
+// decisions are bit-identical to the O(v*T) version this replaces.
+double MixtureExposure(const std::vector<double>& sum,
+                       const std::vector<double>* candidate, size_t count,
+                       const topicmodel::LdaModel& model,
+                       const std::vector<topicmodel::TopicId>& intention) {
+  if (intention.empty()) return 0.0;
   const std::vector<double>& prior = model.prior();
+  const double inv = 1.0 / static_cast<double>(count);
   double worst = 0.0;
   bool first = true;
   for (topicmodel::TopicId t : intention) {
-    double boost = mix[t] - prior[t];
+    double mixed = candidate == nullptr ? sum[t] : sum[t] + (*candidate)[t];
+    double boost = mixed * inv - prior[t];
     if (first || boost > worst) {
       worst = boost;
       first = false;
     }
   }
-  return intention.empty() ? 0.0 : worst;
+  return worst;
 }
 
 }  // namespace
+
+TopicCdfTable::TopicCdfTable(const topicmodel::LdaModel& model) {
+  cdfs_.resize(model.num_topics());
+  for (size_t topic = 0; topic < cdfs_.size(); ++topic) {
+    util::Span<const float> row =
+        model.PhiRow(static_cast<topicmodel::TopicId>(topic));
+    std::vector<double>& cdf = cdfs_[topic];
+    cdf.reserve(row.size());
+    double acc = 0.0;
+    for (float p : row) {
+      acc += static_cast<double>(p);
+      cdf.push_back(acc);
+    }
+  }
+}
 
 GhostQueryGenerator::GhostQueryGenerator(
     const topicmodel::LdaModel& model,
@@ -40,62 +62,75 @@ GhostQueryGenerator::GhostQueryGenerator(
     : model_(model),
       inferencer_(inferencer),
       spec_(spec),
-      options_(options),
-      topic_cdfs_(model.num_topics()) {
+      options_(std::move(options)) {
   TOPPRIV_CHECK(spec_.Validate().ok());
+  // Precompute the sampling CDFs once, eagerly: the previous lazy fill-in
+  // under SampleGhostTerms was a data race the moment two threads shared a
+  // generator, and cost nothing to hoist here.
+  if (options_.coherent_ghosts) {
+    if (options_.shared_topic_cdfs != nullptr) {
+      TOPPRIV_CHECK_EQ(options_.shared_topic_cdfs->num_topics(),
+                       model_.num_topics());
+    } else {
+      owned_topic_cdfs_ = std::make_unique<TopicCdfTable>(model_);
+    }
+  } else {
+    // Ablation: uniform over the vocabulary (TrackMeNot-style random words).
+    const size_t vocab_size = model_.vocab_size();
+    uniform_cdf_.reserve(vocab_size);
+    for (size_t w = 0; w < vocab_size; ++w) {
+      uniform_cdf_.push_back(static_cast<double>(w + 1));
+    }
+  }
 }
 
 const std::vector<double>& GhostQueryGenerator::TopicCdf(
-    topicmodel::TopicId topic) {
-  TOPPRIV_CHECK_LT(topic, topic_cdfs_.size());
-  std::vector<double>& cdf = topic_cdfs_[topic];
-  if (cdf.empty()) {
-    util::Span<const float> row = model_.PhiRow(topic);
-    cdf.reserve(row.size());
-    double acc = 0.0;
-    for (float p : row) {
-      acc += static_cast<double>(p);
-      cdf.push_back(acc);
-    }
-  }
-  return cdf;
+    topicmodel::TopicId topic) const {
+  const TopicCdfTable* table = options_.shared_topic_cdfs != nullptr
+                                   ? options_.shared_topic_cdfs
+                                   : owned_topic_cdfs_.get();
+  TOPPRIV_CHECK(table != nullptr);
+  TOPPRIV_CHECK_LT(topic, table->num_topics());
+  return table->row(topic);
 }
 
 std::vector<text::TermId> GhostQueryGenerator::SampleGhostTerms(
     topicmodel::TopicId topic, size_t length, util::Rng* rng) {
-  if (options_.ghost_cache != nullptr) {
-    auto it = options_.ghost_cache->find(topic);
-    if (it != options_.ghost_cache->end()) return it->second;
-  }
   const size_t vocab_size = model_.vocab_size();
   length = std::min(length, vocab_size);
 
-  const std::vector<double>* cdf;
-  if (options_.coherent_ghosts) {
-    cdf = &TopicCdf(topic);
-  } else {
-    // Ablation: uniform over the vocabulary (TrackMeNot-style random words).
-    if (uniform_cdf_.empty()) {
-      uniform_cdf_.reserve(vocab_size);
-      for (size_t w = 0; w < vocab_size; ++w) {
-        uniform_cdf_.push_back(static_cast<double>(w + 1));
-      }
-    }
-    cdf = &uniform_cdf_;
-  }
-
+  std::vector<text::TermId>* cached = nullptr;
   std::unordered_set<text::TermId> used;
   std::vector<text::TermId> terms;
+  if (options_.ghost_cache != nullptr) {
+    cached = &(*options_.ghost_cache)[topic];
+    if (cached->size() >= length) {
+      // Reuse the memoized ghost but honor the requested length: replaying
+      // a wrong-length ghost verbatim would both mismatch |qg| ~ |qu| and
+      // hand the adversary a deterministic marker (Section IV-D's defense
+      // is the randomized choice).
+      return std::vector<text::TermId>(cached->begin(),
+                                       cached->begin() + length);
+    }
+    // Longer request: extend the memoized ghost, keeping it as a prefix so
+    // the cover story stays consistent across cycles.
+    terms = *cached;
+    used.insert(terms.begin(), terms.end());
+  }
+
+  const std::vector<double>& cdf =
+      options_.coherent_ghosts ? TopicCdf(topic) : uniform_cdf_;
+
   terms.reserve(length);
   size_t attempts = 0;
   const size_t max_attempts = 60 * length + 200;
   while (terms.size() < length && attempts < max_attempts) {
     ++attempts;
-    text::TermId w = static_cast<text::TermId>(rng->DiscreteFromCdf(*cdf));
+    text::TermId w = static_cast<text::TermId>(rng->DiscreteFromCdf(cdf));
     if (used.insert(w).second) terms.push_back(w);
   }
-  if (options_.ghost_cache != nullptr && !terms.empty()) {
-    (*options_.ghost_cache)[topic] = terms;
+  if (cached != nullptr && terms.size() > cached->size()) {
+    *cached = terms;
   }
   return terms;
 }
@@ -108,16 +143,17 @@ QueryCycle GhostQueryGenerator::Protect(
   QueryCycle cycle;
 
   // Step 1: infer Pr(t|qu), extract U.
-  BeliefProfile user_profile =
-      MakeBeliefProfile(model_, inferencer_.InferQuery(user_query));
+  BeliefProfile user_profile = MakeBeliefProfile(
+      model_, inferencer_.InferQuery(user_query, &workspace_));
   cycle.intention = ExtractIntention(user_profile, spec_.epsilon1);
   cycle.user_boost = user_profile.boost;
   cycle.exposure_before = Exposure(user_profile.boost, cycle.intention);
 
-  // Step 2: C = {qu}; Tm = X = empty.
+  // Step 2: C = {qu}; Tm = X = empty. The cycle's Eq. 2 state is the
+  // running per-topic posterior sum over the accepted queries.
   std::vector<std::vector<text::TermId>> queries = {user_query};
-  std::vector<std::vector<double>> posteriors = {
-      std::move(user_profile.posterior)};
+  std::vector<double> posterior_sum = std::move(user_profile.posterior);
+  size_t cycle_queries = 1;
   std::vector<bool> in_u(num_topics, false);
   for (topicmodel::TopicId t : cycle.intention) in_u[t] = true;
   std::vector<bool> in_tm(num_topics, false);
@@ -157,7 +193,9 @@ QueryCycle GhostQueryGenerator::Protect(
   // Set once fixed mode exhausts all candidate topics: from then on ghosts
   // are accepted unconditionally so the requested count is always reached.
   bool relax_rejection = false;
-  double current_exposure = CycleExposure(posteriors, model_, cycle.intention);
+  double current_exposure = MixtureExposure(posterior_sum, nullptr,
+                                            cycle_queries, model_,
+                                            cycle.intention);
 
   // Step 3: add ghosts until the intention is suppressed below epsilon2
   // (or, in fixed mode, until the requested count is reached).
@@ -213,26 +251,35 @@ QueryCycle GhostQueryGenerator::Protect(
     }
 
     // Step 3c: accept only if the ghost reduces the intention's exposure.
-    std::vector<double> ghost_posterior = inferencer_.InferQuery(ghost);
-    posteriors.push_back(std::move(ghost_posterior));
-    double new_exposure = CycleExposure(posteriors, model_, cycle.intention);
+    // One O(T) inference + O(|U|) mixture probe per candidate; the sum is
+    // only committed on acceptance.
+    std::vector<double> ghost_posterior =
+        inferencer_.InferQuery(ghost, &workspace_);
+    double new_exposure =
+        MixtureExposure(posterior_sum, &ghost_posterior, cycle_queries + 1,
+                        model_, cycle.intention);
     bool effective = new_exposure < current_exposure || cycle.intention.empty();
     if (options_.use_rejection_test && !effective && !relax_rejection) {
-      posteriors.pop_back();
       in_x[tm] = true;
       cycle.rejected_topics.push_back(tm);
       continue;
     }
 
     // Step 3d: accept.
+    for (size_t t = 0; t < num_topics; ++t) {
+      posterior_sum[t] += ghost_posterior[t];
+    }
+    ++cycle_queries;
     in_tm[tm] = true;
     cycle.masking_topics.push_back(tm);
     queries.push_back(std::move(ghost));
     current_exposure = new_exposure;
   }
 
-  // Final cycle-level belief profile.
-  std::vector<double> mix = topicmodel::LdaInferencer::CyclePosterior(posteriors);
+  // Final cycle-level belief profile (Eq. 2 mixture from the running sum).
+  std::vector<double> mix(num_topics);
+  const double inv = 1.0 / static_cast<double>(cycle_queries);
+  for (size_t t = 0; t < num_topics; ++t) mix[t] = posterior_sum[t] * inv;
   BeliefProfile cycle_profile = MakeBeliefProfile(model_, std::move(mix));
   cycle.cycle_boost = cycle_profile.boost;
   cycle.exposure_after = Exposure(cycle_profile.boost, cycle.intention);

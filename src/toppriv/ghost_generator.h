@@ -13,12 +13,20 @@
 //   4. shuffles the cycle (Step 4).
 //
 // Exposure over a growing cycle uses Eq. 2: the cycle posterior is the
-// uniform mixture of per-query posteriors, so each candidate ghost costs a
-// single query inference rather than a whole-cycle inference.
+// uniform mixture of per-query posteriors. Protect keeps the per-topic
+// posterior sum incrementally, so evaluating a candidate ghost costs O(T)
+// (one query inference plus one mixture update) instead of recomputing the
+// whole-cycle mixture, O(v*T), per candidate.
+//
+// Thread-compatibility: the word-sampling CDFs are precomputed at
+// construction and never mutated afterwards, so const methods are safe to
+// call concurrently. Protect mutates internal inference scratch — use one
+// generator per thread (the serving driver gives each session its own).
 #ifndef TOPPRIV_TOPPRIV_GHOST_GENERATOR_H_
 #define TOPPRIV_TOPPRIV_GHOST_GENERATOR_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "text/vocabulary.h"
@@ -29,6 +37,25 @@
 #include "util/rng.h"
 
 namespace toppriv::core {
+
+/// Immutable per-topic word-sampling CDFs over Pr(w|t). Building one costs
+/// O(T*V) time and memory, and the table depends only on the model — so a
+/// multi-session host (serving::SessionDriver) builds it once and lends it
+/// to every generator instead of paying the build and the footprint per
+/// session. Read-only after construction, hence safe to share across
+/// threads.
+class TopicCdfTable {
+ public:
+  explicit TopicCdfTable(const topicmodel::LdaModel& model);
+
+  const std::vector<double>& row(topicmodel::TopicId topic) const {
+    return cdfs_[topic];
+  }
+  size_t num_topics() const { return cdfs_.size(); }
+
+ private:
+  std::vector<std::vector<double>> cdfs_;
+};
 
 /// Ablation/behavior switches (defaults = the paper's algorithm).
 struct GeneratorOptions {
@@ -47,19 +74,27 @@ struct GeneratorOptions {
   /// hardened client (toppriv/session.h) to keep a consistent cover story
   /// across cycles, which blunts the cross-cycle intersection attack.
   std::vector<topicmodel::TopicId> preferred_masking_topics;
-  /// Optional ghost-query memo, owned by the caller (session client):
-  /// the first ghost generated for a masking topic is remembered and reused
-  /// verbatim in later cycles. A consistent fake interest both looks like
-  /// real repeat-searching behaviour and keeps the cover topics' per-cycle
-  /// boosts stable, which is what defeats the intersection attack.
+  /// Optional ghost-query memo, owned by the caller (session client): the
+  /// ghost words generated for a masking topic are remembered, and later
+  /// cycles reuse them as a prefix — extending or truncating to the
+  /// requested length, never replaying a wrong-length ghost verbatim. A
+  /// consistent fake interest both looks like real repeat-searching
+  /// behaviour and keeps the cover topics' per-cycle boosts stable, which
+  /// is what defeats the intersection attack.
   std::map<topicmodel::TopicId, std::vector<text::TermId>>* ghost_cache =
       nullptr;
+  /// Optional borrowed CDF table (must outlive the generator and match the
+  /// model's topic count). When null and `coherent_ghosts` is set, the
+  /// generator builds a private table at construction.
+  const TopicCdfTable* shared_topic_cdfs = nullptr;
 };
 
 /// Generates (epsilon1, epsilon2)-private query cycles.
 class GhostQueryGenerator {
  public:
   /// Borrows the model and inferencer; both must outlive the generator.
+  /// Precomputes the per-topic word-sampling CDFs (O(T*V)), so construct
+  /// once per session rather than once per cycle.
   GhostQueryGenerator(const topicmodel::LdaModel& model,
                       const topicmodel::LdaInferencer& inferencer,
                       PrivacySpec spec, GeneratorOptions options = {});
@@ -70,23 +105,37 @@ class GhostQueryGenerator {
   QueryCycle Protect(const std::vector<text::TermId>& user_query,
                      util::Rng* rng);
 
+  /// Replaces the preferred masking-topic list. SessionProtector refreshes
+  /// the cover story between cycles through this instead of rebuilding the
+  /// generator (and its precomputed CDFs) per cycle.
+  void set_preferred_masking_topics(std::vector<topicmodel::TopicId> topics) {
+    options_.preferred_masking_topics = std::move(topics);
+  }
+
   const PrivacySpec& spec() const { return spec_; }
   const GeneratorOptions& generator_options() const { return options_; }
 
  private:
-  /// Samples `length` distinct terms biased towards high Pr(w|topic).
+  /// Samples `length` distinct terms biased towards high Pr(w|topic). With
+  /// a ghost cache, the memoized ghost is reused as a prefix and extended
+  /// when the request is longer.
   std::vector<text::TermId> SampleGhostTerms(topicmodel::TopicId topic,
                                              size_t length, util::Rng* rng);
 
-  /// Lazily-built per-topic CDF over Pr(w|t) for fast word sampling.
-  const std::vector<double>& TopicCdf(topicmodel::TopicId topic);
+  /// Per-topic CDF over Pr(w|t), precomputed at construction (immutable).
+  const std::vector<double>& TopicCdf(topicmodel::TopicId topic) const;
 
   const topicmodel::LdaModel& model_;
   const topicmodel::LdaInferencer& inferencer_;
   PrivacySpec spec_;
   GeneratorOptions options_;
-  std::vector<std::vector<double>> topic_cdfs_;
+  /// Private CDF table; empty when options_.shared_topic_cdfs is borrowed
+  /// instead. Immutable after construction (thread-safe reads).
+  std::unique_ptr<TopicCdfTable> owned_topic_cdfs_;
   std::vector<double> uniform_cdf_;
+  /// Gibbs scratch reused across Protect calls (what makes Protect
+  /// single-threaded per generator).
+  topicmodel::InferenceWorkspace workspace_;
 };
 
 }  // namespace toppriv::core

@@ -2,25 +2,29 @@
 
 namespace toppriv::core {
 
+namespace {
+
+GeneratorOptions WithSessionCache(
+    GeneratorOptions options,
+    std::map<topicmodel::TopicId, std::vector<text::TermId>>* cache) {
+  options.ghost_cache = cache;
+  return options;
+}
+
+}  // namespace
+
 SessionProtector::SessionProtector(const topicmodel::LdaModel& model,
                                    const topicmodel::LdaInferencer& inferencer,
                                    PrivacySpec spec, SessionOptions options)
-    : model_(model),
-      inferencer_(inferencer),
-      spec_(spec),
-      options_(options) {}
+    : spec_(spec),
+      options_(std::move(options)),
+      generator_(model, inferencer, spec,
+                 WithSessionCache(options_.generator, &ghosts_)) {}
 
 QueryCycle SessionProtector::Protect(
     const std::vector<text::TermId>& user_query, util::Rng* rng) {
-  GeneratorOptions generator_options = options_.generator;
-  generator_options.preferred_masking_topics = {cover_.begin(), cover_.end()};
-  generator_options.ghost_cache = &ghosts_;
-
-  // A fresh generator per call is cheap relative to inference, and keeps
-  // the per-cycle algorithm identical to the paper's.
-  GhostQueryGenerator generator(model_, inferencer_, spec_,
-                                generator_options);
-  QueryCycle cycle = generator.Protect(user_query, rng);
+  generator_.set_preferred_masking_topics({cover_.begin(), cover_.end()});
+  QueryCycle cycle = generator_.Protect(user_query, rng);
 
   // Absorb newly used masking topics into the cover story (bounded).
   for (topicmodel::TopicId t : cycle.masking_topics) {

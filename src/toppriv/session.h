@@ -31,12 +31,19 @@ struct SessionOptions {
 };
 
 /// Stateful wrapper that maintains the cover story across Protect calls.
+/// Owns one long-lived GhostQueryGenerator: the generator's word-sampling
+/// CDFs are precomputed at construction (O(T*V)), which a fresh generator
+/// per cycle would pay on every query.
 class SessionProtector {
  public:
   /// Borrows the model and inferencer (must outlive the protector).
   SessionProtector(const topicmodel::LdaModel& model,
                    const topicmodel::LdaInferencer& inferencer,
                    PrivacySpec spec, SessionOptions options = {});
+
+  // Self-referential (generator_ points at ghosts_): not copyable/movable.
+  SessionProtector(const SessionProtector&) = delete;
+  SessionProtector& operator=(const SessionProtector&) = delete;
 
   /// Protects one query, reusing the session's cover-story topics where
   /// possible and absorbing any newly used masking topics into it.
@@ -51,13 +58,13 @@ class SessionProtector {
   const PrivacySpec& spec() const { return spec_; }
 
  private:
-  const topicmodel::LdaModel& model_;
-  const topicmodel::LdaInferencer& inferencer_;
   PrivacySpec spec_;
   SessionOptions options_;
   std::set<topicmodel::TopicId> cover_;
-  /// Per-topic memoized ghost queries (the textual cover story).
+  /// Per-topic memoized ghost queries (the textual cover story). Declared
+  /// before generator_, whose options point at it.
   std::map<topicmodel::TopicId, std::vector<text::TermId>> ghosts_;
+  GhostQueryGenerator generator_;
 };
 
 }  // namespace toppriv::core

@@ -1,0 +1,25 @@
+// FNV-1a hashing step shared by the seed/cache-key/digest call sites.
+//
+// Call sites differ in their mixing unit (whole TermIds for inference
+// seeds, single bytes for cache keys and serving digests), so the shared
+// piece is the constants and the one-unit step; each caller folds its own
+// unit stream. Keeping one definition means a future change to the mixing
+// cannot silently diverge between the three.
+#ifndef TOPPRIV_UTIL_HASH_H_
+#define TOPPRIV_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace toppriv::util {
+
+inline constexpr uint64_t kFnv1aOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// One FNV-1a round: fold `unit` into hash state `h`.
+inline uint64_t Fnv1aStep(uint64_t h, uint64_t unit) {
+  return (h ^ unit) * kFnv1aPrime;
+}
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_HASH_H_

@@ -56,7 +56,9 @@ void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
 }
 
 Status BinaryReader::Need(size_t n) {
-  if (pos_ + n > buf_.size()) {
+  // Compare against the remaining byte count rather than `pos_ + n` — with
+  // an attacker-controlled n the addition can wrap and pass the check.
+  if (n > buf_.size() - pos_) {
     return Status::DataLoss("binary reader overrun");
   }
   return Status::Ok();
@@ -115,7 +117,11 @@ Status BinaryReader::ReadString(std::string* s) {
 Status BinaryReader::ReadDoubleVector(std::vector<double>* v) {
   uint64_t n = 0;
   TOPPRIV_RETURN_IF_ERROR(ReadVarint(&n));
-  TOPPRIV_RETURN_IF_ERROR(Need(n * 8));
+  // Divide instead of multiplying: `n * 8` wraps for hostile n, passing the
+  // bounds check and letting resize(n) demand gigabytes.
+  if (n > remaining() / sizeof(double)) {
+    return Status::DataLoss("double vector count exceeds payload");
+  }
   v->resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     TOPPRIV_RETURN_IF_ERROR(ReadDouble(&(*v)[i]));
@@ -126,7 +132,9 @@ Status BinaryReader::ReadDoubleVector(std::vector<double>* v) {
 Status BinaryReader::ReadFloatVector(std::vector<float>* v) {
   uint64_t n = 0;
   TOPPRIV_RETURN_IF_ERROR(ReadVarint(&n));
-  TOPPRIV_RETURN_IF_ERROR(Need(n * sizeof(float)));
+  if (n > remaining() / sizeof(float)) {
+    return Status::DataLoss("float vector count exceeds payload");
+  }
   v->resize(n);
   std::memcpy(v->data(), buf_.data() + pos_, n * sizeof(float));
   pos_ += n * sizeof(float);
@@ -136,6 +144,10 @@ Status BinaryReader::ReadFloatVector(std::vector<float>* v) {
 Status BinaryReader::ReadU32Vector(std::vector<uint32_t>* v) {
   uint64_t n = 0;
   TOPPRIV_RETURN_IF_ERROR(ReadVarint(&n));
+  // Each element costs at least one varint byte.
+  if (n > remaining()) {
+    return Status::DataLoss("u32 vector count exceeds payload");
+  }
   v->resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t x = 0;

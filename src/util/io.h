@@ -60,6 +60,10 @@ class BinaryReader {
   /// True when the whole buffer has been consumed.
   bool AtEnd() const { return pos_ == buf_.size(); }
   size_t position() const { return pos_; }
+  /// Bytes left to read. Deserializers use this to bound attacker-supplied
+  /// element counts before allocating (a count can never exceed the bytes
+  /// that are supposed to encode the elements).
+  size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   Status Need(size_t n);

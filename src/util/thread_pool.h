@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the serving layer.
+//
+// The pool is deliberately minimal: Submit enqueues a task, Wait blocks
+// until the queue drains and every worker is idle, ParallelFor fans a loop
+// body out over the workers. Determinism is the caller's job — the serving
+// driver achieves it by making each loop iteration fully independent (own
+// RNG stream, own output slot), so results do not depend on which worker
+// runs which iteration.
+#ifndef TOPPRIV_UTIL_THREAD_POOL_H_
+#define TOPPRIV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace toppriv::util {
+
+/// Fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is promoted to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  /// Runs fn(0) .. fn(n-1), distributing iterations over the workers via a
+  /// shared counter (self-balancing: cheap iterations do not hold up
+  /// expensive ones). Blocks until every iteration has finished. `fn` must
+  /// tolerate concurrent invocation with distinct arguments.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_THREAD_POOL_H_

@@ -8,6 +8,7 @@
 #include "index/inverted_index.h"
 #include "index/posting_list.h"
 #include "tests/test_helpers.h"
+#include "util/io.h"
 
 namespace toppriv::index {
 namespace {
@@ -189,6 +190,84 @@ TEST(InvertedIndexTest, SerializeRoundtrip) {
 
 TEST(InvertedIndexTest, DeserializeGarbageFails) {
   EXPECT_FALSE(InvertedIndex::Deserialize("garbage!").ok());
+}
+
+TEST(InvertedIndexTest, HostileDocCountIsRejectedWithoutAllocating) {
+  // A few bytes claiming billions of documents: resize(num_docs) used to
+  // run before any payload was read, demanding gigabytes. The count must
+  // be bounded by the remaining payload instead.
+  for (uint64_t hostile : {uint64_t{1} << 30, uint64_t{1} << 45,
+                           uint64_t{0xffffffffffffffff}}) {
+    util::BinaryWriter w;
+    w.WriteVarint(hostile);
+    w.WriteVarint(3);  // one plausible doc length
+    auto result = InvertedIndex::Deserialize(w.data());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+  }
+}
+
+TEST(InvertedIndexTest, HostileTermCountIsRejected) {
+  util::BinaryWriter w;
+  w.WriteVarint(1);                    // num_docs
+  w.WriteVarint(5);                    // doc length
+  w.WriteVarint(uint64_t{1} << 40);    // num_terms >> body size
+  w.WriteString("tiny");               // 4-byte body cannot hold 2^40 lists
+  auto result = InvertedIndex::Deserialize(w.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(InvertedIndexTest, PostingDocIdOutOfRangeIsRejected) {
+  // The contiguous score accumulator and doc-length lookups index
+  // per-document arrays by posting doc id; a blob whose postings point
+  // past num_docs must die at Deserialize, not corrupt memory later.
+  PostingList::Builder builder;
+  builder.Append(5, 2);  // doc 5 in a 1-doc index
+  std::string body;
+  builder.Build().EncodeTo(&body);
+  util::BinaryWriter w;
+  w.WriteVarint(1);  // num_docs
+  w.WriteVarint(3);  // doc length
+  w.WriteVarint(1);  // num_terms
+  w.WriteString(body);
+  auto result = InvertedIndex::Deserialize(w.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(InvertedIndexTest, HostileDocLengthIsRejected) {
+  util::BinaryWriter w;
+  w.WriteVarint(1);                     // num_docs
+  w.WriteVarint(uint64_t{1} << 40);     // doc length overflows u32
+  w.WriteVarint(0);                     // num_terms
+  w.WriteString("");
+  EXPECT_FALSE(InvertedIndex::Deserialize(w.data()).ok());
+}
+
+TEST(InvertedIndexTest, TruncatedBlobsNeverCrash) {
+  // Fuzz-style sweep: every truncation of a valid serialization must fail
+  // cleanly (or succeed, if the prefix happens to parse) — no crash, no
+  // huge allocation. Covers the varint header, the doc-length array, the
+  // term count and the posting-list body.
+  corpus::Corpus c = toppriv::testing::TinyCorpus();
+  std::string bytes = InvertedIndex::Build(c).Serialize();
+  ASSERT_TRUE(InvertedIndex::Deserialize(bytes).ok());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto result = InvertedIndex::Deserialize(bytes.substr(0, cut));
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss)
+          << "cut " << cut;
+    }
+  }
+  // Bit-flip sweep on the header region (counts and lengths).
+  for (size_t i = 0; i < std::min<size_t>(bytes.size(), 16); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      InvertedIndex::Deserialize(mutated);  // must not crash or OOM
+    }
+  }
 }
 
 TEST(InvertedIndexTest, IndexGrowsLinearlyWithCorpus) {

@@ -2,6 +2,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -186,6 +187,75 @@ TEST(EngineTest, MatchesBruteForceScoring) {
     for (size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].doc, want[i].doc);
       EXPECT_NEAR(got[i].score, want[i].score, 1e-9);
+    }
+  }
+}
+
+// Reference implementation of Evaluate as it existed before the contiguous
+// accumulator: term-at-a-time into an unordered_map. Uses the same
+// (fresh-map) term collapse, so the floating-point accumulation order is
+// identical and the comparison below can demand bit equality.
+std::vector<ScoredDoc> MapBasedEvaluate(const index::InvertedIndex& index,
+                                        const Scorer& scorer,
+                                        const std::vector<text::TermId>& terms,
+                                        size_t k) {
+  if (terms.empty() || k == 0) return {};
+  std::unordered_map<text::TermId, uint32_t> query_tf;
+  for (text::TermId t : terms) ++query_tf[t];
+  std::unordered_map<corpus::DocId, double> accumulators;
+  for (const auto& [term, qtf] : query_tf) {
+    const index::PostingList& list = index.Postings(term);
+    uint32_t df = list.size();
+    if (df == 0) continue;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      const index::Posting& p = it.Get();
+      accumulators[p.doc] += scorer.TermScore(index, p.doc, p.tf, df, qtf);
+    }
+  }
+  TopK topk(k);
+  for (const auto& [doc, acc] : accumulators) {
+    topk.Offer(doc, scorer.Normalize(index, doc, acc));
+  }
+  return topk.Finish();
+}
+
+TEST(EngineTest, ContiguousAccumulatorMatchesMapBasedEvaluateBitForBit) {
+  // Parity lock for the accumulator rewrite: same generated corpus, same
+  // queries, identical ranked results — docs, order, and score BITS.
+  const auto& world = toppriv::testing::World();
+  for (int s = 0; s < 2; ++s) {
+    SearchEngine engine(world.corpus, world.index,
+                        s == 0 ? MakeBm25Scorer() : MakeTfIdfScorer());
+    EvalScratch reused_scratch;
+    util::Rng rng(911 + s);
+    for (int trial = 0; trial < 30; ++trial) {
+      // Mix workload queries with random ones (incl. repeated terms).
+      std::vector<text::TermId> query;
+      if (trial < 10) {
+        query = world.workload[trial].term_ids;
+      } else {
+        size_t len = 1 + rng.UniformInt(uint64_t{6});
+        for (size_t i = 0; i < len; ++i) {
+          query.push_back(static_cast<text::TermId>(
+              rng.UniformInt(uint64_t{world.corpus.vocabulary_size()})));
+        }
+      }
+      std::vector<ScoredDoc> want =
+          MapBasedEvaluate(world.index, engine.scorer(), query, 15);
+      std::vector<ScoredDoc> got = engine.Evaluate(query, 15);
+      // Also through a caller-owned scratch reused across all trials: reuse
+      // must not leak state between queries.
+      std::vector<ScoredDoc> got_reused =
+          engine.Evaluate(query, 15, &reused_scratch);
+      ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].doc, want[i].doc) << "trial " << trial;
+        // Bit equality, not EXPECT_NEAR: the rewrite promises the identical
+        // accumulation order.
+        EXPECT_EQ(got[i].score, want[i].score) << "trial " << trial;
+        EXPECT_EQ(got_reused[i].doc, want[i].doc) << "trial " << trial;
+        EXPECT_EQ(got_reused[i].score, want[i].score) << "trial " << trial;
+      }
     }
   }
 }

@@ -1,0 +1,138 @@
+// Tests for the multi-session serving layer: thread-count-independent
+// results, session independence, and workload dealing.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/engine.h"
+#include "search/scorer.h"
+#include "serving/session_driver.h"
+#include "tests/test_helpers.h"
+#include "topicmodel/inference.h"
+
+namespace toppriv::serving {
+namespace {
+
+using toppriv::testing::World;
+
+class SessionDriverTest : public ::testing::Test {
+ protected:
+  SessionDriverTest()
+      : inferencer_(World().model),
+        engine_(World().corpus, World().index, search::MakeBm25Scorer()) {}
+
+  std::vector<SessionWorkload> MakeSessions(size_t num_sessions,
+                                            size_t queries_each) {
+    std::vector<std::vector<text::TermId>> queries;
+    for (size_t i = 0; i < num_sessions * queries_each; ++i) {
+      queries.push_back(World().workload[i % World().workload.size()].term_ids);
+    }
+    return DealSessions(queries, num_sessions);
+  }
+
+  ServingReport RunWith(size_t num_threads,
+                        const std::vector<SessionWorkload>& sessions,
+                        uint64_t seed = 7) {
+    DriverOptions options;
+    options.num_threads = num_threads;
+    options.seed = seed;
+    SessionDriver driver(World().model, inferencer_, engine_, options);
+    return driver.Run(sessions);
+  }
+
+  topicmodel::LdaInferencer inferencer_;
+  search::SearchEngine engine_;
+};
+
+TEST_F(SessionDriverTest, RunsEverySessionAndQuery) {
+  std::vector<SessionWorkload> sessions = MakeSessions(3, 2);
+  ServingReport report = RunWith(1, sessions);
+  ASSERT_EQ(report.sessions.size(), 3u);
+  EXPECT_EQ(report.total_cycles, 6u);
+  for (const SessionStats& s : report.sessions) {
+    EXPECT_EQ(s.cycles, 2u);
+    // Every cycle submits at least the genuine query.
+    EXPECT_GE(s.queries_submitted, s.cycles);
+    EXPECT_EQ(s.queries_submitted, s.cycles + s.ghosts);
+    EXPECT_NE(s.digest, 0u);
+  }
+  EXPECT_EQ(report.total_queries,
+            report.sessions[0].queries_submitted +
+                report.sessions[1].queries_submitted +
+                report.sessions[2].queries_submitted);
+  EXPECT_GT(report.cycles_per_second, 0.0);
+}
+
+TEST_F(SessionDriverTest, ResultsIndependentOfThreadCount) {
+  // The tentpole determinism property: per-session output must not depend
+  // on how many workers the driver uses or which worker ran which session.
+  std::vector<SessionWorkload> sessions = MakeSessions(5, 2);
+  ServingReport one = RunWith(1, sessions);
+  ServingReport four = RunWith(4, sessions);
+  ServingReport hw = RunWith(0, sessions);  // hardware concurrency
+  ASSERT_EQ(one.sessions.size(), four.sessions.size());
+  ASSERT_EQ(one.sessions.size(), hw.sessions.size());
+  for (size_t s = 0; s < one.sessions.size(); ++s) {
+    SCOPED_TRACE(s);
+    EXPECT_EQ(one.sessions[s].digest, four.sessions[s].digest);
+    EXPECT_EQ(one.sessions[s].digest, hw.sessions[s].digest);
+    EXPECT_EQ(one.sessions[s].cycles, four.sessions[s].cycles);
+    EXPECT_EQ(one.sessions[s].queries_submitted,
+              four.sessions[s].queries_submitted);
+    EXPECT_EQ(one.sessions[s].ghosts, four.sessions[s].ghosts);
+    EXPECT_EQ(one.sessions[s].met_epsilon2, four.sessions[s].met_epsilon2);
+    // Bit-identical, not approximately equal: same RNG stream, same FP ops.
+    EXPECT_EQ(one.sessions[s].exposure_after_sum,
+              four.sessions[s].exposure_after_sum);
+  }
+}
+
+TEST_F(SessionDriverTest, SessionsHaveIndependentRandomness) {
+  // Two sessions given the SAME queries must produce different cycles
+  // (forked RNG streams), else ghost traffic would be trivially linkable.
+  std::vector<std::vector<text::TermId>> queries = {
+      World().workload[0].term_ids, World().workload[0].term_ids};
+  std::vector<SessionWorkload> sessions = DealSessions(queries, 2);
+  ASSERT_EQ(sessions[0].queries, sessions[1].queries);
+  ServingReport report = RunWith(1, sessions);
+  EXPECT_NE(report.sessions[0].digest, report.sessions[1].digest);
+}
+
+TEST_F(SessionDriverTest, SeedChangesOutput) {
+  std::vector<SessionWorkload> sessions = MakeSessions(2, 2);
+  ServingReport a = RunWith(1, sessions, 7);
+  ServingReport b = RunWith(1, sessions, 8);
+  EXPECT_NE(a.sessions[0].digest, b.sessions[0].digest);
+}
+
+TEST_F(SessionDriverTest, RepeatedRunsAreIdentical) {
+  std::vector<SessionWorkload> sessions = MakeSessions(2, 2);
+  ServingReport a = RunWith(2, sessions);
+  ServingReport b = RunWith(2, sessions);
+  for (size_t s = 0; s < a.sessions.size(); ++s) {
+    EXPECT_EQ(a.sessions[s].digest, b.sessions[s].digest);
+  }
+}
+
+TEST(DealSessionsTest, RoundRobinAssignment) {
+  std::vector<std::vector<text::TermId>> queries = {
+      {0}, {1}, {2}, {3}, {4}};
+  std::vector<SessionWorkload> sessions = DealSessions(queries, 2);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].queries,
+            (std::vector<std::vector<text::TermId>>{{0}, {2}, {4}}));
+  EXPECT_EQ(sessions[1].queries,
+            (std::vector<std::vector<text::TermId>>{{1}, {3}}));
+}
+
+TEST(DealSessionsTest, MoreSessionsThanQueriesLeavesSomeEmpty) {
+  std::vector<std::vector<text::TermId>> queries = {{0}};
+  std::vector<SessionWorkload> sessions = DealSessions(queries, 3);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[0].queries.size(), 1u);
+  EXPECT_TRUE(sessions[1].queries.empty());
+  EXPECT_TRUE(sessions[2].queries.empty());
+}
+
+}  // namespace
+}  // namespace toppriv::serving

@@ -1,7 +1,9 @@
 // Unit and property tests for the LDA trainer, model and inferencer.
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "topicmodel/gibbs_trainer.h"
 #include "topicmodel/inference.h"
 #include "topicmodel/lda_model.h"
+#include "util/io.h"
 
 namespace toppriv::topicmodel {
 namespace {
@@ -93,6 +96,62 @@ TEST(LdaModelTest, SerializeRoundtrip) {
 
 TEST(LdaModelTest, DeserializeGarbageFails) {
   EXPECT_FALSE(LdaModel::Deserialize("garbage").ok());
+}
+
+TEST(LdaModelTest, DeserializeRejectsOverflowingDimensions) {
+  // Regression: num_topics * vocab_size was validated with a raw uint64
+  // multiply, so dimensions chosen to wrap (2^32 * 2^32 == 0 mod 2^64)
+  // "matched" an empty phi and produced a model whose PhiRow reads far out
+  // of bounds. The division-based check must reject it with DataLoss.
+  util::BinaryWriter w;
+  w.WriteVarint(uint64_t{1} << 32);  // num_topics
+  w.WriteVarint(uint64_t{1} << 32);  // vocab_size (product wraps to 0)
+  w.WriteDouble(0.1);                // alpha
+  w.WriteDouble(0.1);                // beta
+  w.WriteFloatVector({});            // phi: empty, matches the wrapped product
+  w.WriteFloatVector({});            // theta
+  auto result = LdaModel::Deserialize(w.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(LdaModelTest, DeserializeRejectsMismatchedPhi) {
+  util::BinaryWriter w;
+  w.WriteVarint(2);  // num_topics
+  w.WriteVarint(3);  // vocab_size
+  w.WriteDouble(0.1);
+  w.WriteDouble(0.1);
+  w.WriteFloatVector({0.5f, 0.5f, 0.5f, 0.5f});  // 4 floats != 2*3
+  w.WriteFloatVector({});
+  EXPECT_FALSE(LdaModel::Deserialize(w.data()).ok());
+}
+
+TEST(LdaModelTest, DeserializeHostileVectorCountFailsCleanly) {
+  // A tiny blob whose float-vector count wraps the byte-size computation
+  // must fail with DataLoss instead of attempting a huge allocation.
+  util::BinaryWriter w;
+  w.WriteVarint(2);
+  w.WriteVarint(2);
+  w.WriteDouble(0.1);
+  w.WriteDouble(0.1);
+  w.WriteVarint(uint64_t{1} << 62);  // phi count: 2^62 floats "fit" mod 2^64
+  auto result = LdaModel::Deserialize(w.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(LdaModelTest, TruncatedBlobsNeverCrash) {
+  const LdaModel& model = World().model;
+  std::string bytes = model.Serialize();
+  // Sweep a few hundred truncation points across the blob (it is large, so
+  // stride; always include the varint/double header region densely).
+  for (size_t cut = 0; cut < std::min<size_t>(bytes.size(), 64); ++cut) {
+    EXPECT_FALSE(LdaModel::Deserialize(bytes.substr(0, cut)).ok());
+  }
+  const size_t stride = std::max<size_t>(1, bytes.size() / 128);
+  for (size_t cut = 64; cut < bytes.size(); cut += stride) {
+    EXPECT_FALSE(LdaModel::Deserialize(bytes.substr(0, cut)).ok());
+  }
 }
 
 TEST(LdaModelTest, CreateComputesUniformPriorWithoutDocs) {

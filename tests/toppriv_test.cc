@@ -1,6 +1,7 @@
 // Unit and property tests for the TopPriv core: belief bookkeeping, the
 // privacy model and the ghost-query generation algorithm.
 #include <algorithm>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -311,6 +312,99 @@ TEST_F(GhostGeneratorTest, FixedGhostLengthOption) {
   for (size_t i = 0; i < cycle.queries.size(); ++i) {
     if (i == cycle.user_index) continue;
     EXPECT_EQ(cycle.queries[i].size(), 5u);
+  }
+}
+
+TEST_F(GhostGeneratorTest, SharedCdfTableMatchesOwnedTable) {
+  // The serving driver lends one TopicCdfTable to every session; cycles
+  // must be identical to a generator that built its own table.
+  PrivacySpec spec;
+  TopicCdfTable table(World().model);
+  GeneratorOptions shared;
+  shared.shared_topic_cdfs = &table;
+  QueryCycle a = ProtectQuery(1, spec, shared, 99);
+  QueryCycle b = ProtectQuery(1, spec, {}, 99);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.user_index, b.user_index);
+  EXPECT_EQ(a.masking_topics, b.masking_topics);
+}
+
+TEST_F(GhostGeneratorTest, CachedGhostsHonorRequestedLength) {
+  // Regression: the ghost cache used to replay the memoized ghost VERBATIM,
+  // ignoring the requested length — so a cycle for a short |qu| could carry
+  // ghosts sized for a long one (an adversary-visible marker), and every
+  // cycle reused the byte-identical ghost, weakening the Section IV-D
+  // randomized-choice defense. Cache hits must now honor the request:
+  // truncate when shorter, extend (prefix-stable) when longer.
+  PrivacySpec spec;
+  std::map<topicmodel::TopicId, std::vector<text::TermId>> cache;
+
+  GeneratorOptions short_options;
+  short_options.fixed_ghost_length = 3;
+  short_options.ghost_cache = &cache;
+  GhostQueryGenerator short_gen(World().model, inferencer_, spec,
+                                short_options);
+  util::Rng rng(41);
+  QueryCycle first = short_gen.Protect(World().workload[0].term_ids, &rng);
+  ASSERT_GT(first.num_ghosts(), 0u);
+  for (size_t i = 0; i < first.queries.size(); ++i) {
+    if (i == first.user_index) continue;
+    EXPECT_EQ(first.queries[i].size(), 3u);
+  }
+
+  // Same session cache, different |qg| request (a different |qu| draws a
+  // different multiplier; fixed lengths make the assertion exact).
+  GeneratorOptions long_options;
+  long_options.fixed_ghost_length = 7;
+  long_options.ghost_cache = &cache;
+  GhostQueryGenerator long_gen(World().model, inferencer_, spec,
+                               long_options);
+  QueryCycle second = long_gen.Protect(World().workload[0].term_ids, &rng);
+  ASSERT_GT(second.num_ghosts(), 0u);
+  for (size_t i = 0; i < second.queries.size(); ++i) {
+    if (i == second.user_index) continue;
+    const std::vector<text::TermId>& ghost = second.queries[i];
+    // Correctly sized for THIS cycle, not replayed at the cached size.
+    EXPECT_EQ(ghost.size(), 7u);
+  }
+  // Ghost sets must differ between the cycles (different sizes alone
+  // guarantees non-identity; check explicitly for clarity).
+  for (size_t i = 0; i < second.queries.size(); ++i) {
+    if (i == second.user_index) continue;
+    for (size_t j = 0; j < first.queries.size(); ++j) {
+      if (j == first.user_index) continue;
+      EXPECT_NE(second.queries[i], first.queries[j]);
+    }
+  }
+}
+
+TEST_F(GhostGeneratorTest, CachedGhostExtensionIsPrefixStable) {
+  // The cover-story property behind the cache: later, longer requests for
+  // the same masking topic must extend the memoized ghost, not resample it
+  // from scratch — and shorter requests take a prefix of it.
+  PrivacySpec spec;
+  std::map<topicmodel::TopicId, std::vector<text::TermId>> cache;
+  GeneratorOptions options;
+  options.fixed_ghost_length = 4;
+  options.ghost_cache = &cache;
+  GhostQueryGenerator generator(World().model, inferencer_, spec, options);
+  util::Rng rng(43);
+  QueryCycle cycle = generator.Protect(World().workload[0].term_ids, &rng);
+  ASSERT_GT(cycle.num_ghosts(), 0u);
+  std::map<topicmodel::TopicId, std::vector<text::TermId>> snapshot = cache;
+  ASSERT_FALSE(snapshot.empty());
+
+  GeneratorOptions longer;
+  longer.fixed_ghost_length = 9;
+  longer.ghost_cache = &cache;
+  GhostQueryGenerator long_gen(World().model, inferencer_, spec, longer);
+  QueryCycle second = long_gen.Protect(World().workload[0].term_ids, &rng);
+  ASSERT_GT(second.num_ghosts(), 0u);
+  for (const auto& [topic, old_ghost] : snapshot) {
+    const std::vector<text::TermId>& now = cache.at(topic);
+    ASSERT_GE(now.size(), old_ghost.size());
+    EXPECT_TRUE(std::equal(old_ghost.begin(), old_ghost.end(), now.begin()))
+        << "topic " << topic << " ghost was resampled, not extended";
   }
 }
 

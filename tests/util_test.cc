@@ -1,5 +1,6 @@
 // Unit and property tests for the util substrate.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
@@ -15,6 +16,7 @@
 #include "util/status.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace toppriv::util {
@@ -312,6 +314,46 @@ TEST(BinaryIoTest, StringOverrunReturnsDataLoss) {
   EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kDataLoss);
 }
 
+TEST(BinaryIoTest, HostileVectorCountsReturnDataLossWithoutAllocating) {
+  // A count whose byte size wraps uint64 (n * sizeof(element) == tiny) used
+  // to sail past the bounds check and hand resize() a multi-exabyte demand.
+  for (uint64_t hostile :
+       {uint64_t{1} << 62, (uint64_t{1} << 62) + 3, uint64_t{0xffffffffffffffff}}) {
+    BinaryWriter w;
+    w.WriteVarint(hostile);
+    w.WriteU32(0);  // a few plausible payload bytes
+    BinaryReader fr(w.data());
+    std::vector<float> fv;
+    EXPECT_EQ(fr.ReadFloatVector(&fv).code(), StatusCode::kDataLoss);
+    BinaryReader dr(w.data());
+    std::vector<double> dv;
+    EXPECT_EQ(dr.ReadDoubleVector(&dv).code(), StatusCode::kDataLoss);
+    BinaryReader ur(w.data());
+    std::vector<uint32_t> uv;
+    EXPECT_EQ(ur.ReadU32Vector(&uv).code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(BinaryIoTest, HugeStringLengthDoesNotWrapBoundsCheck) {
+  // pos_ + n used to overflow, making Need() accept any length.
+  BinaryWriter w;
+  w.WriteVarint(0xffffffffffffffffull);
+  BinaryReader r(w.data());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryIoTest, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  uint32_t v;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
 TEST(FileIoTest, WriteReadRoundtrip) {
   std::string path = ::testing::TempDir() + "/toppriv_io_test.bin";
   std::string payload = "binary\0payload";
@@ -450,6 +492,61 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
   timer.Reset();
   EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndReuse) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, [&counter](size_t) { counter.fetch_add(1); });
+  pool.ParallelFor(5, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsPromotedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after completing pending tasks
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
 }
 
 }  // namespace
