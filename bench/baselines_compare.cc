@@ -12,6 +12,7 @@
 // argument, made quantitative.
 
 #include <cstdio>
+#include <memory>
 
 #include "baselines/canonical.h"
 #include "baselines/trackmenot.h"
@@ -50,8 +51,11 @@ int main() {
   const double eps1 = 0.05;
   const size_t budget = 4;  // cycle length / expansion factor
 
-  search::SearchEngine engine(fixture.corpus(), fixture.index(),
-                              search::MakeBm25Scorer());
+  // Monolithic by default; TOPPRIV_SHARDS=K runs the same figure over a
+  // sharded engine (results are identical by the parity contract).
+  std::unique_ptr<search::QueryEngine> engine_owner =
+      fixture.MakeEngine(search::MakeBm25Scorer());
+  search::QueryEngine& engine = *engine_owner;
 
   // Scheme machinery.
   baselines::TrackMeNot trackmenot(fixture.corpus(),

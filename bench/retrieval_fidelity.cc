@@ -6,6 +6,7 @@
 // query the engine actually scores.
 
 #include <cstdio>
+#include <memory>
 
 #include "experiments/fixture.h"
 #include "pdx/embellisher.h"
@@ -27,8 +28,11 @@ int main() {
   const size_t num_topics = 200;
   const topicmodel::LdaModel& model = fixture.model(num_topics);
 
-  search::SearchEngine engine(fixture.corpus(), fixture.index(),
-                              search::MakeBm25Scorer());
+  // Monolithic by default; TOPPRIV_SHARDS=K runs the same figure over a
+  // sharded engine (results are identical by the parity contract).
+  std::unique_ptr<search::QueryEngine> engine_owner =
+      fixture.MakeEngine(search::MakeBm25Scorer());
+  search::QueryEngine& engine = *engine_owner;
   topicmodel::LdaInferencer inferencer(model);
   core::PrivacySpec spec;
   core::GhostQueryGenerator generator(model, inferencer, spec);

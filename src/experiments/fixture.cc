@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "search/sharded_engine.h"
+
 #include "util/check.h"
 #include "util/hash.h"
 #include "util/io.h"
@@ -43,6 +45,8 @@ FixtureConfig FixtureConfig::FromEnv() {
   config.workload_params.num_queries = EnvSize("TOPPRIV_QUERIES", 150);
   config.lda_iterations = EnvSize("TOPPRIV_LDA_ITERS", 100);
   config.cache_dir = EnvString("TOPPRIV_CACHE_DIR", ".toppriv_cache");
+  config.num_shards = EnvSize("TOPPRIV_SHARDS", 1);
+  config.shard_threads = EnvSize("TOPPRIV_SHARD_THREADS", 1);
   return config;
 }
 
@@ -95,6 +99,35 @@ const index::InvertedIndex& ExperimentFixture::index() {
         index::InvertedIndex::Build(*corpus_));
   }
   return *index_;
+}
+
+const index::ShardedIndex& ExperimentFixture::sharded_index(
+    size_t num_shards) {
+  auto it = sharded_.find(num_shards);
+  if (it != sharded_.end()) return *it->second;
+  EnsureCorpus();
+  auto owned = std::make_unique<index::ShardedIndex>(
+      index::ShardedIndex::Build(*corpus_, num_shards));
+  const index::ShardedIndex& ref = *owned;
+  sharded_.emplace(num_shards, std::move(owned));
+  return ref;
+}
+
+std::unique_ptr<search::QueryEngine> ExperimentFixture::MakeEngine(
+    std::unique_ptr<search::Scorer> scorer, size_t num_shards,
+    size_t shard_threads) {
+  if (num_shards <= 1) {
+    return std::make_unique<search::SearchEngine>(corpus(), index(),
+                                                  std::move(scorer));
+  }
+  return std::make_unique<search::ShardedSearchEngine>(
+      corpus(), sharded_index(num_shards), std::move(scorer), shard_threads);
+}
+
+std::unique_ptr<search::QueryEngine> ExperimentFixture::MakeEngine(
+    std::unique_ptr<search::Scorer> scorer) {
+  return MakeEngine(std::move(scorer), config_.num_shards,
+                    config_.shard_threads);
 }
 
 std::string ExperimentFixture::CacheKey(size_t num_topics) const {

@@ -10,6 +10,9 @@
 //   TOPPRIV_QUERIES     workload size             (default 150, as the paper)
 //   TOPPRIV_LDA_ITERS   Gibbs sweeps              (default 100)
 //   TOPPRIV_CACHE_DIR   LDA model cache directory (default .toppriv_cache)
+//   TOPPRIV_SHARDS      index shards for MakeEngine (default 1 = monolithic)
+//   TOPPRIV_SHARD_THREADS  per-query shard fan-out threads (default 1 =
+//                          sequential scatter)
 #ifndef TOPPRIV_EXPERIMENTS_FIXTURE_H_
 #define TOPPRIV_EXPERIMENTS_FIXTURE_H_
 
@@ -22,6 +25,9 @@
 #include "corpus/generator.h"
 #include "corpus/workload.h"
 #include "index/inverted_index.h"
+#include "index/sharded_index.h"
+#include "search/engine.h"
+#include "search/scorer.h"
 #include "topicmodel/gibbs_trainer.h"
 #include "topicmodel/lda_model.h"
 
@@ -33,6 +39,11 @@ struct FixtureConfig {
   corpus::WorkloadParams workload_params;
   size_t lda_iterations = 100;
   std::string cache_dir = ".toppriv_cache";
+  /// Index shards MakeEngine uses; 1 builds the monolithic SearchEngine.
+  size_t num_shards = 1;
+  /// Shard fan-out threads for MakeEngine's sharded engine (1 = sequential
+  /// scatter on the caller's thread; 0 = hardware concurrency).
+  size_t shard_threads = 1;
 
   /// Reads the TOPPRIV_* environment variables over the defaults.
   static FixtureConfig FromEnv();
@@ -58,8 +69,25 @@ class ExperimentFixture {
   const std::vector<corpus::BenchmarkQuery>& workload();
   /// Inverted index over the corpus.
   const index::InvertedIndex& index();
+  /// Document-partitioned index with `num_shards` shards (built on first
+  /// use, cached per shard count). The parity suite guarantees it answers
+  /// queries identically to index().
+  const index::ShardedIndex& sharded_index(size_t num_shards);
   /// Trained LDA model with `num_topics` topics (trains or loads cache).
   const topicmodel::LdaModel& model(size_t num_topics);
+
+  /// Builds a query engine over the fixture corpus: the monolithic
+  /// SearchEngine when `num_shards` <= 1, a ShardedSearchEngine otherwise
+  /// (with `shard_threads` fan-out workers; 1 = sequential scatter). Every
+  /// figure bench that takes its engine from here runs sharded by setting
+  /// TOPPRIV_SHARDS — results are identical by the parity contract, so the
+  /// figures are architecture-independent.
+  std::unique_ptr<search::QueryEngine> MakeEngine(
+      std::unique_ptr<search::Scorer> scorer, size_t num_shards,
+      size_t shard_threads = 1);
+  /// Same, with the shard count from the config (TOPPRIV_SHARDS).
+  std::unique_ptr<search::QueryEngine> MakeEngine(
+      std::unique_ptr<search::Scorer> scorer);
 
   /// Human-readable model name, e.g. "LDA200".
   static std::string ModelName(size_t num_topics);
@@ -73,6 +101,7 @@ class ExperimentFixture {
   corpus::GroundTruthModel ground_truth_;
   std::unique_ptr<std::vector<corpus::BenchmarkQuery>> workload_;
   std::unique_ptr<index::InvertedIndex> index_;
+  std::map<size_t, std::unique_ptr<index::ShardedIndex>> sharded_;
   std::map<size_t, std::unique_ptr<topicmodel::LdaModel>> models_;
 };
 

@@ -9,21 +9,31 @@
 namespace toppriv::index {
 
 InvertedIndex InvertedIndex::Build(const corpus::Corpus& corpus) {
+  return BuildRange(corpus, 0,
+                    static_cast<corpus::DocId>(corpus.num_documents()));
+}
+
+InvertedIndex InvertedIndex::BuildRange(const corpus::Corpus& corpus,
+                                        corpus::DocId begin,
+                                        corpus::DocId end) {
+  TOPPRIV_CHECK_LE(begin, end);
+  TOPPRIV_CHECK_LE(end, corpus.num_documents());
   const size_t num_terms = corpus.vocabulary_size();
   std::vector<PostingList::Builder> builders(num_terms);
 
   InvertedIndex index;
-  index.doc_lengths_.reserve(corpus.num_documents());
+  index.doc_lengths_.reserve(end - begin);
 
   // Documents arrive in ascending id order, so per-term Appends are
   // naturally sorted.
   std::map<text::TermId, uint32_t> counts;  // reused across documents
-  for (const corpus::Document& doc : corpus.documents()) {
+  for (corpus::DocId d = begin; d < end; ++d) {
+    const corpus::Document& doc = corpus.documents()[d];
     counts.clear();
     for (text::TermId t : doc.tokens) ++counts[t];
     for (const auto& [term, tf] : counts) {
       TOPPRIV_CHECK_LT(term, num_terms);
-      builders[term].Append(doc.id, tf);
+      builders[term].Append(doc.id - begin, tf);
     }
     index.doc_lengths_.push_back(static_cast<uint32_t>(doc.tokens.size()));
     index.total_tokens_ += doc.tokens.size();

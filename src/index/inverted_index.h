@@ -42,6 +42,14 @@ class InvertedIndex {
   /// Builds the index from a corpus in one pass.
   static InvertedIndex Build(const corpus::Corpus& corpus);
 
+  /// Builds an index over the document range [begin, end) only, with doc
+  /// ids LOCAL to the range (global id d maps to local id d - begin). The
+  /// term space stays the full corpus vocabulary, so every shard of a
+  /// ShardedIndex answers Postings() for any term. Build(c) is
+  /// BuildRange(c, 0, num_documents).
+  static InvertedIndex BuildRange(const corpus::Corpus& corpus,
+                                  corpus::DocId begin, corpus::DocId end);
+
   /// Posting list for a term (empty list if the term never occurs).
   const PostingList& Postings(text::TermId term) const;
 

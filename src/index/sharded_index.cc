@@ -1,0 +1,214 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace toppriv::index {
+
+ShardedIndex ShardedIndex::Build(const corpus::Corpus& corpus,
+                                 size_t num_shards) {
+  TOPPRIV_CHECK_GE(num_shards, 1u);
+  const uint64_t num_docs = corpus.num_documents();
+
+  ShardedIndex index;
+  std::vector<ShardRange> ranges;
+  ranges.reserve(num_shards);
+  index.shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    // Balanced contiguous split: shard s owns [N*s/K, N*(s+1)/K).
+    ShardRange range;
+    range.begin = static_cast<corpus::DocId>(num_docs * s / num_shards);
+    range.end = static_cast<corpus::DocId>(num_docs * (s + 1) / num_shards);
+    index.shards_.push_back(
+        InvertedIndex::BuildRange(corpus, range.begin, range.end));
+    ranges.push_back(range);
+  }
+  index.FinishManifest(std::move(ranges));
+  return index;
+}
+
+void ShardedIndex::FinishManifest(std::vector<ShardRange> ranges) {
+  manifest_.ranges = std::move(ranges);
+  manifest_.num_terms = 0;
+  manifest_.num_documents = 0;
+  manifest_.total_tokens = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    manifest_.num_terms = std::max(manifest_.num_terms, shards_[s].num_terms());
+    manifest_.num_documents += manifest_.ranges[s].size();
+    manifest_.total_tokens += shards_[s].total_tokens();
+  }
+  manifest_.avg_doc_length =
+      manifest_.num_documents == 0
+          ? 0.0
+          : static_cast<double>(manifest_.total_tokens) /
+                static_cast<double>(manifest_.num_documents);
+  manifest_.global_df.assign(manifest_.num_terms, 0);
+  for (const InvertedIndex& shard : shards_) {
+    for (size_t t = 0; t < shard.num_terms(); ++t) {
+      manifest_.global_df[t] += shard.DocFreq(static_cast<text::TermId>(t));
+    }
+  }
+}
+
+const InvertedIndex& ShardedIndex::shard(size_t s) const {
+  TOPPRIV_CHECK_LT(s, shards_.size());
+  return shards_[s];
+}
+
+size_t ShardedIndex::ShardOf(corpus::DocId doc) const {
+  TOPPRIV_CHECK_LT(doc, manifest_.num_documents);
+  // Ranges tile [0, N) in order, so the owner is the last range whose begin
+  // is at or before `doc` (every later range starts past it, and tiling
+  // makes that range end past it).
+  auto it = std::upper_bound(
+      manifest_.ranges.begin(), manifest_.ranges.end(), doc,
+      [](corpus::DocId d, const ShardRange& r) { return d < r.begin; });
+  TOPPRIV_CHECK(it != manifest_.ranges.begin());
+  size_t s = static_cast<size_t>(it - manifest_.ranges.begin()) - 1;
+  TOPPRIV_DCHECK(doc >= manifest_.ranges[s].begin &&
+                 doc < manifest_.ranges[s].end);
+  return s;
+}
+
+uint32_t ShardedIndex::DocFreq(text::TermId term) const {
+  if (term >= manifest_.global_df.size()) return 0;
+  return manifest_.global_df[term];
+}
+
+uint32_t ShardedIndex::DocLength(corpus::DocId doc) const {
+  size_t s = ShardOf(doc);
+  return shards_[s].DocLength(doc - manifest_.ranges[s].begin);
+}
+
+IndexStats ShardedIndex::ComputeStats() const {
+  IndexStats stats;
+  stats.num_terms = manifest_.num_terms;
+  stats.num_documents = manifest_.num_documents;
+  for (size_t t = 0; t < manifest_.num_terms; ++t) {
+    // Walk the term's postings shard by shard in global doc order and price
+    // them as ONE delta-encoded list: the first posting absolute, every
+    // later one as a delta from its predecessor even across a shard
+    // boundary. That is byte-for-byte the monolithic encoding, so the
+    // summed encoded_bytes match the monolithic index exactly (the naive
+    // sum of shard ByteSize()s would not: each shard re-anchors its first
+    // posting as an absolute local id).
+    uint32_t length = 0;
+    uint64_t encoded = 0;
+    uint64_t prev_doc = 0;
+    bool first = true;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const PostingList& list =
+          shards_[s].Postings(static_cast<text::TermId>(t));
+      for (auto it = list.begin(); it.Valid(); it.Next()) {
+        const Posting& p = it.Get();
+        const uint64_t doc = manifest_.ranges[s].begin + uint64_t{p.doc};
+        encoded += util::VarintSize(first ? doc : doc - prev_doc) +
+                   util::VarintSize(p.tf);
+        prev_doc = doc;
+        first = false;
+        ++length;
+      }
+    }
+    stats.total_postings += length;
+    stats.max_list_length = std::max(stats.max_list_length, length);
+    stats.encoded_bytes += encoded;
+  }
+  if (stats.num_terms > 0) {
+    stats.avg_list_length = static_cast<double>(stats.total_postings) /
+                            static_cast<double>(stats.num_terms);
+  }
+  stats.pir_padded_bytes = static_cast<uint64_t>(stats.num_terms) *
+                           static_cast<uint64_t>(stats.max_list_length) * 8ull;
+  return stats;
+}
+
+std::string ShardedIndex::Serialize() const {
+  util::BinaryWriter w;
+  w.WriteVarint(shards_.size());
+  w.WriteVarint(manifest_.num_terms);
+  w.WriteVarint(manifest_.num_documents);
+  for (const ShardRange& r : manifest_.ranges) {
+    w.WriteVarint(r.begin);
+    w.WriteVarint(r.end);
+  }
+  for (const InvertedIndex& shard : shards_) {
+    w.WriteString(shard.Serialize());
+  }
+  return w.data();
+}
+
+util::StatusOr<ShardedIndex> ShardedIndex::Deserialize(
+    const std::string& bytes) {
+  util::BinaryReader r(bytes);
+  uint64_t num_shards = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_shards));
+  if (num_shards == 0) {
+    return util::Status::DataLoss("sharded index needs at least one shard");
+  }
+  // Every shard costs at least three bytes (range begin/end varints appear
+  // first, then a length-prefixed blob), so a count beyond a third of the
+  // remaining payload is hostile — reject before any allocation scales
+  // with it.
+  if (num_shards > r.remaining() / 3) {
+    return util::Status::DataLoss("shard count exceeds payload");
+  }
+  uint64_t num_terms = 0, num_docs = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_terms));
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_docs));
+
+  std::vector<ShardRange> ranges;
+  ranges.reserve(num_shards);
+  uint64_t expected_begin = 0;
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    uint64_t begin = 0, end = 0;
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&begin));
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&end));
+    if (end > UINT32_MAX) {
+      return util::Status::DataLoss("shard range overflows doc id space");
+    }
+    if (begin > end) {
+      return util::Status::DataLoss("shard range inverted");
+    }
+    // Ranges must tile [0, num_docs) in order: any overlap, gap, or
+    // out-of-order range breaks the begin == previous end chain.
+    if (begin != expected_begin) {
+      return util::Status::DataLoss(
+          "shard ranges overlap or leave a gap in the doc id space");
+    }
+    expected_begin = end;
+    ranges.push_back(ShardRange{static_cast<corpus::DocId>(begin),
+                                static_cast<corpus::DocId>(end)});
+  }
+  if (expected_begin != num_docs) {
+    return util::Status::DataLoss(
+        "shard ranges do not cover the declared document count");
+  }
+
+  ShardedIndex index;
+  index.shards_.reserve(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    std::string blob;
+    TOPPRIV_RETURN_IF_ERROR(r.ReadString(&blob));
+    auto shard = InvertedIndex::Deserialize(blob);
+    if (!shard.ok()) return shard.status();
+    // The shard blob must agree with the manifest it travels with: doc
+    // count equal to its range width, term space equal to the global one.
+    if (shard->num_documents() != ranges[s].size()) {
+      return util::Status::DataLoss(
+          "shard payload does not match its doc-id range");
+    }
+    if (shard->num_terms() != num_terms) {
+      return util::Status::DataLoss("shard term space mismatch");
+    }
+    index.shards_.push_back(std::move(shard).value());
+  }
+  if (!r.AtEnd()) {
+    return util::Status::DataLoss("trailing bytes after sharded index");
+  }
+  index.FinishManifest(std::move(ranges));
+  return index;
+}
+
+}  // namespace toppriv::index

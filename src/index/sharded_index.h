@@ -1,0 +1,108 @@
+// Document-partitioned inverted index: K InvertedIndex shards over
+// contiguous doc-id ranges plus a manifest with the shard→range mapping and
+// the aggregated global statistics scorers need.
+//
+// The partition changes WHERE postings live, never WHAT the collection
+// contains: every global accessor (DocFreq, DocLength, ComputeStats) is
+// defined to return exactly what the monolithic InvertedIndex over the same
+// corpus returns, and tests/sharding_test.cc enforces that bit for bit.
+// This is the paper's "no loss of retrieval fidelity" invariant pushed
+// across an architectural boundary — per-shard evaluation must score with
+// the GLOBAL statistics carried here (distributed-IR global IDF), or
+// sharded rankings would drift from the monolithic engine's.
+#ifndef TOPPRIV_INDEX_SHARDED_INDEX_H_
+#define TOPPRIV_INDEX_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace toppriv::index {
+
+/// Contiguous global doc-id range [begin, end) owned by one shard. Shard
+/// ranges tile [0, num_documents) in order with no gaps or overlaps; a
+/// global doc id g in shard s has local id g - begin.
+struct ShardRange {
+  corpus::DocId begin = 0;
+  corpus::DocId end = 0;
+
+  uint32_t size() const { return end - begin; }
+};
+
+/// Shard→range mapping plus the aggregated collection statistics. Derived
+/// entirely from the shards at Build/Deserialize time (never trusted from
+/// the wire beyond the ranges themselves).
+struct ShardManifest {
+  std::vector<ShardRange> ranges;
+  /// Global term-space size; identical for every shard.
+  size_t num_terms = 0;
+  size_t num_documents = 0;
+  uint64_t total_tokens = 0;
+  double avg_doc_length = 0.0;
+  /// Global document frequency per term: the sum of the per-shard list
+  /// lengths, equal to the monolithic DocFreq. Per-shard query evaluation
+  /// scores with these, not the shard-local frequencies.
+  std::vector<uint32_t> global_df;
+};
+
+/// Immutable sharded index.
+class ShardedIndex {
+ public:
+  ShardedIndex() = default;
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+  ShardedIndex(ShardedIndex&&) = default;
+  ShardedIndex& operator=(ShardedIndex&&) = default;
+
+  /// Partitions the corpus into `num_shards` (>= 1) near-equal contiguous
+  /// doc ranges and builds one InvertedIndex per range. More shards than
+  /// documents leaves the surplus shards empty (their ranges are empty).
+  static ShardedIndex Build(const corpus::Corpus& corpus, size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+  const InvertedIndex& shard(size_t s) const;
+  const ShardManifest& manifest() const { return manifest_; }
+
+  /// Shard owning global doc id `doc`.
+  size_t ShardOf(corpus::DocId doc) const;
+
+  // Global accessors, all equal to the monolithic InvertedIndex's.
+  uint32_t DocFreq(text::TermId term) const;
+  uint32_t DocLength(corpus::DocId doc) const;
+  size_t num_documents() const { return manifest_.num_documents; }
+  size_t num_terms() const { return manifest_.num_terms; }
+  double avg_doc_length() const { return manifest_.avg_doc_length; }
+  uint64_t total_tokens() const { return manifest_.total_tokens; }
+
+  /// Statistics of the LOGICAL global index: every field — including
+  /// encoded_bytes, which is reconstructed by re-deriving the monolithic
+  /// delta encoding across shard boundaries — equals the monolithic
+  /// InvertedIndex::ComputeStats() exactly, so the paper's §II PIR
+  /// arithmetic is partition-invariant.
+  IndexStats ComputeStats() const;
+
+  /// Serialization: manifest header (shard count, term/doc totals, ranges)
+  /// followed by one length-prefixed InvertedIndex blob per shard.
+  /// Deserialize rejects hostile blobs — truncation, inverted/overlapping/
+  /// gapped/out-of-range doc ranges, shard blobs whose contents contradict
+  /// the manifest, trailing bytes — with a clean DataLoss status.
+  std::string Serialize() const;
+  static util::StatusOr<ShardedIndex> Deserialize(const std::string& bytes);
+
+ private:
+  /// Recomputes every derived manifest field (totals, avg, global_df) from
+  /// `ranges` + `shards_`; shared by Build and Deserialize.
+  void FinishManifest(std::vector<ShardRange> ranges);
+
+  std::vector<InvertedIndex> shards_;
+  ShardManifest manifest_;
+};
+
+}  // namespace toppriv::index
+
+#endif  // TOPPRIV_INDEX_SHARDED_INDEX_H_

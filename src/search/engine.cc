@@ -1,6 +1,6 @@
 #include "search/engine.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "util/check.h"
 
@@ -18,10 +18,77 @@ void EvalScratch::Prepare(size_t num_documents) {
   touched_.clear();
 }
 
+std::vector<QueryTerm> CollapseQuery(const std::vector<text::TermId>& terms) {
+  // Sort then run-length collapse. Queries are a handful of terms, so this
+  // beats any hash map — and unlike a hash map its order is canonical, not
+  // an artifact of bucket history, which the sharded engine's bit-parity
+  // contract relies on.
+  std::vector<text::TermId> sorted = terms;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<QueryTerm> query;
+  query.reserve(sorted.size());
+  for (text::TermId t : sorted) {
+    if (!query.empty() && query.back().term == t) {
+      ++query.back().qtf;
+    } else {
+      query.push_back(QueryTerm{t, 1});
+    }
+  }
+  return query;
+}
+
+std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
+                                      const CollectionStats& stats,
+                                      const Scorer& scorer,
+                                      const std::vector<QueryTerm>& query,
+                                      const std::vector<uint32_t>& dfs,
+                                      size_t k, EvalScratch* scratch) {
+  TOPPRIV_CHECK_EQ(query.size(), dfs.size());
+  if (query.empty() || k == 0) return {};
+
+  scratch->Prepare(index.num_documents());
+
+  // Term-at-a-time accumulation over posting lists into the contiguous
+  // per-document array; documents containing none of the query terms are
+  // never touched (the scalability property the paper's PIR discussion
+  // contrasts against). The first touch assigns 0.0 before accumulating so
+  // a slot's history cannot leak between queries.
+  std::vector<double>& scores = scratch->scores_;
+  std::vector<char>& is_touched = scratch->is_touched_;
+  std::vector<corpus::DocId>& touched = scratch->touched_;
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    const index::PostingList& list = index.Postings(query[qi].term);
+    if (list.empty() || dfs[qi] == 0) continue;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      const index::Posting& p = it.Get();
+      TOPPRIV_DCHECK(p.doc < scores.size());
+      if (!is_touched[p.doc]) {
+        is_touched[p.doc] = 1;
+        touched.push_back(p.doc);
+        scores[p.doc] = 0.0;
+      }
+      scores[p.doc] += scorer.TermScore(stats, index.DocLength(p.doc), p.tf,
+                                        dfs[qi], query[qi].qtf);
+    }
+  }
+
+  TopK topk(k);
+  for (corpus::DocId doc : touched) {
+    topk.Offer(doc, scorer.Normalize(stats, index.DocLength(doc), scores[doc]));
+  }
+  // Leave the scratch clean for the next query (O(touched), not O(docs)).
+  for (corpus::DocId doc : touched) is_touched[doc] = 0;
+  touched.clear();
+  return topk.Finish();
+}
+
 SearchEngine::SearchEngine(const corpus::Corpus& corpus,
                            const index::InvertedIndex& index,
                            std::unique_ptr<Scorer> scorer)
-    : corpus_(corpus), index_(index), scorer_(std::move(scorer)) {
+    : corpus_(corpus),
+      index_(index),
+      scorer_(std::move(scorer)),
+      stats_(CollectionStats::Of(index)) {
   TOPPRIV_CHECK(scorer_ != nullptr);
 }
 
@@ -41,50 +108,12 @@ std::vector<ScoredDoc> SearchEngine::Evaluate(
     const std::vector<text::TermId>& terms, size_t k,
     EvalScratch* scratch) const {
   if (terms.empty() || k == 0) return {};
-
-  scratch->Prepare(index_.num_documents());
-
-  // Collapse the query to (term, qtf) pairs. Deliberately a fresh map per
-  // call, not part of the scratch: a reused map's bucket history would
-  // change its iteration order — and with it the floating-point
-  // accumulation order — making results depend on what the thread ran
-  // before. Queries are a handful of terms; the per-document accumulator
-  // was the allocation that mattered.
-  std::unordered_map<text::TermId, uint32_t> query_tf;
-  for (text::TermId t : terms) ++query_tf[t];
-
-  // Term-at-a-time accumulation over posting lists into the contiguous
-  // per-document array; documents containing none of the query terms are
-  // never touched (the scalability property the paper's PIR discussion
-  // contrasts against). The first touch assigns 0.0 before accumulating so
-  // the arithmetic matches the old hash-map accumulator bit for bit.
-  std::vector<double>& scores = scratch->scores_;
-  std::vector<char>& is_touched = scratch->is_touched_;
-  std::vector<corpus::DocId>& touched = scratch->touched_;
-  for (const auto& [term, qtf] : query_tf) {
-    const index::PostingList& list = index_.Postings(term);
-    uint32_t df = list.size();
-    if (df == 0) continue;
-    for (auto it = list.begin(); it.Valid(); it.Next()) {
-      const index::Posting& p = it.Get();
-      TOPPRIV_DCHECK(p.doc < scores.size());
-      if (!is_touched[p.doc]) {
-        is_touched[p.doc] = 1;
-        touched.push_back(p.doc);
-        scores[p.doc] = 0.0;
-      }
-      scores[p.doc] += scorer_->TermScore(index_, p.doc, p.tf, df, qtf);
-    }
+  std::vector<QueryTerm> query = CollapseQuery(terms);
+  std::vector<uint32_t> dfs(query.size());
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    dfs[qi] = index_.DocFreq(query[qi].term);
   }
-
-  TopK topk(k);
-  for (corpus::DocId doc : touched) {
-    topk.Offer(doc, scorer_->Normalize(index_, doc, scores[doc]));
-  }
-  // Leave the scratch clean for the next query (O(touched), not O(docs)).
-  for (corpus::DocId doc : touched) is_touched[doc] = 0;
-  touched.clear();
-  return topk.Finish();
+  return AccumulateTopK(index_, stats_, *scorer_, query, dfs, k, scratch);
 }
 
 }  // namespace toppriv::search

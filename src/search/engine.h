@@ -16,12 +16,19 @@
 
 namespace toppriv::search {
 
+/// One query term after collapsing duplicates: the term and its query term
+/// frequency.
+struct QueryTerm {
+  text::TermId term = 0;
+  uint32_t qtf = 0;
+};
+
 /// Reusable evaluation scratch: a contiguous score accumulator with one
 /// slot per document, plus the touched-document list that makes clearing
 /// O(touched) instead of O(num_documents). Reusing one scratch across
 /// queries removes the per-query hash-map allocation that used to dominate
 /// Evaluate. Not thread-safe: one scratch per thread (the scratch-less
-/// Evaluate overload keeps a thread-local one).
+/// Evaluate overloads keep a thread-local one).
 class EvalScratch {
  public:
   EvalScratch() = default;
@@ -29,7 +36,12 @@ class EvalScratch {
   EvalScratch& operator=(const EvalScratch&) = delete;
 
  private:
-  friend class SearchEngine;
+  friend std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex&,
+                                               const CollectionStats&,
+                                               const Scorer&,
+                                               const std::vector<QueryTerm>&,
+                                               const std::vector<uint32_t>&,
+                                               size_t, EvalScratch*);
 
   /// Grows the accumulator to cover `num_documents` and resets any state a
   /// previous (possibly abandoned) query left behind.
@@ -39,6 +51,29 @@ class EvalScratch {
   std::vector<char> is_touched_;
   std::vector<corpus::DocId> touched_;
 };
+
+/// Collapses a bag of term ids to unique (term, qtf) pairs in ascending
+/// term order. The sorted order fixes the floating-point accumulation order
+/// of every evaluation path — monolithic or per-shard — so results are
+/// bit-identical across engines (and independent of any hash-map iteration
+/// order).
+std::vector<QueryTerm> CollapseQuery(const std::vector<text::TermId>& terms);
+
+/// The shared term-at-a-time evaluation core: accumulates `query` over
+/// `index`'s posting lists into `scratch`, scoring with the collection-wide
+/// `stats` and the per-term document frequencies `dfs` (parallel to
+/// `query`; the monolithic engine passes the index's own df, a sharded
+/// engine passes the GLOBAL df so every shard scores identically), then
+/// extracts the top `k`. Result doc ids are local to `index`; sharded
+/// callers offset them by their shard's range base before merging.
+/// Exposing this lets SearchEngine and ShardedSearchEngine run literally
+/// the same arithmetic, which is what the bit-parity suite locks down.
+std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
+                                      const CollectionStats& stats,
+                                      const Scorer& scorer,
+                                      const std::vector<QueryTerm>& query,
+                                      const std::vector<uint32_t>& dfs,
+                                      size_t k, EvalScratch* scratch);
 
 /// One entry in the engine-side query log: the adversary's view. Queries
 /// arrive as bags of term ids; the engine cannot tell user queries from
@@ -75,12 +110,43 @@ class QueryLog {
   uint64_t next_seq_ = 0;
 };
 
-/// Similarity search engine over an inverted index.
+/// Abstract ranked-retrieval engine: what the privacy layer (TrustedClient,
+/// SessionProtector) and the serving driver program against. Implemented by
+/// the monolithic SearchEngine and by ShardedSearchEngine; the sharding
+/// test suite proves the two are interchangeable bit for bit, so every
+/// layer above can swap one for the other freely.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Processes a query (bag of term ids), returning the top-k documents.
+  /// Every call is recorded in the query log under `cycle_id`.
+  virtual std::vector<ScoredDoc> Search(const std::vector<text::TermId>& terms,
+                                        size_t k, uint64_t cycle_id = 0) = 0;
+
+  /// Evaluation without logging (used internally and by tests that compare
+  /// against the logged path). Uses thread-local scratch space, so
+  /// concurrent callers (the serving driver's sessions) are safe.
+  virtual std::vector<ScoredDoc> Evaluate(
+      const std::vector<text::TermId>& terms, size_t k) const = 0;
+
+  virtual const QueryLog& query_log() const = 0;
+  virtual QueryLog& mutable_query_log() = 0;
+
+  /// The corpus being searched (clients analyze raw text against its
+  /// vocabulary).
+  virtual const corpus::Corpus& corpus() const = 0;
+
+  /// Scorer in use (for logs and benches).
+  virtual const Scorer& scorer() const = 0;
+};
+
+/// Similarity search engine over a monolithic inverted index.
 ///
 /// The engine is deliberately unmodified by the privacy layer: TopPriv's
 /// design constraint is that it works against existing engines (unlike the
 /// PDX baseline, which requires a homomorphic scoring protocol).
-class SearchEngine {
+class SearchEngine : public QueryEngine {
  public:
   /// The engine borrows the corpus and index; both must outlive it.
   SearchEngine(const corpus::Corpus& corpus, const index::InvertedIndex& index,
@@ -89,33 +155,28 @@ class SearchEngine {
   SearchEngine(const SearchEngine&) = delete;
   SearchEngine& operator=(const SearchEngine&) = delete;
 
-  /// Processes a query (bag of term ids), returning the top-k documents.
-  /// Every call is recorded in the query log under `cycle_id`.
   std::vector<ScoredDoc> Search(const std::vector<text::TermId>& terms,
-                                size_t k, uint64_t cycle_id = 0);
+                                size_t k, uint64_t cycle_id = 0) override;
 
-  /// Term-at-a-time evaluation without logging (used internally and by
-  /// tests that compare against the logged path). Uses a thread-local
-  /// scratch, so concurrent callers (the serving driver's sessions) are
-  /// safe.
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
-                                  size_t k) const;
+                                  size_t k) const override;
 
   /// Same, accumulating into the caller's scratch (identical results).
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
                                   size_t k, EvalScratch* scratch) const;
 
-  const QueryLog& query_log() const { return log_; }
-  QueryLog& mutable_query_log() { return log_; }
+  const QueryLog& query_log() const override { return log_; }
+  QueryLog& mutable_query_log() override { return log_; }
 
-  const corpus::Corpus& corpus() const { return corpus_; }
+  const corpus::Corpus& corpus() const override { return corpus_; }
   const index::InvertedIndex& index() const { return index_; }
-  const Scorer& scorer() const { return *scorer_; }
+  const Scorer& scorer() const override { return *scorer_; }
 
  private:
   const corpus::Corpus& corpus_;
   const index::InvertedIndex& index_;
   std::unique_ptr<Scorer> scorer_;
+  CollectionStats stats_;
   QueryLog log_;
 };
 

@@ -6,36 +6,36 @@
 
 namespace toppriv::search {
 
-double TfIdfCosineScorer::TermScore(const index::InvertedIndex& index,
-                                    corpus::DocId doc, uint32_t tf,
+double TfIdfCosineScorer::TermScore(const CollectionStats& stats,
+                                    uint32_t doc_length, uint32_t tf,
                                     uint32_t df, uint32_t qtf) const {
-  (void)doc;
+  (void)doc_length;
   if (df == 0) return 0.0;
-  double n = static_cast<double>(index.num_documents());
+  double n = static_cast<double>(stats.num_documents);
   double idf = std::log(1.0 + n / static_cast<double>(df));
   double dtf = 1.0 + std::log(static_cast<double>(tf));
   double qw = static_cast<double>(qtf) * idf;
   return dtf * qw;
 }
 
-double TfIdfCosineScorer::Normalize(const index::InvertedIndex& index,
-                                    corpus::DocId doc,
+double TfIdfCosineScorer::Normalize(const CollectionStats& stats,
+                                    uint32_t doc_length,
                                     double accumulated) const {
-  double len = static_cast<double>(index.DocLength(doc));
+  (void)stats;
+  double len = static_cast<double>(doc_length);
   if (len <= 0.0) return 0.0;
   return accumulated / std::sqrt(len);
 }
 
-double Bm25Scorer::TermScore(const index::InvertedIndex& index,
-                             corpus::DocId doc, uint32_t tf, uint32_t df,
-                             uint32_t qtf) const {
+double Bm25Scorer::TermScore(const CollectionStats& stats, uint32_t doc_length,
+                             uint32_t tf, uint32_t df, uint32_t qtf) const {
   if (df == 0) return 0.0;
-  double n = static_cast<double>(index.num_documents());
+  double n = static_cast<double>(stats.num_documents);
   double idf =
       std::log(1.0 + (n - static_cast<double>(df) + 0.5) /
                          (static_cast<double>(df) + 0.5));
-  double dl = static_cast<double>(index.DocLength(doc));
-  double avgdl = index.avg_doc_length();
+  double dl = static_cast<double>(doc_length);
+  double avgdl = stats.avg_doc_length;
   double denom =
       static_cast<double>(tf) +
       k1_ * (1.0 - b_ + b_ * (avgdl > 0.0 ? dl / avgdl : 1.0));
@@ -43,15 +43,15 @@ double Bm25Scorer::TermScore(const index::InvertedIndex& index,
   return idf * tf_part * static_cast<double>(qtf);
 }
 
-LmDirichletScorer::LmDirichletScorer(const corpus::Corpus& corpus, double mu)
-    : corpus_(corpus), mu_(mu) {
+LmDirichletScorer::LmDirichletScorer(double mu) : mu_(mu) {
   TOPPRIV_CHECK_GT(mu, 0.0);
 }
 
-double LmDirichletScorer::TermScore(const index::InvertedIndex& index,
-                                    corpus::DocId doc, uint32_t tf,
+double LmDirichletScorer::TermScore(const CollectionStats& stats,
+                                    uint32_t doc_length, uint32_t tf,
                                     uint32_t df, uint32_t qtf) const {
-  double total = static_cast<double>(corpus_.total_tokens());
+  (void)doc_length;
+  double total = static_cast<double>(stats.total_tokens);
   if (total <= 0.0) return 0.0;
   // The term-at-a-time API exposes tf/df only, so df serves as the
   // collection-frequency proxy in the smoothing denominator. Rank-equivalent
@@ -60,16 +60,15 @@ double LmDirichletScorer::TermScore(const index::InvertedIndex& index,
   // simplification: it drops the |q| coefficient, which is constant within
   // a query and only mildly re-weights the document-length prior).
   double p_coll = static_cast<double>(df > 0 ? df : 1) / total;
-  (void)index;
-  (void)doc;
   return static_cast<double>(qtf) *
          std::log(1.0 + static_cast<double>(tf) / (mu_ * p_coll));
 }
 
-double LmDirichletScorer::Normalize(const index::InvertedIndex& index,
-                                    corpus::DocId doc,
+double LmDirichletScorer::Normalize(const CollectionStats& stats,
+                                    uint32_t doc_length,
                                     double accumulated) const {
-  double dl = static_cast<double>(index.DocLength(doc));
+  (void)stats;
+  double dl = static_cast<double>(doc_length);
   return accumulated + std::log(mu_ / (dl + mu_));
 }
 

@@ -4,7 +4,10 @@
 // space model [7]"); we provide TF-IDF cosine, Okapi BM25 and a Dirichlet-
 // smoothed query-likelihood scorer so the substrate matches what enterprise
 // engines actually run. Scorers are stateless w.r.t. queries and consume
-// index statistics only.
+// COLLECTION-level statistics only, passed explicitly as a CollectionStats:
+// with a sharded index each shard scores against the global statistics
+// (distributed-IR "global IDF"), which is what keeps sharded rankings
+// bit-identical to the monolithic engine's.
 #ifndef TOPPRIV_SEARCH_SCORER_H_
 #define TOPPRIV_SEARCH_SCORER_H_
 
@@ -15,24 +18,37 @@
 
 namespace toppriv::search {
 
+/// Collection-wide statistics a scorer consumes. For a monolithic index
+/// these mirror the index's own accessors; for a sharded index they are the
+/// manifest's aggregates over every shard.
+struct CollectionStats {
+  size_t num_documents = 0;
+  double avg_doc_length = 0.0;
+  uint64_t total_tokens = 0;
+
+  static CollectionStats Of(const index::InvertedIndex& index) {
+    return CollectionStats{index.num_documents(), index.avg_doc_length(),
+                           index.total_tokens()};
+  }
+};
+
 /// Term-at-a-time scoring interface: contribution of one (term, posting)
 /// pair to a document's accumulator.
 class Scorer {
  public:
   virtual ~Scorer() = default;
 
-  /// Score contribution of a term occurring `tf` times in document `doc`,
-  /// where the term occurs in `df` documents and appears `qtf` times in the
-  /// query.
-  virtual double TermScore(const index::InvertedIndex& index,
-                           corpus::DocId doc, uint32_t tf, uint32_t df,
-                           uint32_t qtf) const = 0;
+  /// Score contribution of a term occurring `tf` times in a document of
+  /// `doc_length` tokens, where the term occurs in `df` documents of the
+  /// whole collection and appears `qtf` times in the query.
+  virtual double TermScore(const CollectionStats& stats, uint32_t doc_length,
+                           uint32_t tf, uint32_t df, uint32_t qtf) const = 0;
 
   /// Optional per-document normalization applied after accumulation.
-  virtual double Normalize(const index::InvertedIndex& index,
-                           corpus::DocId doc, double accumulated) const {
-    (void)index;
-    (void)doc;
+  virtual double Normalize(const CollectionStats& stats, uint32_t doc_length,
+                           double accumulated) const {
+    (void)stats;
+    (void)doc_length;
     return accumulated;
   }
 
@@ -44,9 +60,9 @@ class Scorer {
 /// (approximated by document token length).
 class TfIdfCosineScorer : public Scorer {
  public:
-  double TermScore(const index::InvertedIndex& index, corpus::DocId doc,
+  double TermScore(const CollectionStats& stats, uint32_t doc_length,
                    uint32_t tf, uint32_t df, uint32_t qtf) const override;
-  double Normalize(const index::InvertedIndex& index, corpus::DocId doc,
+  double Normalize(const CollectionStats& stats, uint32_t doc_length,
                    double accumulated) const override;
   std::string Name() const override { return "tfidf-cosine"; }
 };
@@ -55,7 +71,7 @@ class TfIdfCosineScorer : public Scorer {
 class Bm25Scorer : public Scorer {
  public:
   explicit Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
-  double TermScore(const index::InvertedIndex& index, corpus::DocId doc,
+  double TermScore(const CollectionStats& stats, uint32_t doc_length,
                    uint32_t tf, uint32_t df, uint32_t qtf) const override;
   std::string Name() const override { return "bm25"; }
 
@@ -64,18 +80,18 @@ class Bm25Scorer : public Scorer {
   double b_;
 };
 
-/// Dirichlet-smoothed query likelihood (language modeling approach).
+/// Dirichlet-smoothed query likelihood (language modeling approach). The
+/// collection language model comes from CollectionStats::total_tokens.
 class LmDirichletScorer : public Scorer {
  public:
-  explicit LmDirichletScorer(const corpus::Corpus& corpus, double mu = 1000.0);
-  double TermScore(const index::InvertedIndex& index, corpus::DocId doc,
+  explicit LmDirichletScorer(double mu = 1000.0);
+  double TermScore(const CollectionStats& stats, uint32_t doc_length,
                    uint32_t tf, uint32_t df, uint32_t qtf) const override;
-  double Normalize(const index::InvertedIndex& index, corpus::DocId doc,
+  double Normalize(const CollectionStats& stats, uint32_t doc_length,
                    double accumulated) const override;
   std::string Name() const override { return "lm-dirichlet"; }
 
  private:
-  const corpus::Corpus& corpus_;
   double mu_;
 };
 

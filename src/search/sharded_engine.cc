@@ -1,0 +1,74 @@
+#include "search/sharded_engine.h"
+
+#include "util/check.h"
+
+namespace toppriv::search {
+
+ShardedSearchEngine::ShardedSearchEngine(const corpus::Corpus& corpus,
+                                         const index::ShardedIndex& index,
+                                         std::unique_ptr<Scorer> scorer,
+                                         size_t num_threads)
+    : corpus_(corpus), index_(index), scorer_(std::move(scorer)) {
+  TOPPRIV_CHECK(scorer_ != nullptr);
+  TOPPRIV_CHECK_GE(index_.num_shards(), 1u);
+  stats_.num_documents = index_.num_documents();
+  stats_.avg_doc_length = index_.avg_doc_length();
+  stats_.total_tokens = index_.total_tokens();
+  if (num_threads == 0) num_threads = util::ThreadPool::HardwareConcurrency();
+  if (num_threads > 1 && index_.num_shards() > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads);
+  }
+}
+
+std::vector<ScoredDoc> ShardedSearchEngine::Search(
+    const std::vector<text::TermId>& terms, size_t k, uint64_t cycle_id) {
+  log_.Record(cycle_id, terms);
+  return Evaluate(terms, k);
+}
+
+std::vector<ScoredDoc> ShardedSearchEngine::Evaluate(
+    const std::vector<text::TermId>& terms, size_t k) const {
+  if (terms.empty() || k == 0) return {};
+
+  // One canonical query plan for every shard: same term order, same GLOBAL
+  // document frequencies. A shard evaluating with its local df would score
+  // differently from the monolithic engine and break parity.
+  const std::vector<QueryTerm> query = CollapseQuery(terms);
+  std::vector<uint32_t> dfs(query.size());
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    dfs[qi] = index_.DocFreq(query[qi].term);
+  }
+
+  // Scatter: per-shard top-k with doc ids lifted to the global space. The
+  // global top-k is a subset of the union of per-shard top-k lists, so k
+  // candidates per shard always suffice.
+  const size_t num_shards = index_.num_shards();
+  std::vector<std::vector<ScoredDoc>> per_shard(num_shards);
+  auto evaluate_shard = [&](size_t s) {
+    // One scratch per worker thread; a worker finishes a shard before
+    // taking the next, so reuse is race-free even when several concurrent
+    // Evaluate calls share the pool.
+    static thread_local EvalScratch scratch;
+    per_shard[s] = AccumulateTopK(index_.shard(s), stats_, *scorer_, query,
+                                  dfs, k, &scratch);
+    const corpus::DocId base = index_.manifest().ranges[s].begin;
+    for (ScoredDoc& sd : per_shard[s]) sd.doc += base;
+  };
+  if (pool_ != nullptr && num_shards > 1) {
+    pool_->ParallelFor(num_shards, evaluate_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) evaluate_shard(s);
+  }
+
+  // Gather: merge through the same (score desc, doc id asc) total order the
+  // monolithic TopK uses. The order is strict — doc ids are unique — so the
+  // merged list is independent of shard count and arrival order, and exact
+  // score ties across shards break towards the lower doc id.
+  TopK merged(k);
+  for (const std::vector<ScoredDoc>& results : per_shard) {
+    for (const ScoredDoc& sd : results) merged.Offer(sd.doc, sd.score);
+  }
+  return merged.Finish();
+}
+
+}  // namespace toppriv::search

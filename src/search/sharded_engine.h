@@ -1,0 +1,82 @@
+// Ranked retrieval over a ShardedIndex: scatter the query to every shard,
+// gather the per-shard top-k lists, merge into the global top-k.
+//
+// Parity contract (enforced by tests/sharding_test.cc): for any corpus,
+// query, k and shard count, results are BIT-identical to the monolithic
+// SearchEngine — same documents, same order, same score bits — whether the
+// shards are evaluated sequentially or fanned out on a thread pool. Three
+// ingredients make that hold:
+//   1. every shard scores with the GLOBAL collection statistics and the
+//      GLOBAL per-term document frequencies from the manifest, not its
+//      local ones (distributed-IR "global IDF");
+//   2. both engines run the identical accumulation core (AccumulateTopK)
+//      over the identical canonical term order (CollapseQuery), so each
+//      document's score is produced by the same floating-point ops in the
+//      same order regardless of which shard holds it;
+//   3. the merge reuses TopK's (score desc, doc id asc) total order, so
+//      exact score ties break by doc id, never by shard arrival order.
+#ifndef TOPPRIV_SEARCH_SHARDED_ENGINE_H_
+#define TOPPRIV_SEARCH_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "index/sharded_index.h"
+#include "search/engine.h"
+#include "search/scorer.h"
+#include "search/topk.h"
+#include "util/thread_pool.h"
+
+namespace toppriv::search {
+
+/// Scatter-gather search engine over a document-partitioned index.
+class ShardedSearchEngine : public QueryEngine {
+ public:
+  /// Borrows the corpus and sharded index; both must outlive the engine.
+  /// `num_threads` > 1 gives the engine a private worker pool that each
+  /// query's shard evaluations fan out on; 1 (the default) evaluates shards
+  /// sequentially on the caller's thread. Results are identical either way,
+  /// and Evaluate stays safe for concurrent callers in both modes (the
+  /// serving driver's sessions share one engine).
+  ShardedSearchEngine(const corpus::Corpus& corpus,
+                      const index::ShardedIndex& index,
+                      std::unique_ptr<Scorer> scorer, size_t num_threads = 1);
+
+  ShardedSearchEngine(const ShardedSearchEngine&) = delete;
+  ShardedSearchEngine& operator=(const ShardedSearchEngine&) = delete;
+
+  std::vector<ScoredDoc> Search(const std::vector<text::TermId>& terms,
+                                size_t k, uint64_t cycle_id = 0) override;
+
+  std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
+                                  size_t k) const override;
+
+  const QueryLog& query_log() const override { return log_; }
+  QueryLog& mutable_query_log() override { return log_; }
+
+  const corpus::Corpus& corpus() const override { return corpus_; }
+  const index::ShardedIndex& index() const { return index_; }
+  const Scorer& scorer() const override { return *scorer_; }
+
+  /// Shard-evaluation threads (1 = sequential scatter).
+  size_t num_threads() const { return pool_ ? pool_->num_threads() : 1; }
+
+ private:
+  const corpus::Corpus& corpus_;
+  const index::ShardedIndex& index_;
+  std::unique_ptr<Scorer> scorer_;
+  /// Global collection statistics from the manifest; every shard scores
+  /// against these.
+  CollectionStats stats_;
+  /// Private fan-out pool; null in sequential mode. Owned by the engine so
+  /// it can never be one of the caller's own worker pools (a caller
+  /// blocking inside its own pool would deadlock).
+  std::unique_ptr<util::ThreadPool> pool_;
+  QueryLog log_;
+};
+
+}  // namespace toppriv::search
+
+#endif  // TOPPRIV_SEARCH_SHARDED_ENGINE_H_

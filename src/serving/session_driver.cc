@@ -34,7 +34,7 @@ class Digest {
 
 SessionDriver::SessionDriver(const topicmodel::LdaModel& model,
                              const topicmodel::LdaInferencer& inferencer,
-                             const search::SearchEngine& engine,
+                             const search::QueryEngine& engine,
                              DriverOptions options)
     : model_(model),
       inferencer_(inferencer),

@@ -14,8 +14,9 @@
 //  - the word-sampling CDFs live in one core::TopicCdfTable owned by the
 //    driver — immutable after construction, lent read-only to every
 //    session's generator (it must outlive them all; no lazy mutation);
-//  - search::SearchEngine::Evaluate is const and accumulates into a
-//    per-thread scratch, never into engine state.
+//  - search::QueryEngine::Evaluate is const and accumulates into per-thread
+//    scratch space, never into engine state (both the monolithic and the
+//    sharded engine honor this).
 #ifndef TOPPRIV_SERVING_SESSION_DRIVER_H_
 #define TOPPRIV_SERVING_SESSION_DRIVER_H_
 
@@ -81,13 +82,15 @@ struct ServingReport {
   double queries_per_second = 0.0;
 };
 
-/// Runs independent TopPriv sessions concurrently over a shared engine.
+/// Runs independent TopPriv sessions concurrently over a shared engine —
+/// monolithic or sharded (a driver-owned shard fleet serves every session
+/// identically; the parity suite makes the two indistinguishable).
 class SessionDriver {
  public:
   /// Borrows everything; all referents must outlive the driver.
   SessionDriver(const topicmodel::LdaModel& model,
                 const topicmodel::LdaInferencer& inferencer,
-                const search::SearchEngine& engine, DriverOptions options);
+                const search::QueryEngine& engine, DriverOptions options);
 
   // Self-referential (options_ points at topic_cdfs_): not copyable/movable.
   SessionDriver(const SessionDriver&) = delete;
@@ -108,7 +111,7 @@ class SessionDriver {
 
   const topicmodel::LdaModel& model_;
   const topicmodel::LdaInferencer& inferencer_;
-  const search::SearchEngine& engine_;
+  const search::QueryEngine& engine_;
   DriverOptions options_;
   /// One word-sampling CDF table for the whole fleet: every session's
   /// generator borrows it read-only instead of building a private O(T*V)

@@ -26,11 +26,13 @@ struct ProtectedSearchResult {
   uint64_t cycle_id = 0;
 };
 
-/// Client-side privacy proxy in front of a SearchEngine.
+/// Client-side privacy proxy in front of a query engine (monolithic or
+/// sharded — the client is agnostic, as the paper's design demands: the
+/// server side stays unmodified whatever its internal architecture).
 class TrustedClient {
  public:
   /// Borrows everything; all referents must outlive the client.
-  TrustedClient(search::SearchEngine* engine, GhostQueryGenerator* generator,
+  TrustedClient(search::QueryEngine* engine, GhostQueryGenerator* generator,
                 util::Rng rng)
       : engine_(engine), generator_(generator), rng_(rng) {}
 
@@ -48,7 +50,7 @@ class TrustedClient {
       const std::vector<text::TermId>& user_query, size_t k);
 
  private:
-  search::SearchEngine* engine_;
+  search::QueryEngine* engine_;
   GhostQueryGenerator* generator_;
   util::Rng rng_;
   uint64_t next_cycle_id_ = 1;

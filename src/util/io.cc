@@ -166,6 +166,15 @@ void AppendVarint(uint64_t v, std::string* out) {
   out->push_back(static_cast<char>(v));
 }
 
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 bool DecodeVarint(const std::string& buf, size_t* pos, uint64_t* v) {
   uint64_t result = 0;
   int shift = 0;

@@ -76,6 +76,8 @@ class BinaryReader {
 void AppendVarint(uint64_t v, std::string* out);
 /// Decodes one varint at `*pos`; advances `*pos`. Returns false on overrun.
 bool DecodeVarint(const std::string& buf, size_t* pos, uint64_t* v);
+/// Encoded size in bytes of AppendVarint/WriteVarint for `v` (1..10).
+size_t VarintSize(uint64_t v);
 
 /// Writes `data` to `path` atomically-ish (truncate + write).
 Status WriteFile(const std::string& path, const std::string& data);

@@ -38,17 +38,31 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   // A shared cursor instead of static chunking: workers that draw cheap
-  // iterations immediately pull the next one.
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  // iterations immediately pull the next one. Completion is tracked per
+  // call, not via the pool-wide Wait(): concurrent ParallelFor callers
+  // (e.g. many sessions fanning one query each over a shared shard pool)
+  // must only block on their own iterations.
+  struct CallState {
+    std::atomic<size_t> cursor{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending = 0;
+  };
+  auto state = std::make_shared<CallState>();
   const size_t num_workers = std::min(n, threads_.size());
+  state->pending = num_workers;
   for (size_t w = 0; w < num_workers; ++w) {
-    Submit([cursor, n, &fn] {
-      for (size_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+    Submit([state, n, &fn] {
+      for (size_t i = state->cursor.fetch_add(1); i < n;
+           i = state->cursor.fetch_add(1)) {
         fn(i);
       }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->pending == 0; });
 }
 
 size_t ThreadPool::HardwareConcurrency() {

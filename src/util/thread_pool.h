@@ -39,8 +39,11 @@ class ThreadPool {
 
   /// Runs fn(0) .. fn(n-1), distributing iterations over the workers via a
   /// shared counter (self-balancing: cheap iterations do not hold up
-  /// expensive ones). Blocks until every iteration has finished. `fn` must
-  /// tolerate concurrent invocation with distinct arguments.
+  /// expensive ones). Blocks until every iteration of THIS call has
+  /// finished; concurrent ParallelFor calls from different threads are safe
+  /// and do not wait on each other's tasks. Must not be called from one of
+  /// this pool's own workers (the blocked worker could starve the queue).
+  /// `fn` must tolerate concurrent invocation with distinct arguments.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

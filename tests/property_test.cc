@@ -222,7 +222,7 @@ TEST_P(ScorerRankingSanity, AllScorersRankMatchingDocsAboveNonMatching) {
       scorer = search::MakeBm25Scorer();
       break;
     default:
-      scorer = std::make_unique<search::LmDirichletScorer>(world.corpus);
+      scorer = std::make_unique<search::LmDirichletScorer>();
       break;
   }
   search::SearchEngine engine(world.corpus, world.index, std::move(scorer));

@@ -88,9 +88,10 @@ INSTANTIATE_TEST_SUITE_P(Ks, TopKProperty,
 TEST(ScorerTest, Bm25MonotoneInTf) {
   corpus::Corpus c = toppriv::testing::TinyCorpus();
   index::InvertedIndex index = index::InvertedIndex::Build(c);
+  CollectionStats stats = CollectionStats::Of(index);
   Bm25Scorer scorer;
-  double s1 = scorer.TermScore(index, 0, 1, 2, 1);
-  double s2 = scorer.TermScore(index, 0, 3, 2, 1);
+  double s1 = scorer.TermScore(stats, index.DocLength(0), 1, 2, 1);
+  double s2 = scorer.TermScore(stats, index.DocLength(0), 3, 2, 1);
   EXPECT_GT(s2, s1);
   EXPECT_GT(s1, 0.0);
 }
@@ -98,9 +99,10 @@ TEST(ScorerTest, Bm25MonotoneInTf) {
 TEST(ScorerTest, Bm25RarerTermsScoreHigher) {
   corpus::Corpus c = toppriv::testing::TinyCorpus();
   index::InvertedIndex index = index::InvertedIndex::Build(c);
+  CollectionStats stats = CollectionStats::Of(index);
   Bm25Scorer scorer;
-  double rare = scorer.TermScore(index, 0, 2, 1, 1);
-  double common = scorer.TermScore(index, 0, 2, 4, 1);
+  double rare = scorer.TermScore(stats, index.DocLength(0), 2, 1, 1);
+  double common = scorer.TermScore(stats, index.DocLength(0), 2, 4, 1);
   EXPECT_GT(rare, common);
 }
 
@@ -109,29 +111,33 @@ TEST(ScorerTest, TfIdfNormalizationDividesBySqrtLength) {
   index::InvertedIndex index = index::InvertedIndex::Build(c);
   TfIdfCosineScorer scorer;
   // doc 2 has length 5.
-  EXPECT_NEAR(scorer.Normalize(index, 2, 10.0), 10.0 / std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(scorer.Normalize(CollectionStats::Of(index), index.DocLength(2),
+                               10.0),
+              10.0 / std::sqrt(5.0), 1e-12);
 }
 
 TEST(ScorerTest, TfIdfZeroDfIsZero) {
   corpus::Corpus c = toppriv::testing::TinyCorpus();
   index::InvertedIndex index = index::InvertedIndex::Build(c);
   TfIdfCosineScorer scorer;
-  EXPECT_DOUBLE_EQ(scorer.TermScore(index, 0, 3, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(
+      scorer.TermScore(CollectionStats::Of(index), index.DocLength(0), 3, 0, 1),
+      0.0);
 }
 
 TEST(ScorerTest, LmDirichletPrefersMatchingDocs) {
   corpus::Corpus c = toppriv::testing::TinyCorpus();
   index::InvertedIndex index = index::InvertedIndex::Build(c);
-  LmDirichletScorer scorer(c, 100.0);
-  double with_term = scorer.TermScore(index, 0, 2, 3, 1);
+  LmDirichletScorer scorer(100.0);
+  double with_term =
+      scorer.TermScore(CollectionStats::Of(index), index.DocLength(0), 2, 3, 1);
   EXPECT_GT(with_term, 0.0);
 }
 
 TEST(ScorerTest, Names) {
-  corpus::Corpus c = toppriv::testing::TinyCorpus();
   EXPECT_EQ(TfIdfCosineScorer().Name(), "tfidf-cosine");
   EXPECT_EQ(Bm25Scorer().Name(), "bm25");
-  EXPECT_EQ(LmDirichletScorer(c).Name(), "lm-dirichlet");
+  EXPECT_EQ(LmDirichletScorer().Name(), "lm-dirichlet");
 }
 
 // ----------------------------------------------------------------- Engine --
@@ -165,6 +171,7 @@ TEST(EngineTest, MatchesBruteForceScoring) {
     std::vector<ScoredDoc> got = engine.Evaluate(query, 20);
 
     // Brute force: score every document directly.
+    CollectionStats stats = CollectionStats::Of(world.index);
     std::map<text::TermId, uint32_t> qtf;
     for (text::TermId t : query) ++qtf[t];
     TopK expected(20);
@@ -177,8 +184,9 @@ TEST(EngineTest, MatchesBruteForceScoring) {
         auto it = tf.find(term);
         if (it == tf.end()) continue;
         any = true;
-        score += reference.TermScore(world.index, d.id, it->second,
-                                     world.index.DocFreq(term), qcount);
+        score += reference.TermScore(stats, world.index.DocLength(d.id),
+                                     it->second, world.index.DocFreq(term),
+                                     qcount);
       }
       if (any) expected.Offer(d.id, score);
     }
@@ -193,28 +201,28 @@ TEST(EngineTest, MatchesBruteForceScoring) {
 
 // Reference implementation of Evaluate as it existed before the contiguous
 // accumulator: term-at-a-time into an unordered_map. Uses the same
-// (fresh-map) term collapse, so the floating-point accumulation order is
-// identical and the comparison below can demand bit equality.
+// canonical CollapseQuery term order, so the floating-point accumulation
+// order is identical and the comparison below can demand bit equality.
 std::vector<ScoredDoc> MapBasedEvaluate(const index::InvertedIndex& index,
                                         const Scorer& scorer,
                                         const std::vector<text::TermId>& terms,
                                         size_t k) {
   if (terms.empty() || k == 0) return {};
-  std::unordered_map<text::TermId, uint32_t> query_tf;
-  for (text::TermId t : terms) ++query_tf[t];
+  CollectionStats stats = CollectionStats::Of(index);
   std::unordered_map<corpus::DocId, double> accumulators;
-  for (const auto& [term, qtf] : query_tf) {
-    const index::PostingList& list = index.Postings(term);
+  for (const QueryTerm& qt : CollapseQuery(terms)) {
+    const index::PostingList& list = index.Postings(qt.term);
     uint32_t df = list.size();
     if (df == 0) continue;
     for (auto it = list.begin(); it.Valid(); it.Next()) {
       const index::Posting& p = it.Get();
-      accumulators[p.doc] += scorer.TermScore(index, p.doc, p.tf, df, qtf);
+      accumulators[p.doc] +=
+          scorer.TermScore(stats, index.DocLength(p.doc), p.tf, df, qt.qtf);
     }
   }
   TopK topk(k);
   for (const auto& [doc, acc] : accumulators) {
-    topk.Offer(doc, scorer.Normalize(index, doc, acc));
+    topk.Offer(doc, scorer.Normalize(stats, index.DocLength(doc), acc));
   }
   return topk.Finish();
 }
