@@ -6,7 +6,9 @@
 // query the engine actually scores.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "experiments/fixture.h"
 #include "pdx/embellisher.h"
@@ -16,13 +18,24 @@
 #include "search/scorer.h"
 #include "topicmodel/inference.h"
 #include "toppriv/client.h"
+#include "util/io.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 using namespace toppriv;
 using experiments::ExperimentFixture;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   ExperimentFixture fixture;
   const size_t k = 20;
   const size_t num_topics = 200;
@@ -74,12 +87,38 @@ int main() {
   table.AddRow({"PDX (4x, unmodified engine)", "nDCG@20 vs genuine",
                 util::FormatDouble(pdx_ndcg_sum / queries, 3)});
 
-  std::printf("\nRetrieval fidelity under privacy protection (k=%zu)\n", k);
+  std::printf(
+      "\nRetrieval fidelity under privacy protection (k=%zu, engine: %zu "
+      "shard(s), %s evaluation)\n",
+      k, fixture.config().num_shards,
+      search::EvalStrategyName(engine.eval_strategy()));
   std::printf("%s", table.ToString().c_str());
   std::printf(
       "\npaper claim check: TopPriv preserves results exactly (%zu/%zu);\n"
       "an embellished query handed to an unmodified engine does not, which\n"
       "is why PDX needs the engine re-engineered and TopPriv does not.\n",
       toppriv_identical, queries);
+
+  if (!json_path.empty()) {
+    util::JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "retrieval_fidelity");
+    json.Field("k", static_cast<uint64_t>(k));
+    json.Field("num_topics", static_cast<uint64_t>(num_topics));
+    json.Field("strategy", search::EvalStrategyName(engine.eval_strategy()));
+    json.Field("shards", static_cast<uint64_t>(fixture.config().num_shards));
+    json.Field("queries", static_cast<uint64_t>(queries));
+    json.Field("toppriv_identical", static_cast<uint64_t>(toppriv_identical));
+    json.Field("pdx_topk_overlap", pdx_overlap_sum / queries);
+    json.Field("pdx_ndcg", pdx_ndcg_sum / queries);
+    json.EndObject();
+    util::Status status = util::WriteFile(json_path, json.str() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return toppriv_identical == queries ? 0 : 1;
 }

@@ -3,19 +3,29 @@
 // (the product metrics — the paper's Fig. 2d reports per-cycle generation
 // time; a deployment must also sustain many users at once).
 //
-// The grid sweeps shard count × driver threads: K ∈ {1, 2, 4} index shards
-// (K = 1 is the monolithic SearchEngine, K > 1 a driver-shared
-// ShardedSearchEngine fleet) at 1, 4 and hardware-concurrency worker
-// threads. Session digests must be identical across EVERY cell — thread
-// counts AND shard counts — which is the serving-layer face of the
-// sharding parity invariant.
+// The grid sweeps evaluation strategy × shard count × driver threads:
+// strategy ∈ {taat, maxscore} (the PostingList-block MaxScore evaluator vs
+// classic term-at-a-time), K ∈ {1, 2, 4} index shards (K = 1 is the
+// monolithic SearchEngine, K > 1 a driver-shared ShardedSearchEngine
+// fleet) at 1, 4 and hardware-concurrency worker threads. Session digests
+// must be identical across EVERY cell — strategies AND thread counts AND
+// shard counts — which is the serving-layer face of the bit-parity
+// invariant.
+//
+// A second, retrieval-only phase replays the raw benchmark workload
+// through each (strategy, shards) engine with no privacy layer in the
+// loop, isolating the evaluator speedup the tentpole targets (in the
+// session phase, ghost generation shares the wall clock and dilutes it).
 //
 // `--smoke` shrinks the fixture to a tiny corpus/model so CI can keep this
 // binary from bit-rotting in a few seconds; explicit TOPPRIV_* environment
-// variables still win over the smoke defaults.
+// variables still win over the smoke defaults. `--json <path>` emits the
+// whole grid as a stable machine-readable summary (CI uploads it as
+// BENCH_serving.json, the perf trajectory artifact).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,8 +35,13 @@
 #include "search/scorer.h"
 #include "serving/session_driver.h"
 #include "topicmodel/inference.h"
+#include "util/hash.h"
+#include "util/io.h"
+#include "util/json.h"
+#include "util/strings.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace toppriv;
 using experiments::ExperimentFixture;
@@ -40,10 +55,53 @@ size_t EnvSize(const char* name, size_t fallback) {
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
+const search::EvalStrategy kStrategies[] = {search::EvalStrategy::kTAAT,
+                                            search::EvalStrategy::kMaxScore};
+
+struct ServingCell {
+  search::EvalStrategy strategy;
+  size_t shards = 0;
+  size_t threads = 0;
+  serving::ServingReport report;
+  double generation_seconds = 0.0;
+  uint64_t digest = 0;
+};
+
+struct RetrievalCell {
+  search::EvalStrategy strategy;
+  size_t shards = 0;
+  size_t queries = 0;
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  uint64_t digest = 0;
+};
+
+uint64_t HashResults(uint64_t h, const std::vector<search::ScoredDoc>& docs) {
+  for (const search::ScoredDoc& sd : docs) {
+    h = util::Fnv1aStep(h, sd.doc);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(sd.score), "double is 64-bit");
+    std::memcpy(&bits, &sd.score, sizeof(bits));
+    h = util::Fnv1aStep(h, bits);
+  }
+  return h;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   if (smoke) {
     // Tiny corpus/model; pre-set env vars still take precedence.
     ::setenv("TOPPRIV_DOCS", "250", /*overwrite=*/0);
@@ -58,6 +116,9 @@ int main(int argc, char** argv) {
       EnvSize("TOPPRIV_SERVING_SESSIONS", smoke ? 4 : 16);
   const size_t queries_per_session =
       EnvSize("TOPPRIV_SERVING_QPS", smoke ? 3 : 8);
+  // Retrieval-only replay size (total query evaluations per cell).
+  const size_t eval_target =
+      EnvSize("TOPPRIV_EVAL_TARGET", smoke ? 3000 : 30000);
 
   ExperimentFixture fixture;
   const topicmodel::LdaModel& model = fixture.model(num_topics);
@@ -81,76 +142,231 @@ int main(int argc, char** argv) {
   if (hw != 4 && hw != 1) thread_counts.push_back(hw);
   const std::vector<size_t> shard_counts = {1, 2, 4};
 
-  util::TablePrinter table({"shards", "threads", "sessions", "cycles",
-                            "queries", "wall(s)", "cycles/s", "queries/s",
-                            "gen_ms/cyc", "speedup"});
-  double base_cps = 0.0;
+  // One engine (shard fleet) per strategy × shard count, shared by every
+  // session at every driver thread count AND reused by the retrieval
+  // replay below — the deployment shape: the fleet is a server resource,
+  // sessions are traffic (and a MaxScore engine's impact-bound tables are
+  // paid for once, not per phase). TOPPRIV_SHARD_THREADS>1 additionally
+  // fans each query's shard evaluations out on the engine's private pool
+  // (stacked parallelism; digests must stay identical).
+  struct EngineCell {
+    search::EvalStrategy strategy;
+    size_t shards;
+    std::unique_ptr<search::QueryEngine> engine;
+  };
+  std::vector<EngineCell> engines;
+  for (search::EvalStrategy strategy : kStrategies) {
+    for (size_t num_shards : shard_counts) {
+      engines.push_back(EngineCell{
+          strategy, num_shards,
+          fixture.MakeEngine(search::MakeBm25Scorer(), num_shards,
+                             fixture.config().shard_threads, strategy)});
+    }
+  }
+
+  // ------------------------------------------------- session-driver phase --
+  std::vector<ServingCell> serving_cells;
   uint64_t reference_digest = 0;
   bool have_reference = false;
   bool deterministic = true;
-  for (size_t num_shards : shard_counts) {
-    // One engine (shard fleet) per K, shared by every session at every
-    // driver thread count — the deployment shape: the fleet is a server
-    // resource, sessions are traffic. TOPPRIV_SHARD_THREADS>1 additionally
-    // fans each query's shard evaluations out on the engine's private pool
-    // (stacked parallelism; digests must stay identical).
-    std::unique_ptr<search::QueryEngine> engine = fixture.MakeEngine(
-        search::MakeBm25Scorer(), num_shards, fixture.config().shard_threads);
+  double base_cps = 0.0;
+  for (const EngineCell& ec : engines) {
     for (size_t threads : thread_counts) {
       serving::DriverOptions options;
       options.num_threads = threads;
       options.seed = 42;
-      serving::SessionDriver driver(model, inferencer, *engine, options);
-      serving::ServingReport report = driver.Run(sessions);
+      serving::SessionDriver driver(model, inferencer, *ec.engine, options);
 
-      uint64_t digest = 0;
-      double gen_seconds = 0.0;
-      for (const serving::SessionStats& s : report.sessions) {
-        digest ^= s.digest;
-        gen_seconds += s.generation_seconds;
+      ServingCell cell;
+      cell.strategy = ec.strategy;
+      cell.shards = ec.shards;
+      cell.threads = threads;
+      cell.report = driver.Run(sessions);
+      for (const serving::SessionStats& s : cell.report.sessions) {
+        cell.digest ^= s.digest;
+        cell.generation_seconds += s.generation_seconds;
       }
       if (!have_reference) {
-        reference_digest = digest;
+        reference_digest = cell.digest;
         have_reference = true;
-        base_cps = report.cycles_per_second;
-      } else if (digest != reference_digest) {
+        base_cps = cell.report.cycles_per_second;
+      } else if (cell.digest != reference_digest) {
         deterministic = false;
       }
-
-      table.AddRow(
-          {std::to_string(num_shards), std::to_string(threads),
-           std::to_string(report.sessions.size()),
-           std::to_string(report.total_cycles),
-           std::to_string(report.total_queries),
-           util::FormatDouble(report.wall_seconds, 2),
-           util::FormatDouble(report.cycles_per_second, 1),
-           util::FormatDouble(report.queries_per_second, 1),
-           util::FormatDouble(report.total_cycles > 0
-                                  ? 1e3 * gen_seconds /
-                                        static_cast<double>(report.total_cycles)
-                                  : 0.0,
-                              2),
-           util::FormatDouble(base_cps > 0.0
-                                  ? report.cycles_per_second / base_cps
-                                  : 0.0,
-                              2) +
-               "x"});
+      serving_cells.push_back(std::move(cell));
     }
+  }
+
+  // ---------------------------------------------- retrieval-only replay --
+  const size_t reps =
+      std::max<size_t>(1, eval_target / std::max<size_t>(1, workload.size()));
+  std::vector<RetrievalCell> retrieval_cells;
+  uint64_t eval_reference = 0;
+  bool have_eval_reference = false;
+  for (const EngineCell& ec : engines) {
+    RetrievalCell cell;
+    cell.strategy = ec.strategy;
+    cell.shards = ec.shards;
+    uint64_t digest = util::kFnv1aOffsetBasis;
+    util::WallTimer timer;
+    for (size_t r = 0; r < reps; ++r) {
+      for (const corpus::BenchmarkQuery& q : workload) {
+        std::vector<search::ScoredDoc> results =
+            ec.engine->Evaluate(q.term_ids, 10);
+        // Digest every pass identically so reps do not mask divergence.
+        digest = HashResults(digest, results);
+        ++cell.queries;
+      }
+    }
+    cell.wall_seconds = timer.ElapsedSeconds();
+    cell.digest = digest;
+    cell.queries_per_second =
+        cell.wall_seconds > 0.0
+            ? static_cast<double>(cell.queries) / cell.wall_seconds
+            : 0.0;
+    if (!have_eval_reference) {
+      eval_reference = digest;
+      have_eval_reference = true;
+    } else if (digest != eval_reference) {
+      deterministic = false;
+    }
+    retrieval_cells.push_back(cell);
+  }
+
+  // MaxScore-vs-TAAT evaluator speedup at each shard count (the tentpole's
+  // headline number at K = 1).
+  auto eval_qps = [&](search::EvalStrategy strategy, size_t shards) {
+    for (const RetrievalCell& c : retrieval_cells) {
+      if (c.strategy == strategy && c.shards == shards) {
+        return c.queries_per_second;
+      }
+    }
+    return 0.0;
+  };
+  const double maxscore_speedup =
+      eval_qps(search::EvalStrategy::kTAAT, 1) > 0.0
+          ? eval_qps(search::EvalStrategy::kMaxScore, 1) /
+                eval_qps(search::EvalStrategy::kTAAT, 1)
+          : 0.0;
+
+  // ------------------------------------------------------------- reports --
+  util::TablePrinter table({"strategy", "shards", "threads", "sessions",
+                            "cycles", "queries", "wall(s)", "cycles/s",
+                            "queries/s", "gen_ms/cyc", "speedup"});
+  for (const ServingCell& cell : serving_cells) {
+    table.AddRow(
+        {search::EvalStrategyName(cell.strategy), std::to_string(cell.shards),
+         std::to_string(cell.threads),
+         std::to_string(cell.report.sessions.size()),
+         std::to_string(cell.report.total_cycles),
+         std::to_string(cell.report.total_queries),
+         util::FormatDouble(cell.report.wall_seconds, 2),
+         util::FormatDouble(cell.report.cycles_per_second, 1),
+         util::FormatDouble(cell.report.queries_per_second, 1),
+         util::FormatDouble(
+             cell.report.total_cycles > 0
+                 ? 1e3 * cell.generation_seconds /
+                       static_cast<double>(cell.report.total_cycles)
+                 : 0.0,
+             2),
+         util::FormatDouble(base_cps > 0.0
+                                ? cell.report.cycles_per_second / base_cps
+                                : 0.0,
+                            2) +
+             "x"});
+  }
+
+  util::TablePrinter eval_table(
+      {"strategy", "shards", "queries", "wall(s)", "eval_queries/s", "vs_taat"});
+  for (const RetrievalCell& cell : retrieval_cells) {
+    double taat = eval_qps(search::EvalStrategy::kTAAT, cell.shards);
+    eval_table.AddRow(
+        {search::EvalStrategyName(cell.strategy), std::to_string(cell.shards),
+         std::to_string(cell.queries),
+         util::FormatDouble(cell.wall_seconds, 2),
+         util::FormatDouble(cell.queries_per_second, 1),
+         util::FormatDouble(taat > 0.0 ? cell.queries_per_second / taat : 0.0,
+                            2) +
+             "x"});
   }
 
   std::printf(
       "\nServing throughput (%s), %zu-topic model, hardware threads: %zu\n",
       smoke ? "smoke" : "full", num_topics, hw);
   std::printf("%s", table.ToString().c_str());
+  std::printf("\nRetrieval-only replay (k=10, %zu passes over the workload)\n",
+              reps);
+  std::printf("%s", eval_table.ToString().c_str());
   std::printf(
-      "\nsession digests identical across shard AND thread counts: %s\n"
+      "\nsession+retrieval digests identical across strategy AND shard AND\n"
+      "thread counts: %s\nmaxscore evaluator speedup vs taat (K=1): %.2fx\n"
       "\npaper claims to check: Fig. 2d puts per-cycle generation around a\n"
       "second at full scale on 2008-era hardware; the serving target here is\n"
       ">=2x cycles/s at 4 threads vs 1 (needs a >=4-core machine — sessions\n"
       "are embarrassingly parallel, so scaling is linear until the memory\n"
-      "bus saturates). Sharding must not change a single result bit: the\n"
-      "digest check above IS the paper's no-fidelity-loss invariant, held\n"
-      "across the distribution boundary.\n",
-      deterministic ? "yes" : "NO (bug!)");
+      "bus saturates). Neither sharding nor the evaluation strategy may\n"
+      "change a single result bit: the digest check above IS the paper's\n"
+      "no-fidelity-loss invariant, held across the distribution boundary\n"
+      "and the MaxScore pruning logic.\n",
+      deterministic ? "yes" : "NO (bug!)", maxscore_speedup);
+
+  if (!json_path.empty()) {
+    util::JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "serving_throughput");
+    json.Field("mode", smoke ? "smoke" : "full");
+    json.Field("num_topics", static_cast<uint64_t>(num_topics));
+    json.Field("hardware_threads", static_cast<uint64_t>(hw));
+    json.Field("deterministic", deterministic);
+    json.Field("maxscore_eval_speedup_k1", maxscore_speedup);
+    json.Key("serving_cells");
+    json.BeginArray();
+    for (const ServingCell& cell : serving_cells) {
+      json.BeginObject();
+      json.Field("strategy", search::EvalStrategyName(cell.strategy));
+      json.Field("shards", static_cast<uint64_t>(cell.shards));
+      json.Field("threads", static_cast<uint64_t>(cell.threads));
+      json.Field("sessions",
+                 static_cast<uint64_t>(cell.report.sessions.size()));
+      json.Field("cycles", static_cast<uint64_t>(cell.report.total_cycles));
+      json.Field("queries", static_cast<uint64_t>(cell.report.total_queries));
+      json.Field("wall_seconds", cell.report.wall_seconds);
+      json.Field("cycles_per_second", cell.report.cycles_per_second);
+      json.Field("queries_per_second", cell.report.queries_per_second);
+      json.Field("generation_ms_per_cycle",
+                 cell.report.total_cycles > 0
+                     ? 1e3 * cell.generation_seconds /
+                           static_cast<double>(cell.report.total_cycles)
+                     : 0.0);
+      json.Field("digest", util::StrFormat("%016llx",
+                                           static_cast<unsigned long long>(
+                                               cell.digest)));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("retrieval_cells");
+    json.BeginArray();
+    for (const RetrievalCell& cell : retrieval_cells) {
+      json.BeginObject();
+      json.Field("strategy", search::EvalStrategyName(cell.strategy));
+      json.Field("shards", static_cast<uint64_t>(cell.shards));
+      json.Field("queries", static_cast<uint64_t>(cell.queries));
+      json.Field("wall_seconds", cell.wall_seconds);
+      json.Field("queries_per_second", cell.queries_per_second);
+      json.Field("digest", util::StrFormat("%016llx",
+                                           static_cast<unsigned long long>(
+                                               cell.digest)));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    util::Status status = util::WriteFile(json_path, json.str() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return deterministic ? 0 : 1;
 }

@@ -47,6 +47,7 @@ FixtureConfig FixtureConfig::FromEnv() {
   config.cache_dir = EnvString("TOPPRIV_CACHE_DIR", ".toppriv_cache");
   config.num_shards = EnvSize("TOPPRIV_SHARDS", 1);
   config.shard_threads = EnvSize("TOPPRIV_SHARD_THREADS", 1);
+  config.eval_strategy = search::EvalStrategyFromEnv();
   return config;
 }
 
@@ -115,13 +116,16 @@ const index::ShardedIndex& ExperimentFixture::sharded_index(
 
 std::unique_ptr<search::QueryEngine> ExperimentFixture::MakeEngine(
     std::unique_ptr<search::Scorer> scorer, size_t num_shards,
-    size_t shard_threads) {
+    size_t shard_threads, std::optional<search::EvalStrategy> strategy) {
+  const search::EvalStrategy eval =
+      strategy.value_or(config_.eval_strategy);
   if (num_shards <= 1) {
     return std::make_unique<search::SearchEngine>(corpus(), index(),
-                                                  std::move(scorer));
+                                                  std::move(scorer), eval);
   }
   return std::make_unique<search::ShardedSearchEngine>(
-      corpus(), sharded_index(num_shards), std::move(scorer), shard_threads);
+      corpus(), sharded_index(num_shards), std::move(scorer), shard_threads,
+      eval);
 }
 
 std::unique_ptr<search::QueryEngine> ExperimentFixture::MakeEngine(

@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,10 @@ struct FixtureConfig {
   /// Shard fan-out threads for MakeEngine's sharded engine (1 = sequential
   /// scatter on the caller's thread; 0 = hardware concurrency).
   size_t shard_threads = 1;
+  /// Query evaluation strategy MakeEngine wires into the engine
+  /// (TOPPRIV_EVAL_STRATEGY: "taat" or "maxscore"). Results are
+  /// bit-identical either way; this sweeps performance only.
+  search::EvalStrategy eval_strategy = search::EvalStrategy::kTAAT;
 
   /// Reads the TOPPRIV_* environment variables over the defaults.
   static FixtureConfig FromEnv();
@@ -78,13 +83,16 @@ class ExperimentFixture {
 
   /// Builds a query engine over the fixture corpus: the monolithic
   /// SearchEngine when `num_shards` <= 1, a ShardedSearchEngine otherwise
-  /// (with `shard_threads` fan-out workers; 1 = sequential scatter). Every
+  /// (with `shard_threads` fan-out workers; 1 = sequential scatter).
+  /// `strategy` overrides the config's evaluation strategy when set. Every
   /// figure bench that takes its engine from here runs sharded by setting
-  /// TOPPRIV_SHARDS — results are identical by the parity contract, so the
-  /// figures are architecture-independent.
+  /// TOPPRIV_SHARDS (and MaxScore by setting TOPPRIV_EVAL_STRATEGY) —
+  /// results are identical by the parity contract, so the figures are
+  /// architecture-independent.
   std::unique_ptr<search::QueryEngine> MakeEngine(
       std::unique_ptr<search::Scorer> scorer, size_t num_shards,
-      size_t shard_threads = 1);
+      size_t shard_threads = 1,
+      std::optional<search::EvalStrategy> strategy = std::nullopt);
   /// Same, with the shard count from the config (TOPPRIV_SHARDS).
   std::unique_ptr<search::QueryEngine> MakeEngine(
       std::unique_ptr<search::Scorer> scorer);

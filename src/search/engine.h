@@ -23,6 +23,45 @@ struct QueryTerm {
   uint32_t qtf = 0;
 };
 
+/// How a query is evaluated against an index. Both strategies return
+/// BIT-identical top-k lists (docs, scores, order) — the parity suites
+/// enforce it — so the choice is purely a performance knob:
+///  - kTAAT: term-at-a-time accumulation; touches every posting of every
+///    query term. Simple, branch-light, optimal for tiny indexes.
+///  - kMaxScore: document-at-a-time with per-term score upper bounds
+///    (Turtle & Flood): once the top-k heap fills, terms whose summed
+///    bounds cannot beat the k-th score stop generating candidates, docs
+///    are abandoned mid-scoring when the remaining bounds cannot rescue
+///    them, and whole 128-posting blocks are skipped via the block-max tf
+///    bounds. Wins when lists are long relative to k.
+enum class EvalStrategy { kTAAT, kMaxScore };
+
+/// "taat" / "maxscore" (for logs, benches, and the env knob).
+const char* EvalStrategyName(EvalStrategy strategy);
+
+/// Reads TOPPRIV_EVAL_STRATEGY ("taat", default, or "maxscore").
+EvalStrategy EvalStrategyFromEnv();
+
+/// Per-term document-at-a-time cursor (MaxScore path): a position in the
+/// term's block directory plus the batch-decoded current block. Lives in
+/// EvalScratch so the ~1.5 KiB block buffers are reused across queries.
+struct TermCursor {
+  const index::PostingList* list = nullptr;
+  /// Index into the canonical query order (for qtf/df lookups).
+  size_t qi = 0;
+  /// List-level score upper bound for this term.
+  double ub = 0.0;
+  /// Doc id at the current position, kept hot in the cursor so pivot scans
+  /// never chase list->block(...) pointers. For an undecoded block this is
+  /// its first_doc (exact — the cursor sits at the block start).
+  corpus::DocId doc = 0;
+  size_t block_idx = 0;
+  uint32_t pos = 0;
+  bool block_decoded = false;
+  bool exhausted = false;
+  index::PostingBlock block;
+};
+
 /// Reusable evaluation scratch: a contiguous score accumulator with one
 /// slot per document, plus the touched-document list that makes clearing
 /// O(touched) instead of O(num_documents). Reusing one scratch across
@@ -42,14 +81,32 @@ class EvalScratch {
                                                const std::vector<QueryTerm>&,
                                                const std::vector<uint32_t>&,
                                                size_t, EvalScratch*);
+  friend std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex&,
+                                             const CollectionStats&,
+                                             const Scorer&,
+                                             const std::vector<QueryTerm>&,
+                                             const std::vector<uint32_t>&,
+                                             size_t, EvalScratch*,
+                                             const std::vector<double>*);
 
   /// Grows the accumulator to cover `num_documents` and resets any state a
   /// previous (possibly abandoned) query left behind.
   void Prepare(size_t num_documents);
 
+  // TAAT state: contiguous accumulator + touched list.
   std::vector<double> scores_;
   std::vector<char> is_touched_;
   std::vector<corpus::DocId> touched_;
+  // MaxScore state: per-term cursors (block buffers reused across queries),
+  // the ub-sorted order with its bound prefix sums, and the per-candidate
+  // contribution cache (probed in bound order, re-summed canonically).
+  std::vector<TermCursor> cursors_;
+  std::vector<size_t> ub_order_;
+  std::vector<double> sorted_prefix_ub_;
+  std::vector<double> contrib_;
+  std::vector<uint32_t> essential_;
+  std::vector<uint32_t> hits_;
+  std::vector<uint32_t> moved_;
 };
 
 /// Collapses a bag of term ids to unique (term, qtf) pairs in ascending
@@ -75,6 +132,51 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
                                       const std::vector<uint32_t>& dfs,
                                       size_t k, EvalScratch* scratch);
 
+/// Exact per-term impact bounds: for each term, the maximum TermScore any
+/// of its postings can produce at qtf = 1 (one full walk of the index).
+/// Much tighter than the analytic Scorer::UpperBound (which must assume
+/// the worst doc length AND the list-max tf on the same posting), so the
+/// MaxScore partition turns more terms non-essential and abandons
+/// candidates earlier. Engines precompute this once per (index, scorer)
+/// when the MaxScore strategy is selected — the classic "max impact"
+/// metadata of impact-ordered indexes. `global_dfs`, when given, replaces
+/// each list's local document frequency (sharded engines score with global
+/// df, so their bounds must too).
+std::vector<double> ComputeTermImpactBounds(
+    const index::InvertedIndex& index, const CollectionStats& stats,
+    const Scorer& scorer, const std::vector<uint32_t>* global_dfs = nullptr);
+
+/// Document-at-a-time MaxScore evaluation: same inputs, same outputs as
+/// AccumulateTopK — BIT-identical, because every document that survives
+/// pruning re-accumulates its cached per-term contributions in the
+/// identical canonical term order (CollapseQuery), and pruning is provably
+/// safe: per-term bounds dominate every posting's TermScore, bound sums
+/// carry a 1e-9 relative inflation so no floating-point association
+/// difference can prune a document within rounding distance of the
+/// threshold, and a document is only dropped when its inflated bound is
+/// STRICTLY below the current k-th score (a tie could still win on doc id,
+/// so ties are never pruned). `term_bounds` is the ComputeTermImpactBounds
+/// table (nullptr falls back to the analytic Scorer::UpperBound).
+std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
+                                    const CollectionStats& stats,
+                                    const Scorer& scorer,
+                                    const std::vector<QueryTerm>& query,
+                                    const std::vector<uint32_t>& dfs,
+                                    size_t k, EvalScratch* scratch,
+                                    const std::vector<double>* term_bounds =
+                                        nullptr);
+
+/// Strategy dispatch over the two cores above.
+std::vector<ScoredDoc> EvaluateTopK(EvalStrategy strategy,
+                                    const index::InvertedIndex& index,
+                                    const CollectionStats& stats,
+                                    const Scorer& scorer,
+                                    const std::vector<QueryTerm>& query,
+                                    const std::vector<uint32_t>& dfs,
+                                    size_t k, EvalScratch* scratch,
+                                    const std::vector<double>* term_bounds =
+                                        nullptr);
+
 /// One entry in the engine-side query log: the adversary's view. Queries
 /// arrive as bags of term ids; the engine cannot tell user queries from
 /// ghost queries (that is the point of TopPriv).
@@ -94,10 +196,18 @@ struct LoggedQuery {
 /// Append-only log of everything the engine processed.
 class QueryLog {
  public:
-  void Record(uint64_t cycle_id, const std::vector<text::TermId>& terms,
+  /// Takes the term vector by value and moves it into the entry: an lvalue
+  /// caller pays exactly one copy (into the parameter), an rvalue caller
+  /// none — the old const-ref signature forced a copy into a temporary
+  /// LoggedQuery on every call.
+  void Record(uint64_t cycle_id, std::vector<text::TermId> terms,
               double timestamp = 0.0) {
-    log_.push_back(LoggedQuery{next_seq_++, cycle_id, timestamp, terms});
+    log_.push_back(
+        LoggedQuery{next_seq_++, cycle_id, timestamp, std::move(terms)});
   }
+  /// Pre-grows the log for a known batch (a protection cycle, a workload
+  /// replay) so bulk submission does not re-allocate per query.
+  void Reserve(size_t additional) { log_.reserve(log_.size() + additional); }
   const std::vector<LoggedQuery>& entries() const { return log_; }
   size_t size() const { return log_.size(); }
   void Clear() {
@@ -139,6 +249,9 @@ class QueryEngine {
 
   /// Scorer in use (for logs and benches).
   virtual const Scorer& scorer() const = 0;
+
+  /// Evaluation strategy in use (for logs and benches).
+  virtual EvalStrategy eval_strategy() const = 0;
 };
 
 /// Similarity search engine over a monolithic inverted index.
@@ -150,7 +263,8 @@ class SearchEngine : public QueryEngine {
  public:
   /// The engine borrows the corpus and index; both must outlive it.
   SearchEngine(const corpus::Corpus& corpus, const index::InvertedIndex& index,
-               std::unique_ptr<Scorer> scorer);
+               std::unique_ptr<Scorer> scorer,
+               EvalStrategy strategy = EvalStrategy::kTAAT);
 
   SearchEngine(const SearchEngine&) = delete;
   SearchEngine& operator=(const SearchEngine&) = delete;
@@ -172,11 +286,23 @@ class SearchEngine : public QueryEngine {
   const index::InvertedIndex& index() const { return index_; }
   const Scorer& scorer() const override { return *scorer_; }
 
+  EvalStrategy eval_strategy() const override { return strategy_; }
+  /// Strategies are interchangeable between queries (results are
+  /// bit-identical by the parity contract). Selecting MaxScore (here or
+  /// at construction) builds the per-term impact-bound table on first
+  /// selection. NOT thread-safe: call before sharing the engine with
+  /// concurrent Evaluate callers (a serving fleet), never while they run.
+  void set_eval_strategy(EvalStrategy strategy);
+
  private:
   const corpus::Corpus& corpus_;
   const index::InvertedIndex& index_;
   std::unique_ptr<Scorer> scorer_;
   CollectionStats stats_;
+  EvalStrategy strategy_ = EvalStrategy::kTAAT;
+  /// ComputeTermImpactBounds table; non-empty iff MaxScore was ever
+  /// selected. Immutable once built (safe for concurrent Evaluate).
+  std::vector<double> term_bounds_;
   QueryLog log_;
 };
 

@@ -45,11 +45,32 @@ class Scorer {
                            uint32_t tf, uint32_t df, uint32_t qtf) const = 0;
 
   /// Optional per-document normalization applied after accumulation.
+  /// Contract (the MaxScore evaluator depends on it): for a non-negative
+  /// accumulated score, Normalize must never return MORE than the
+  /// accumulator — it may shrink a score (cosine length division, the
+  /// Dirichlet length prior), never inflate it.
   virtual double Normalize(const CollectionStats& stats, uint32_t doc_length,
                            double accumulated) const {
     (void)stats;
     (void)doc_length;
     return accumulated;
+  }
+
+  /// Upper bound on TermScore over every posting of a term: for all
+  /// doc_length and all tf <= max_tf,
+  ///   TermScore(stats, doc_length, tf, df, qtf) <= UpperBound(...).
+  /// The MaxScore evaluator partitions query terms and skips blocks with
+  /// these (list-level bounds use the list's max tf, block-level bounds the
+  /// block's). The default evaluates TermScore at tf = max_tf and
+  /// doc_length = 0, which is a bit-safe bound whenever TermScore is
+  /// non-decreasing in tf and non-increasing in doc_length through the
+  /// exact floating-point operations it performs — true of all three
+  /// scorers here (rounding is monotone, so the FP inequalities follow the
+  /// real ones). A scorer violating either monotonicity must override.
+  virtual double UpperBound(const CollectionStats& stats, uint32_t df,
+                            uint32_t max_tf, uint32_t qtf) const {
+    if (max_tf == 0) return 0.0;
+    return TermScore(stats, /*doc_length=*/0, max_tf, df, qtf);
   }
 
   /// Scorer name for logs and benches.

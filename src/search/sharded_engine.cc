@@ -7,7 +7,8 @@ namespace toppriv::search {
 ShardedSearchEngine::ShardedSearchEngine(const corpus::Corpus& corpus,
                                          const index::ShardedIndex& index,
                                          std::unique_ptr<Scorer> scorer,
-                                         size_t num_threads)
+                                         size_t num_threads,
+                                         EvalStrategy strategy)
     : corpus_(corpus), index_(index), scorer_(std::move(scorer)) {
   TOPPRIV_CHECK(scorer_ != nullptr);
   TOPPRIV_CHECK_GE(index_.num_shards(), 1u);
@@ -17,6 +18,22 @@ ShardedSearchEngine::ShardedSearchEngine(const corpus::Corpus& corpus,
   if (num_threads == 0) num_threads = util::ThreadPool::HardwareConcurrency();
   if (num_threads > 1 && index_.num_shards() > 1) {
     pool_ = std::make_unique<util::ThreadPool>(num_threads);
+  }
+  set_eval_strategy(strategy);
+}
+
+void ShardedSearchEngine::set_eval_strategy(EvalStrategy strategy) {
+  strategy_ = strategy;
+  if (strategy == EvalStrategy::kMaxScore && shard_term_bounds_.empty()) {
+    // One impact-bound table per shard, each priced with the GLOBAL
+    // document frequencies — a shard-local df would loosen nothing but a
+    // wrong df would produce bounds below real contributions and break
+    // the pruning-safety argument.
+    shard_term_bounds_.reserve(index_.num_shards());
+    for (size_t s = 0; s < index_.num_shards(); ++s) {
+      shard_term_bounds_.push_back(ComputeTermImpactBounds(
+          index_.shard(s), stats_, *scorer_, &index_.manifest().global_df));
+    }
   }
 }
 
@@ -49,8 +66,9 @@ std::vector<ScoredDoc> ShardedSearchEngine::Evaluate(
     // taking the next, so reuse is race-free even when several concurrent
     // Evaluate calls share the pool.
     static thread_local EvalScratch scratch;
-    per_shard[s] = AccumulateTopK(index_.shard(s), stats_, *scorer_, query,
-                                  dfs, k, &scratch);
+    per_shard[s] = EvaluateTopK(
+        strategy_, index_.shard(s), stats_, *scorer_, query, dfs, k, &scratch,
+        shard_term_bounds_.empty() ? nullptr : &shard_term_bounds_[s]);
     const corpus::DocId base = index_.manifest().ranges[s].begin;
     for (ScoredDoc& sd : per_shard[s]) sd.doc += base;
   };

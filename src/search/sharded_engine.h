@@ -42,7 +42,8 @@ class ShardedSearchEngine : public QueryEngine {
   /// serving driver's sessions share one engine).
   ShardedSearchEngine(const corpus::Corpus& corpus,
                       const index::ShardedIndex& index,
-                      std::unique_ptr<Scorer> scorer, size_t num_threads = 1);
+                      std::unique_ptr<Scorer> scorer, size_t num_threads = 1,
+                      EvalStrategy strategy = EvalStrategy::kTAAT);
 
   ShardedSearchEngine(const ShardedSearchEngine&) = delete;
   ShardedSearchEngine& operator=(const ShardedSearchEngine&) = delete;
@@ -63,6 +64,15 @@ class ShardedSearchEngine : public QueryEngine {
   /// Shard-evaluation threads (1 = sequential scatter).
   size_t num_threads() const { return pool_ ? pool_->num_threads() : 1; }
 
+  EvalStrategy eval_strategy() const override { return strategy_; }
+  /// Per-shard evaluation strategy; the parity contract makes strategies
+  /// indistinguishable result-wise. Selecting MaxScore builds the
+  /// per-shard impact-bound tables on first selection — with the GLOBAL
+  /// document frequencies, like every other scoring input here. NOT
+  /// thread-safe: call before sharing the engine with concurrent
+  /// Evaluate callers (a serving fleet), never while they run.
+  void set_eval_strategy(EvalStrategy strategy);
+
  private:
   const corpus::Corpus& corpus_;
   const index::ShardedIndex& index_;
@@ -70,6 +80,10 @@ class ShardedSearchEngine : public QueryEngine {
   /// Global collection statistics from the manifest; every shard scores
   /// against these.
   CollectionStats stats_;
+  EvalStrategy strategy_ = EvalStrategy::kTAAT;
+  /// Per-shard ComputeTermImpactBounds tables (global df); non-empty iff
+  /// MaxScore was ever selected. Immutable once built.
+  std::vector<std::vector<double>> shard_term_bounds_;
   /// Private fan-out pool; null in sequential mode. Owned by the engine so
   /// it can never be one of the caller's own worker pools (a caller
   /// blocking inside its own pool would deadlock).

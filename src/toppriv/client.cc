@@ -13,6 +13,9 @@ ProtectedSearchResult TrustedClient::Search(
 
   // Submit every query in the (already shuffled) cycle; keep only the
   // genuine query's results. The engine logs all of them identically.
+  // The whole cycle lands in the query log back-to-back: reserve once
+  // instead of letting the log reallocate mid-burst.
+  engine_->mutable_query_log().Reserve(out.cycle.queries.size());
   for (size_t i = 0; i < out.cycle.queries.size(); ++i) {
     std::vector<search::ScoredDoc> results =
         engine_->Search(out.cycle.queries[i], k, out.cycle_id);

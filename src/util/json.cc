@@ -1,0 +1,161 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace toppriv::util {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // The comma (if any) was emitted when the key was written.
+    pending_key_ = false;
+    return;
+  }
+  if (needs_comma_.empty()) {
+    // Root position: a JSON document has exactly one root value. Catching
+    // the second one here keeps a stray extra Begin/End from silently
+    // producing '{...}{...}' that downstream parsers reject.
+    TOPPRIV_CHECK(out_.empty());
+    return;
+  }
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::Escape(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  TOPPRIV_CHECK(!needs_comma_.empty());
+  TOPPRIV_CHECK(!pending_key_);
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  TOPPRIV_CHECK(!needs_comma_.empty());
+  TOPPRIV_CHECK(!pending_key_);
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  TOPPRIV_CHECK(!pending_key_);
+  TOPPRIV_CHECK(!needs_comma_.empty());
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+  Escape(key);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  Escape(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  UInt(value);
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace toppriv::util

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer for the benches' machine-readable output
+// (--json sidecars consumed by CI and the perf-trajectory tooling). No
+// external dependency, no DOM: values are emitted in call order with
+// automatic comma placement; the writer asserts balanced Begin/End calls.
+#ifndef TOPPRIV_UTIL_JSON_H_
+#define TOPPRIV_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toppriv::util {
+
+/// Streaming JSON emitter.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("cells");
+///   w.BeginArray();
+///   ...
+///   w.EndArray();
+///   w.EndObject();
+///   WriteFile(path, w.str());
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value call provides its value.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Doubles print with enough digits to round-trip (%.17g), except that
+  /// non-finite values (which JSON cannot carry) emit null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value in one call.
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, int64_t value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, bool value);
+
+  /// The document so far; call after the final EndObject/EndArray.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void Escape(const std::string& s);
+
+  std::string out_;
+  /// One entry per open container: whether a comma is owed before the next
+  /// element.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_JSON_H_

@@ -85,6 +85,229 @@ TEST_P(PostingListRoundtrip, EncodeDecodeRandomLists) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PostingListRoundtrip,
                          ::testing::Values(1, 2, 10, 100, 1000, 5000));
 
+// ------------------------------------------------------ block structure --
+
+class PostingBlockProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PostingBlockProperty, RoundTripsThroughBlocksAtEverySize) {
+  // Sizes straddle the 128-posting block boundary: 0, 1, 127, 128, 129,
+  // 1000 (the ISSUE's property grid) — empty list, single partial block,
+  // exactly one block, one block + 1, and many blocks with a partial tail.
+  const size_t n = GetParam();
+  util::Rng rng(n * 131 + 5);
+  PostingList::Builder builder;
+  std::vector<Posting> expected;
+  corpus::DocId doc = 0;
+  uint32_t want_max_tf = 0;
+  for (size_t i = 0; i < n; ++i) {
+    doc += 1 + static_cast<corpus::DocId>(rng.UniformInt(uint64_t{700}));
+    uint32_t tf = 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{90}));
+    builder.Append(doc, tf);
+    expected.push_back({doc, tf});
+    want_max_tf = std::max(want_max_tf, tf);
+  }
+  PostingList list = builder.Build();
+
+  // In-memory block directory invariants.
+  EXPECT_EQ(list.size(), n);
+  EXPECT_EQ(list.num_blocks(), (n + 127) / 128);
+  EXPECT_EQ(list.max_tf(), want_max_tf);
+  EXPECT_EQ(list.Decode(), expected);
+  size_t covered = 0;
+  uint32_t directory_max_tf = 0;
+  index::PostingBlock block;
+  for (size_t b = 0; b < list.num_blocks(); ++b) {
+    const PostingList::BlockInfo& info = list.block(b);
+    list.DecodeBlock(b, &block);
+    ASSERT_EQ(block.count, info.count);
+    ASSERT_LE(info.count, index::kPostingBlockSize);
+    uint32_t block_max_tf = 0;
+    for (uint32_t i = 0; i < block.count; ++i) {
+      EXPECT_EQ(block.docs[i], expected[covered + i].doc);
+      EXPECT_EQ(block.tfs[i], expected[covered + i].tf);
+      block_max_tf = std::max(block_max_tf, block.tfs[i]);
+    }
+    EXPECT_EQ(info.first_doc, block.docs[0]);
+    EXPECT_EQ(info.last_doc, block.docs[block.count - 1]);
+    EXPECT_EQ(info.max_tf, block_max_tf);
+    directory_max_tf = std::max(directory_max_tf, info.max_tf);
+    covered += block.count;
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(directory_max_tf, want_max_tf);
+
+  // Wire round trip: decode reproduces everything, re-encode is
+  // byte-stable, and the decoder leaves `pos` exactly at the end.
+  std::string bytes;
+  list.EncodeTo(&bytes);
+  size_t pos = 0;
+  auto restored = PostingList::DecodeFrom(bytes, &pos);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(restored->Decode(), expected);
+  EXPECT_EQ(restored->max_tf(), want_max_tf);
+  EXPECT_EQ(restored->num_blocks(), list.num_blocks());
+  EXPECT_EQ(restored->ByteSize(), list.ByteSize());
+  std::string again;
+  restored->EncodeTo(&again);
+  EXPECT_EQ(again, bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PostingBlockProperty,
+                         ::testing::Values(0, 1, 127, 128, 129, 1000));
+
+TEST(PostingListTest, ByteSizeMatchesClassicDeltaVarintPricing) {
+  // The grouped block layout reorders varints but never adds bytes:
+  // ByteSize() must equal the interleaved delta+varint pricing the paper's
+  // §II arithmetic (and ShardedIndex::ComputeStats) assume.
+  util::Rng rng(99);
+  PostingList::Builder builder;
+  uint64_t priced = 0;
+  corpus::DocId doc = 0, prev = 0;
+  for (size_t i = 0; i < 777; ++i) {
+    doc += 1 + static_cast<corpus::DocId>(rng.UniformInt(uint64_t{30000}));
+    uint32_t tf = 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{300}));
+    builder.Append(doc, tf);
+    priced += util::VarintSize(i == 0 ? doc : doc - prev) +
+              util::VarintSize(tf);
+    prev = doc;
+  }
+  EXPECT_EQ(builder.Build().ByteSize(), priced);
+}
+
+TEST(PostingListTest, LegacyV0BlobsStillDecode) {
+  // Hand-encode the pre-block wire format: count, nbytes, interleaved
+  // (delta, tf) varint pairs. DecodeFrom must transparently transcode it
+  // into the block layout.
+  std::vector<Posting> expected = {{7, 2}, {9, 1}, {300, 5}, {301, 1}};
+  std::string body;
+  corpus::DocId prev = 0;
+  bool first = true;
+  for (const Posting& p : expected) {
+    util::AppendVarint(first ? p.doc : p.doc - prev, &body);
+    util::AppendVarint(p.tf, &body);
+    prev = p.doc;
+    first = false;
+  }
+  std::string bytes;
+  util::AppendVarint(expected.size(), &bytes);
+  util::AppendVarint(body.size(), &bytes);
+  bytes += body;
+
+  size_t pos = 0;
+  auto list = PostingList::DecodeFrom(bytes, &pos);
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(list->Decode(), expected);
+  EXPECT_EQ(list->max_tf(), 5u);
+  EXPECT_EQ(list->num_blocks(), 1u);
+  // ByteSize is layout-independent, so it survives the transcode.
+  EXPECT_EQ(list->ByteSize(), body.size());
+
+  // Legacy empty list: two zero varints.
+  std::string empty_bytes;
+  util::AppendVarint(0, &empty_bytes);
+  util::AppendVarint(0, &empty_bytes);
+  pos = 0;
+  auto empty = PostingList::DecodeFrom(empty_bytes, &pos);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(PostingListTest, HostileBlockBlobsRejectedCleanly) {
+  // A healthy two-block v1 blob to mutate.
+  PostingList::Builder builder;
+  for (corpus::DocId d = 1; d <= 200; ++d) builder.Append(d * 3, 1 + d % 7);
+  PostingList list = builder.Build();
+  std::string bytes;
+  list.EncodeTo(&bytes);
+
+  // Every truncation dies with DataLoss, never a crash.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    size_t pos = 0;
+    auto result = PostingList::DecodeFrom(bytes.substr(0, cut), &pos);
+    EXPECT_FALSE(result.ok()) << "cut " << cut;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss)
+        << "cut " << cut;
+  }
+
+  // Trailing bytes inside the declared body (count says fewer postings
+  // than the body holds): tag, count=1, nbytes=body+1, body, junk byte.
+  {
+    std::string body;
+    util::AppendVarint(5, &body);  // delta
+    util::AppendVarint(1, &body);  // tf
+    std::string blob;
+    util::AppendVarint((uint64_t{1} << 32) | 1, &blob);
+    util::AppendVarint(1, &blob);
+    util::AppendVarint(body.size() + 1, &blob);
+    blob += body;
+    blob += 'x';
+    size_t pos = 0;
+    auto result = PostingList::DecodeFrom(blob + "suffix", &pos);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+  }
+
+  // Unknown format tag (a future version we do not speak).
+  {
+    std::string blob;
+    util::AppendVarint((uint64_t{1} << 32) | 2, &blob);
+    util::AppendVarint(0, &blob);
+    util::AppendVarint(0, &blob);
+    size_t pos = 0;
+    auto result = PostingList::DecodeFrom(blob, &pos);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+  }
+
+  // Hostile bodies under the v1 tag: zero tf, zero delta (duplicate doc),
+  // doc id past the bound, doc id wrapping u32.
+  auto v1_blob = [](std::vector<std::pair<uint64_t, uint64_t>> pairs) {
+    std::string body;
+    for (const auto& [delta, tf] : pairs) util::AppendVarint(delta, &body);
+    for (const auto& [delta, tf] : pairs) util::AppendVarint(tf, &body);
+    std::string blob;
+    util::AppendVarint((uint64_t{1} << 32) | 1, &blob);
+    util::AppendVarint(pairs.size(), &blob);
+    util::AppendVarint(body.size(), &blob);
+    blob += body;
+    return blob;
+  };
+  for (const auto& [blob, what] :
+       {std::make_pair(v1_blob({{3, 0}}), "zero tf"),
+        std::make_pair(v1_blob({{3, 1}, {0, 1}}), "zero delta"),
+        std::make_pair(v1_blob({{3, 1}, {uint64_t{1} << 40, 1}}),
+                       "u32 overflow"),
+        std::make_pair(v1_blob({{3, 1}, {2, uint64_t{1} << 40}}),
+                       "tf overflow")}) {
+    size_t pos = 0;
+    auto result = PostingList::DecodeFrom(blob, &pos);
+    EXPECT_FALSE(result.ok()) << what;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss) << what;
+  }
+  {
+    // In-range doc ids but above the caller's max_doc_exclusive.
+    size_t pos = 0;
+    auto result =
+        PostingList::DecodeFrom(v1_blob({{3, 1}, {4, 2}}), &pos, /*max=*/5);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+  }
+
+  // Bit-flip sweep over the whole healthy blob: reject or accept, never
+  // crash or over-allocate.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      size_t pos = 0;
+      PostingList::DecodeFrom(mutated, &pos, 10000);
+    }
+  }
+  SUCCEED();
+}
+
 TEST(PostingListTest, DecodeFromTruncatedFails) {
   PostingList::Builder builder;
   builder.Append(10, 2);

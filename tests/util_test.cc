@@ -2,6 +2,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <cstdio>
 #include <numeric>
 #include <set>
@@ -11,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "util/io.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -547,6 +549,55 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
 
 TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+// -------------------------------------------------------------- JsonWriter --
+
+TEST(JsonWriterTest, NestedDocumentWithCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "serving_throughput");
+  w.Field("count", uint64_t{3});
+  w.Field("ok", true);
+  w.Key("cells");
+  w.BeginArray();
+  w.BeginObject();
+  w.Field("qps", 1.5);
+  w.EndObject();
+  w.BeginObject();
+  w.Field("qps", int64_t{-2});
+  w.Key("missing");
+  w.Null();
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"bench\":\"serving_throughput\",\"count\":3,\"ok\":true,"
+            "\"cells\":[{\"qps\":1.5},{\"qps\":-2,\"missing\":null}]}");
+}
+
+TEST(JsonWriterTest, EscapesAndNonFiniteDoubles) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("s", "a\"b\\c\nd\te\x01");
+  w.Key("inf");
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Key("nan");
+  w.Double(std::nan(""));
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\",\"inf\":null,"
+            "\"nan\":null}");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsPrecision) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(0.1);
+  w.Double(1e300);
+  w.EndArray();
+  // %.17g keeps the exact bits recoverable.
+  EXPECT_EQ(w.str(), "[0.10000000000000001,1.0000000000000001e+300]");
 }
 
 }  // namespace
