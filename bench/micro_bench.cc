@@ -1,9 +1,10 @@
 // Microbenchmarks for the hot paths: index construction, posting-list
 // decoding (iterator and block-batch), query evaluation under both
-// strategies (TAAT and MaxScore), LDA query inference and ghost
-// generation. Complements the figure-level benches with per-operation
-// numbers (the paper's Figs. 2d/3d report end-to-end generation time;
-// these break it down).
+// strategies (TAAT and MaxScore), live-index ingest (docs/s vs batch
+// size), segment merging, LDA query inference and ghost generation.
+// Complements the figure-level benches with per-operation numbers (the
+// paper's Figs. 2d/3d report end-to-end generation time; these break it
+// down).
 //
 // Built two ways: against Google Benchmark when the library is present
 // (full statistical harness), otherwise with a plain main() that times a
@@ -19,6 +20,7 @@
 #include "corpus/generator.h"
 #include "corpus/workload.h"
 #include "index/inverted_index.h"
+#include "index/live/live_index.h"
 #include "search/engine.h"
 #include "search/scorer.h"
 #include "topicmodel/gibbs_trainer.h"
@@ -103,6 +105,35 @@ uint64_t KernelPostingBlockDecode() {
   return sum;
 }
 
+uint64_t KernelLiveIngest(size_t batch_size) {
+  // Streams the whole corpus into a fresh LiveIndex in `batch_size`-doc
+  // batches, publishing (Refresh) after each — the docs/s number the
+  // serving layer's mixed read/write phase is bounded by. Small batches
+  // pay per-publish snapshot rebuilds; large ones amortize them.
+  const auto& world = World();
+  index::live::LiveIndex live;
+  live.EnsureTermSpace(world.corpus.vocabulary_size());
+  index::live::StreamCorpus(world.corpus, 0, world.corpus.num_documents(),
+                            batch_size, &live);
+  return live.num_segments() + live.Acquire()->num_documents();
+}
+
+uint64_t KernelSegmentMerge() {
+  // Ingest at 64-doc seals with tiered merging disabled, then ForceMerge
+  // the ~13 segments into one. Compare against KernelLiveIngest to
+  // isolate the merge cost from the ingest cost.
+  const auto& world = World();
+  index::live::LiveIndexOptions options;
+  options.max_writer_docs = 64;
+  options.merge_factor = 1000;  // no auto merges; the ForceMerge is timed
+  index::live::LiveIndex live(options);
+  live.EnsureTermSpace(world.corpus.vocabulary_size());
+  index::live::StreamCorpus(world.corpus, 0, world.corpus.num_documents(),
+                            world.corpus.num_documents(), &live);
+  live.ForceMerge();
+  return live.num_segments() + live.Acquire()->ComputeStats().total_postings;
+}
+
 uint64_t KernelQueryEvaluation(search::SearchEngine& engine, size_t* qi) {
   const auto& world = World();
   const auto& q = world.workload[*qi % world.workload.size()];
@@ -157,6 +188,33 @@ void BM_PostingBlockDecode(benchmark::State& state) {
       static_cast<int64_t>(world.index.Postings(world.hottest).size()));
 }
 BENCHMARK(BM_PostingBlockDecode);
+
+void BM_LiveIngest(benchmark::State& state) {
+  // Arg: ingest batch size; items/s is the docs/s ingest throughput.
+  const auto& world = World();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KernelLiveIngest(static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world.corpus.num_documents()));
+}
+BENCHMARK(BM_LiveIngest)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SegmentMerge(benchmark::State& state) {
+  const auto& world = World();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelSegmentMerge());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world.corpus.num_documents()));
+}
+BENCHMARK(BM_SegmentMerge)->Unit(benchmark::kMillisecond);
 
 void BM_QueryEvaluation(benchmark::State& state) {
   // Arg 0: 0 = TAAT, 1 = MaxScore — the strategy comparison in one chart.
@@ -265,6 +323,10 @@ int main() {
             [] { return KernelPostingIteratorScan(); });
   RunKernel("PostingBlockDecode", 2000,
             [] { return KernelPostingBlockDecode(); });
+  RunKernel("LiveIngest/batch1", 3, [] { return KernelLiveIngest(1); });
+  RunKernel("LiveIngest/batch16", 3, [] { return KernelLiveIngest(16); });
+  RunKernel("LiveIngest/batch128", 3, [] { return KernelLiveIngest(128); });
+  RunKernel("SegmentMerge", 3, [] { return KernelSegmentMerge(); });
 
   {
     search::SearchEngine engine(world.corpus, world.index,

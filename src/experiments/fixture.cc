@@ -1,5 +1,6 @@
 #include "experiments/fixture.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -27,6 +28,15 @@ std::string EnvString(const char* name, const std::string& fallback) {
   return (v == nullptr || *v == '\0') ? fallback : std::string(v);
 }
 
+double EnvFraction(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return std::min(1.0, std::max(0.0, parsed));
+}
+
 // FNV-1a over a byte string, for cache keys.
 uint64_t HashBytes(const std::string& s) {
   uint64_t h = util::kFnv1aOffsetBasis;
@@ -48,6 +58,7 @@ FixtureConfig FixtureConfig::FromEnv() {
   config.num_shards = EnvSize("TOPPRIV_SHARDS", 1);
   config.shard_threads = EnvSize("TOPPRIV_SHARD_THREADS", 1);
   config.eval_strategy = search::EvalStrategyFromEnv();
+  config.live_ingest_upfront = EnvFraction("TOPPRIV_LIVE_INGEST", 0.5);
   return config;
 }
 
@@ -107,11 +118,35 @@ const index::ShardedIndex& ExperimentFixture::sharded_index(
   auto it = sharded_.find(num_shards);
   if (it != sharded_.end()) return *it->second;
   EnsureCorpus();
+  // Shard construction fans out over a transient pool (shards are
+  // independent doc ranges; the pooled build is bit-identical to the
+  // serial one — sharding_test asserts it).
+  std::unique_ptr<util::ThreadPool> pool;
+  const size_t hw = util::ThreadPool::HardwareConcurrency();
+  if (num_shards > 1 && hw > 1) {
+    pool = std::make_unique<util::ThreadPool>(std::min(num_shards, hw));
+  }
   auto owned = std::make_unique<index::ShardedIndex>(
-      index::ShardedIndex::Build(*corpus_, num_shards));
+      index::ShardedIndex::Build(*corpus_, num_shards, pool.get()));
   const index::ShardedIndex& ref = *owned;
   sharded_.emplace(num_shards, std::move(owned));
   return ref;
+}
+
+std::unique_ptr<index::live::LiveIndex> ExperimentFixture::MakeLiveIndex(
+    double upfront_fraction, index::live::LiveIndexOptions options) {
+  EnsureCorpus();
+  auto live = std::make_unique<index::live::LiveIndex>(options);
+  live->EnsureTermSpace(corpus_->vocabulary_size());
+  const double f = std::min(1.0, std::max(0.0, upfront_fraction));
+  const size_t upfront = static_cast<size_t>(
+      f * static_cast<double>(corpus_->num_documents()) + 0.5);
+  // The up-front load is one batch; Refresh() regardless so even an empty
+  // live index publishes its (vocabulary-synced) term space.
+  index::live::StreamCorpus(*corpus_, 0, upfront,
+                            std::max<size_t>(1, upfront), live.get());
+  live->Refresh();
+  return live;
 }
 
 std::unique_ptr<search::QueryEngine> ExperimentFixture::MakeEngine(

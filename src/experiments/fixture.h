@@ -13,6 +13,9 @@
 //   TOPPRIV_SHARDS      index shards for MakeEngine (default 1 = monolithic)
 //   TOPPRIV_SHARD_THREADS  per-query shard fan-out threads (default 1 =
 //                          sequential scatter)
+//   TOPPRIV_LIVE_INGEST fraction of the corpus ingested up-front into a
+//                          MakeLiveIndex live index (default 0.5); the
+//                          rest streams in during the serving run
 #ifndef TOPPRIV_EXPERIMENTS_FIXTURE_H_
 #define TOPPRIV_EXPERIMENTS_FIXTURE_H_
 
@@ -26,6 +29,7 @@
 #include "corpus/generator.h"
 #include "corpus/workload.h"
 #include "index/inverted_index.h"
+#include "index/live/live_index.h"
 #include "index/sharded_index.h"
 #include "search/engine.h"
 #include "search/scorer.h"
@@ -49,6 +53,10 @@ struct FixtureConfig {
   /// (TOPPRIV_EVAL_STRATEGY: "taat" or "maxscore"). Results are
   /// bit-identical either way; this sweeps performance only.
   search::EvalStrategy eval_strategy = search::EvalStrategy::kTAAT;
+  /// Fraction of the corpus a MakeLiveIndex live index ingests up-front
+  /// (TOPPRIV_LIVE_INGEST, clamped to [0, 1]); the remainder is streamed
+  /// during the serving run's mixed read/write phase.
+  double live_ingest_upfront = 0.5;
 
   /// Reads the TOPPRIV_* environment variables over the defaults.
   static FixtureConfig FromEnv();
@@ -80,6 +88,18 @@ class ExperimentFixture {
   const index::ShardedIndex& sharded_index(size_t num_shards);
   /// Trained LDA model with `num_topics` topics (trains or loads cache).
   const topicmodel::LdaModel& model(size_t num_topics);
+
+  /// A LiveIndex over the fixture corpus with the first
+  /// round(upfront_fraction * num_docs) documents already ingested and
+  /// published; the caller streams the remainder (the mixed read/write
+  /// serving phase). The term space is pre-synced to the corpus
+  /// vocabulary, so once everything is ingested the final snapshot's
+  /// stats match the static index() bit for bit. The caller owns the
+  /// returned index (and any merge pool wired into `options` must outlive
+  /// it).
+  std::unique_ptr<index::live::LiveIndex> MakeLiveIndex(
+      double upfront_fraction,
+      index::live::LiveIndexOptions options = index::live::LiveIndexOptions());
 
   /// Builds a query engine over the fixture corpus: the monolithic
   /// SearchEngine when `num_shards` <= 1, a ShardedSearchEngine otherwise

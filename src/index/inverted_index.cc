@@ -49,6 +49,20 @@ InvertedIndex InvertedIndex::BuildRange(const corpus::Corpus& corpus,
   return index;
 }
 
+InvertedIndex InvertedIndex::FromParts(std::vector<PostingList> lists,
+                                       std::vector<uint32_t> doc_lengths) {
+  InvertedIndex index;
+  index.lists_ = std::move(lists);
+  index.doc_lengths_ = std::move(doc_lengths);
+  for (uint32_t len : index.doc_lengths_) index.total_tokens_ += len;
+  index.avg_doc_length_ =
+      index.doc_lengths_.empty()
+          ? 0.0
+          : static_cast<double>(index.total_tokens_) /
+                static_cast<double>(index.doc_lengths_.size());
+  return index;
+}
+
 const PostingList& InvertedIndex::Postings(text::TermId term) const {
   if (term >= lists_.size()) return empty_list_;
   return lists_[term];

@@ -50,6 +50,15 @@ class InvertedIndex {
   static InvertedIndex BuildRange(const corpus::Corpus& corpus,
                                   corpus::DocId begin, corpus::DocId end);
 
+  /// Assembles an index directly from per-term posting lists and per-doc
+  /// lengths (total tokens and the average are derived the same way Build
+  /// derives them). This is the live-index seam: a SegmentWriter (and the
+  /// segment merger) appends the identical <doc, tf> sequences Build would
+  /// have appended, so the resulting index is bit-identical to Build over
+  /// the same documents without materializing a Corpus.
+  static InvertedIndex FromParts(std::vector<PostingList> lists,
+                                 std::vector<uint32_t> doc_lengths);
+
   /// Posting list for a term (empty list if the term never occurs).
   const PostingList& Postings(text::TermId term) const;
 

@@ -1,0 +1,683 @@
+#include "index/live/live_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace toppriv::index::live {
+
+namespace {
+
+/// Manifest-level sanity cap on the declared term space: the df table is
+/// allocated at this width before any segment payload corroborates it, so
+/// an unchecked count would let a few-byte blob demand gigabytes. (A LEGIT
+/// term space can exceed the payload — EnsureTermSpace over an empty index
+/// — hence a cap instead of the usual remaining()-derived bound.)
+constexpr uint64_t kMaxManifestTerms = uint64_t{1} << 24;
+
+}  // namespace
+
+// ------------------------------------------------------------- snapshot --
+
+size_t IndexSnapshot::SegmentOf(corpus::DocId dense) const {
+  TOPPRIV_CHECK_LT(dense, num_documents_);
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), dense,
+      [](corpus::DocId d, const SnapshotSegment& s) { return d < s.dense_base; });
+  TOPPRIV_CHECK(it != segments_.begin());
+  return static_cast<size_t>(it - segments_.begin()) - 1;
+}
+
+uint32_t IndexSnapshot::DocLength(corpus::DocId dense) const {
+  const SnapshotSegment& ss = segments_[SegmentOf(dense)];
+  return ss.segment->index().DocLength(ss.LocalId(dense - ss.dense_base));
+}
+
+StableId IndexSnapshot::ToStableId(corpus::DocId dense) const {
+  const SnapshotSegment& ss = segments_[SegmentOf(dense)];
+  return ss.segment->stable_ids()[ss.LocalId(dense - ss.dense_base)];
+}
+
+IndexStats IndexSnapshot::ComputeStats() const {
+  IndexStats stats;
+  stats.num_terms = num_terms_;
+  stats.num_documents = num_documents_;
+  for (size_t t = 0; t < num_terms_; ++t) {
+    // Walk the term's live postings segment by segment in dense order and
+    // price them as ONE delta-encoded list (first posting absolute, every
+    // later one a delta from its predecessor, across segment boundaries
+    // and tombstone holes alike) — byte-for-byte the encoding a static
+    // build of the live collection would produce, so the §II PIR
+    // arithmetic is ingest-schedule-invariant.
+    uint32_t length = 0;
+    uint64_t encoded = 0;
+    uint64_t prev = 0;
+    bool first = true;
+    for (const SnapshotSegment& ss : segments_) {
+      const PostingList& list =
+          ss.segment->index().Postings(static_cast<text::TermId>(t));
+      const std::vector<char>* del = ss.deleted.get();
+      for (auto it = list.begin(); it.Valid(); it.Next()) {
+        const Posting& p = it.Get();
+        if (del != nullptr && (*del)[p.doc]) continue;
+        const uint64_t dense = ss.DenseId(p.doc);
+        encoded += util::VarintSize(first ? dense : dense - prev) +
+                   util::VarintSize(p.tf);
+        prev = dense;
+        first = false;
+        ++length;
+      }
+    }
+    TOPPRIV_DCHECK(length == global_df_[t]);
+    stats.total_postings += length;
+    stats.max_list_length = std::max(stats.max_list_length, length);
+    stats.encoded_bytes += encoded;
+  }
+  if (stats.num_terms > 0) {
+    stats.avg_list_length = static_cast<double>(stats.total_postings) /
+                            static_cast<double>(stats.num_terms);
+  }
+  stats.pir_padded_bytes = static_cast<uint64_t>(stats.num_terms) *
+                           static_cast<uint64_t>(stats.max_list_length) * 8ull;
+  return stats;
+}
+
+// ------------------------------------------------------------ live index --
+
+LiveIndex::LiveIndex(LiveIndexOptions options) : options_(options) {
+  if (options_.max_writer_docs == 0) options_.max_writer_docs = 1;
+  if (options_.merge_factor < 2) options_.merge_factor = 2;
+  std::unique_lock<std::mutex> lock(mu_);
+  RebuildSnapshotLocked();  // the empty snapshot, so Acquire is never null
+}
+
+LiveIndex::~LiveIndex() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closing_ = true;
+  WaitForMergesLocked(lock);
+}
+
+std::vector<StableId> LiveIndex::Ingest(
+    const std::vector<std::vector<text::TermId>>& docs) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<StableId> ids;
+  ids.reserve(docs.size());
+  for (const std::vector<text::TermId>& tokens : docs) {
+    ids.push_back(writer_.Add(tokens));
+    if (writer_.num_docs() >= options_.max_writer_docs) FlushLocked(lock);
+  }
+  num_terms_ = std::max(num_terms_, writer_.num_terms());
+  dirty_ = true;
+  return ids;
+}
+
+bool LiveIndex::Delete(StableId stable) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stable >= writer_.next_stable()) return false;
+  if (!writer_.empty() && stable >= writer_.stable_begin()) {
+    // The doc is still buffered; seal so the tombstone has a segment.
+    FlushLocked(lock);
+  }
+  if (entries_.empty()) return false;
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), stable,
+      [](StableId s, const Entry& e) { return s < e.segment->stable_begin(); });
+  if (it == entries_.begin()) return false;
+  Entry& e = *(it - 1);
+  corpus::DocId local = 0;
+  if (!e.segment->FindLocal(stable, &local)) return false;
+  if (e.deleted != nullptr && (*e.deleted)[local]) return false;
+  // Copy-on-write: snapshots pin the old bitmap, so never mutate it.
+  auto bitmap =
+      e.deleted == nullptr
+          ? std::make_shared<std::vector<char>>(e.segment->num_docs(), 0)
+          : std::make_shared<std::vector<char>>(*e.deleted);
+  (*bitmap)[local] = 1;
+  e.deleted = std::move(bitmap);
+  ++e.num_deleted;
+  e.deleted_tokens += e.segment->index().DocLength(local);
+  e.live_df.reset();
+  e.deleted_before.reset();
+  e.live_locals.reset();
+  dirty_ = true;
+  MaybeScheduleMergeLocked(lock);
+  return true;
+}
+
+void LiveIndex::EnsureTermSpace(size_t num_terms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (num_terms > num_terms_) {
+    num_terms_ = num_terms;
+    dirty_ = true;
+  }
+}
+
+void LiveIndex::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked(lock);
+}
+
+std::shared_ptr<const IndexSnapshot> LiveIndex::Refresh() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked(lock);
+  if (dirty_) RebuildSnapshotLocked();
+  return current_;
+}
+
+std::shared_ptr<const IndexSnapshot> LiveIndex::Acquire() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return current_;
+}
+
+void LiveIndex::ForceMerge() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked(lock);
+  WaitForMergesLocked(lock);
+  bool needed = entries_.size() > 1;
+  for (const Entry& e : entries_) needed = needed || e.num_deleted > 0;
+  if (!needed) {
+    if (dirty_) RebuildSnapshotLocked();
+    return;
+  }
+  std::vector<MergeInput> inputs;
+  inputs.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    e.merging = true;
+    inputs.push_back(MergeInput{e.segment, e.deleted});
+  }
+  ++merges_in_flight_;
+  lock.unlock();
+  std::shared_ptr<const Segment> merged = BuildMerged(inputs);
+  CommitMerge(inputs, std::move(merged));
+  lock.lock();
+  if (dirty_) RebuildSnapshotLocked();
+}
+
+void LiveIndex::WaitForMerges() {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForMergesLocked(lock);
+}
+
+size_t LiveIndex::num_segments() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+StableId LiveIndex::next_stable_id() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return writer_.next_stable();
+}
+
+void LiveIndex::FlushLocked(std::unique_lock<std::mutex>& lock) {
+  if (writer_.empty()) return;
+  num_terms_ = std::max(num_terms_, writer_.num_terms());
+  Entry e;
+  e.segment = writer_.Seal();
+  entries_.push_back(std::move(e));
+  dirty_ = true;
+  MaybeScheduleMergeLocked(lock);
+}
+
+void LiveIndex::RefreshEntryCachesLocked(Entry& e) {
+  if (e.live_df != nullptr) return;  // caches match the current bitmap
+  const InvertedIndex& idx = e.segment->index();
+  const std::vector<char>& del = *e.deleted;
+  auto df = std::make_shared<std::vector<uint32_t>>(idx.num_terms(), 0);
+  for (size_t t = 0; t < idx.num_terms(); ++t) {
+    const PostingList& list = idx.Postings(static_cast<text::TermId>(t));
+    uint32_t n = 0;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      if (!del[it.Get().doc]) ++n;
+    }
+    (*df)[t] = n;
+  }
+  const size_t docs = idx.num_documents();
+  auto before = std::make_shared<std::vector<uint32_t>>(docs, 0);
+  auto locals = std::make_shared<std::vector<corpus::DocId>>();
+  locals->reserve(docs - e.num_deleted);
+  uint32_t seen = 0;
+  for (size_t l = 0; l < docs; ++l) {
+    (*before)[l] = seen;
+    if (del[l]) {
+      ++seen;
+    } else {
+      locals->push_back(static_cast<corpus::DocId>(l));
+    }
+  }
+  e.live_df = std::move(df);
+  e.deleted_before = std::move(before);
+  e.live_locals = std::move(locals);
+}
+
+void LiveIndex::RebuildSnapshotLocked() {
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->num_terms_ = num_terms_;
+  snap->global_df_.assign(num_terms_, 0);
+  corpus::DocId base = 0;
+  uint64_t tokens = 0;
+  for (Entry& e : entries_) {
+    const InvertedIndex& idx = e.segment->index();
+    const uint32_t live =
+        static_cast<uint32_t>(idx.num_documents()) - e.num_deleted;
+    tokens += idx.total_tokens() - e.deleted_tokens;
+    if (live == 0) continue;  // fully tombstoned; compaction will drop it
+    SnapshotSegment ss;
+    ss.segment = e.segment;
+    ss.dense_base = base;
+    ss.live_docs = live;
+    if (e.num_deleted > 0) {
+      RefreshEntryCachesLocked(e);
+      ss.deleted = e.deleted;
+      ss.deleted_before = e.deleted_before;
+      ss.live_locals = e.live_locals;
+      const std::vector<uint32_t>& df = *e.live_df;
+      for (size_t t = 0; t < df.size(); ++t) snap->global_df_[t] += df[t];
+    } else {
+      for (size_t t = 0; t < idx.num_terms(); ++t) {
+        snap->global_df_[t] += idx.DocFreq(static_cast<text::TermId>(t));
+      }
+    }
+    base += live;
+    snap->segments_.push_back(std::move(ss));
+  }
+  snap->num_documents_ = base;
+  snap->total_tokens_ = tokens;
+  // The same double division Build performs, so avg bits match a static
+  // rebuild of the live collection exactly.
+  snap->avg_doc_length_ = base == 0 ? 0.0
+                                    : static_cast<double>(tokens) /
+                                          static_cast<double>(base);
+  snap->generation_ = ++generation_;
+  current_ = std::move(snap);
+  dirty_ = false;
+}
+
+void LiveIndex::WaitForMergesLocked(std::unique_lock<std::mutex>& lock) {
+  merges_done_.wait(lock, [this] { return merges_in_flight_ == 0; });
+}
+
+size_t LiveIndex::TierOf(uint64_t live_docs) const {
+  size_t tier = 0;
+  uint64_t cap = options_.max_writer_docs;
+  while (live_docs >= cap && tier < 48) {
+    ++tier;
+    cap *= options_.merge_factor;
+  }
+  return tier;
+}
+
+void LiveIndex::MaybeScheduleMergeLocked(std::unique_lock<std::mutex>& lock) {
+  if (closing_) return;
+  // Bounded re-scan loop: every iteration either schedules a disjoint
+  // candidate (pool mode), fully executes one (inline mode, where the
+  // entry list may have changed while the lock was dropped), or returns.
+  for (int safety = 0; safety < 64; ++safety) {
+    size_t start = 0;
+    size_t count = 0;
+    // Tombstone compaction first: rewriting a half-dead segment both frees
+    // memory and keeps snapshot remap tables small.
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (e.merging || e.num_deleted == 0) continue;
+      if (static_cast<double>(e.num_deleted) >=
+          options_.compact_deleted_ratio *
+              static_cast<double>(e.segment->num_docs())) {
+        start = i;
+        count = 1;
+        break;
+      }
+    }
+    // Tiered policy: merge_factor ADJACENT segments in the same live-doc
+    // tier collapse into one (adjacency keeps stable order, so the merged
+    // segment slots into the same place in the dense id space).
+    if (count == 0) {
+      size_t run_start = 0;
+      size_t run_len = 0;
+      size_t run_tier = 0;
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& e = entries_[i];
+        if (e.merging) {
+          run_len = 0;
+          continue;
+        }
+        const size_t tier =
+            TierOf(e.segment->num_docs() - e.num_deleted);
+        if (run_len == 0 || tier != run_tier) {
+          run_start = i;
+          run_tier = tier;
+          run_len = 1;
+        } else {
+          ++run_len;
+        }
+        if (run_len >= options_.merge_factor) {
+          start = run_start;
+          count = run_len;
+          break;
+        }
+      }
+    }
+    if (count == 0) return;
+
+    std::vector<MergeInput> inputs;
+    inputs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      Entry& e = entries_[start + i];
+      e.merging = true;
+      inputs.push_back(MergeInput{e.segment, e.deleted});
+    }
+    ++merges_in_flight_;
+    if (options_.merge_pool != nullptr) {
+      options_.merge_pool->Submit([this, inputs = std::move(inputs)] {
+        std::shared_ptr<const Segment> merged = BuildMerged(inputs);
+        CommitMerge(inputs, std::move(merged));
+      });
+      continue;  // look for further disjoint candidates
+    }
+    lock.unlock();
+    std::shared_ptr<const Segment> merged = BuildMerged(inputs);
+    CommitMerge(inputs, std::move(merged));
+    lock.lock();
+  }
+}
+
+std::shared_ptr<const Segment> LiveIndex::BuildMerged(
+    const std::vector<MergeInput>& inputs) {
+  size_t num_terms = 0;
+  size_t total_live = 0;
+  for (const MergeInput& in : inputs) {
+    num_terms = std::max(num_terms, in.segment->num_terms());
+    size_t deleted = 0;
+    if (in.deleted != nullptr) {
+      for (char d : *in.deleted) deleted += d != 0;
+    }
+    total_live += in.segment->num_docs() - deleted;
+  }
+  if (total_live == 0) return nullptr;  // every input doc tombstoned
+
+  // Survivor renumbering: merged-local = input base + local − #deleted
+  // before it — dense in stable order, the same ids BuildRange would
+  // assign the surviving documents.
+  std::vector<std::vector<uint32_t>> shift(inputs.size());
+  std::vector<corpus::DocId> bases(inputs.size());
+  std::vector<uint32_t> doc_lengths;
+  std::vector<StableId> stable_ids;
+  doc_lengths.reserve(total_live);
+  stable_ids.reserve(total_live);
+  corpus::DocId base = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Segment& seg = *inputs[i].segment;
+    const std::vector<char>* del = inputs[i].deleted.get();
+    bases[i] = base;
+    shift[i].assign(seg.num_docs(), 0);
+    uint32_t seen = 0;
+    for (size_t l = 0; l < seg.num_docs(); ++l) {
+      shift[i][l] = seen;
+      if (del != nullptr && (*del)[l]) {
+        ++seen;
+        continue;
+      }
+      doc_lengths.push_back(
+          seg.index().DocLength(static_cast<corpus::DocId>(l)));
+      stable_ids.push_back(seg.stable_ids()[l]);
+    }
+    base += static_cast<corpus::DocId>(seg.num_docs() - seen);
+  }
+
+  // Term-major rebuild: surviving postings re-Append in ascending merged
+  // doc order, producing lists byte-identical to a fresh BuildRange over
+  // the survivors.
+  std::vector<PostingList::Builder> builders(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const PostingList& list =
+          inputs[i].segment->index().Postings(static_cast<text::TermId>(t));
+      const std::vector<char>* del = inputs[i].deleted.get();
+      for (auto it = list.begin(); it.Valid(); it.Next()) {
+        const Posting& p = it.Get();
+        if (del != nullptr && (*del)[p.doc]) continue;
+        builders[t].Append(bases[i] + (p.doc - shift[i][p.doc]), p.tf);
+      }
+    }
+  }
+  std::vector<PostingList> lists;
+  lists.reserve(num_terms);
+  for (PostingList::Builder& b : builders) lists.push_back(b.Build());
+  return std::make_shared<Segment>(
+      InvertedIndex::FromParts(std::move(lists), std::move(doc_lengths)),
+      inputs.front().segment->stable_begin(), std::move(stable_ids));
+}
+
+void LiveIndex::CommitMerge(const std::vector<MergeInput>& inputs,
+                            std::shared_ptr<const Segment> merged) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Locate the input run by identity. It is still contiguous: other
+  // merges skip `merging` entries, ingest only appends, deletes only swap
+  // bitmap pointers in place.
+  size_t start = 0;
+  while (start < entries_.size() &&
+         entries_[start].segment != inputs[0].segment) {
+    ++start;
+  }
+  TOPPRIV_CHECK_LT(start, entries_.size());
+  const size_t count = inputs.size();
+
+  // Deletes that landed while the merge was building: bitmaps only gain
+  // bits, so the diff against the captured bitmap is exactly the late
+  // tombstones. Re-mark them on the merged segment via their stable ids.
+  std::shared_ptr<std::vector<char>> late;
+  uint32_t late_count = 0;
+  uint64_t late_tokens = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Entry& e = entries_[start + i];
+    TOPPRIV_CHECK(e.segment == inputs[i].segment);
+    if (e.deleted == inputs[i].deleted) continue;
+    const std::vector<char>& now = *e.deleted;
+    const std::vector<char>* then = inputs[i].deleted.get();
+    for (size_t l = 0; l < now.size(); ++l) {
+      if (!now[l] || (then != nullptr && (*then)[l])) continue;
+      TOPPRIV_CHECK(merged != nullptr);  // a live doc existed to delete
+      corpus::DocId ml = 0;
+      TOPPRIV_CHECK(merged->FindLocal(e.segment->stable_ids()[l], &ml));
+      if (late == nullptr) {
+        late = std::make_shared<std::vector<char>>(merged->num_docs(), 0);
+      }
+      (*late)[ml] = 1;
+      ++late_count;
+      late_tokens += merged->index().DocLength(ml);
+    }
+  }
+
+  if (merged != nullptr) {
+    Entry replacement;
+    replacement.segment = std::move(merged);
+    replacement.deleted = std::move(late);
+    replacement.num_deleted = late_count;
+    replacement.deleted_tokens = late_tokens;
+    entries_[start] = std::move(replacement);
+    entries_.erase(entries_.begin() + start + 1,
+                   entries_.begin() + start + count);
+  } else {
+    entries_.erase(entries_.begin() + start, entries_.begin() + start + count);
+  }
+  dirty_ = true;
+  RebuildSnapshotLocked();  // publish the compaction to new Acquires
+  --merges_in_flight_;
+  merges_done_.notify_all();
+  if (!closing_) MaybeScheduleMergeLocked(lock);  // cascade up the tiers
+}
+
+// -------------------------------------------------------- serialization --
+
+std::string LiveIndex::Serialize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked(lock);
+  WaitForMergesLocked(lock);
+  util::BinaryWriter w;
+  w.WriteVarint(num_terms_);
+  w.WriteVarint(writer_.next_stable());
+  w.WriteVarint(entries_.size());
+  for (const Entry& e : entries_) {
+    const Segment& seg = *e.segment;
+    w.WriteVarint(seg.stable_begin());
+    w.WriteVarint(seg.num_docs());
+    // Stable ids delta-coded against the segment's range begin; strictly
+    // ascending, so every delta after the first is >= 1.
+    StableId prev = seg.stable_begin();
+    for (StableId sid : seg.stable_ids()) {
+      w.WriteVarint(sid - prev);
+      prev = sid;
+    }
+    w.WriteVarint(e.num_deleted);
+    if (e.num_deleted > 0) {
+      uint64_t prev_local = 0;
+      bool first = true;
+      for (size_t l = 0; l < e.deleted->size(); ++l) {
+        if (!(*e.deleted)[l]) continue;
+        w.WriteVarint(first ? l : l - prev_local);
+        prev_local = l;
+        first = false;
+      }
+    }
+    w.WriteString(seg.index().Serialize());
+  }
+  return w.data();
+}
+
+util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Deserialize(
+    const std::string& bytes, LiveIndexOptions options) {
+  util::BinaryReader r(bytes);
+  uint64_t num_terms = 0, next_stable = 0, num_segments = 0;
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_terms));
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&next_stable));
+  TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_segments));
+  if (num_terms > kMaxManifestTerms) {
+    return util::Status::DataLoss("live manifest term space implausibly large");
+  }
+  // Every segment costs at least four bytes (range begin, doc count, one
+  // stable delta, tombstone count) before its length-prefixed blob.
+  if (num_segments > r.remaining() / 4) {
+    return util::Status::DataLoss("segment count exceeds payload");
+  }
+
+  auto live = std::make_unique<LiveIndex>(options);
+  live->num_terms_ = num_terms;
+  StableId prev_end = 0;
+  for (uint64_t s = 0; s < num_segments; ++s) {
+    uint64_t begin = 0, ndocs = 0;
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&begin));
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&ndocs));
+    if (ndocs == 0) {
+      return util::Status::DataLoss("live segment declares zero documents");
+    }
+    if (ndocs > r.remaining()) {
+      return util::Status::DataLoss("segment doc count exceeds payload");
+    }
+    if (begin < prev_end) {
+      return util::Status::DataLoss(
+          "segment stable ranges overlap or are out of order");
+    }
+    std::vector<StableId> stable_ids;
+    stable_ids.reserve(ndocs);
+    StableId prev = begin;
+    for (uint64_t i = 0; i < ndocs; ++i) {
+      uint64_t delta = 0;
+      TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&delta));
+      if (i > 0 && delta == 0) {
+        return util::Status::DataLoss("segment stable ids not ascending");
+      }
+      const StableId sid = prev + delta;
+      if (sid < prev || sid >= next_stable) {
+        return util::Status::DataLoss(
+            "segment stable id beyond the declared id space");
+      }
+      stable_ids.push_back(sid);
+      prev = sid;
+    }
+    prev_end = stable_ids.back() + 1;
+
+    uint64_t num_deleted = 0;
+    TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&num_deleted));
+    if (num_deleted > ndocs) {
+      return util::Status::DataLoss(
+          "stale tombstone bitmap: more deletes than documents");
+    }
+    std::shared_ptr<std::vector<char>> bitmap;
+    if (num_deleted > 0) {
+      bitmap = std::make_shared<std::vector<char>>(ndocs, 0);
+      uint64_t prev_local = 0;
+      for (uint64_t i = 0; i < num_deleted; ++i) {
+        uint64_t delta = 0;
+        TOPPRIV_RETURN_IF_ERROR(r.ReadVarint(&delta));
+        if (i > 0 && delta == 0) {
+          return util::Status::DataLoss(
+              "stale tombstone bitmap: duplicate or unordered local ids");
+        }
+        const uint64_t local = i == 0 ? delta : prev_local + delta;
+        if (local >= ndocs) {
+          return util::Status::DataLoss(
+              "stale tombstone bitmap: local id out of segment range");
+        }
+        (*bitmap)[local] = 1;
+        prev_local = local;
+      }
+    }
+
+    std::string blob;
+    TOPPRIV_RETURN_IF_ERROR(r.ReadString(&blob));
+    auto index = InvertedIndex::Deserialize(blob);
+    if (!index.ok()) return index.status();
+    if (index->num_documents() != ndocs) {
+      return util::Status::DataLoss(
+          "segment payload does not match its manifest doc count");
+    }
+    if (index->num_terms() > num_terms) {
+      return util::Status::DataLoss("segment term space exceeds manifest");
+    }
+
+    Entry e;
+    uint64_t deleted_tokens = 0;
+    if (bitmap != nullptr) {
+      for (size_t l = 0; l < bitmap->size(); ++l) {
+        if ((*bitmap)[l]) {
+          deleted_tokens +=
+              index->DocLength(static_cast<corpus::DocId>(l));
+        }
+      }
+    }
+    e.segment = std::make_shared<Segment>(std::move(index).value(), begin,
+                                          std::move(stable_ids));
+    e.deleted = std::move(bitmap);
+    e.num_deleted = static_cast<uint32_t>(num_deleted);
+    e.deleted_tokens = deleted_tokens;
+    live->entries_.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) {
+    return util::Status::DataLoss("trailing bytes after live index");
+  }
+  live->writer_ = SegmentWriter(next_stable);
+  {
+    std::unique_lock<std::mutex> lock(live->mu_);
+    live->RebuildSnapshotLocked();
+  }
+  return live;
+}
+
+void StreamCorpus(const corpus::Corpus& corpus, size_t begin, size_t end,
+                  size_t batch_size, LiveIndex* live) {
+  TOPPRIV_CHECK_GE(batch_size, 1u);
+  TOPPRIV_CHECK_LE(end, corpus.num_documents());
+  std::vector<std::vector<text::TermId>> batch;
+  for (size_t d = begin; d < end; d += batch_size) {
+    const size_t stop = std::min(end, d + batch_size);
+    batch.clear();
+    batch.reserve(stop - d);
+    for (size_t i = d; i < stop; ++i) {
+      batch.push_back(corpus.documents()[i].tokens);
+    }
+    live->Ingest(batch);
+    live->Refresh();
+  }
+}
+
+}  // namespace toppriv::index::live

@@ -1,0 +1,290 @@
+// LiveIndex: an LSM/Lucene-style dynamic inverted index — mutable in-memory
+// writer, immutable sealed segments, tombstone deletes, tiered background
+// merges, and snapshot-isolated readers.
+//
+// The repo's static indexes are built in one pass and frozen; TopPriv's
+// premise (an always-on enterprise engine whose corpus grows under live
+// query traffic) needs ingest to proceed WHILE ghost-query cycles are being
+// served. The design splits the index into an ordered list of immutable
+// Segments (see segment.h) plus one mutable SegmentWriter tail:
+//
+//   Ingest ──▶ SegmentWriter ──Seal──▶ [Seg][Seg][Seg] ──merge──▶ [Seg]
+//   Delete ──▶ per-segment tombstone bitmap (copy-on-write)
+//   readers ─▶ Acquire(): refcounted IndexSnapshot (segment list + bitmaps
+//              + aggregated stats, pinned by shared_ptr — race-free while
+//              ingest and merges continue)
+//
+// THE invariant (tests/live_index_test.cc): ingesting any corpus in any
+// batch splits, with any interleaving of merges and deletes-then-reinserts,
+// yields bit-identical Search() results and an identical ComputeStats() to
+// the static InvertedIndex::Build of the final corpus. Three ingredients:
+//
+//  1. Stable ingest order. Every document gets a monotonically increasing
+//     STABLE id; segments partition the stable space in order, merges keep
+//     survivors in stable order. A snapshot renumbers the live documents
+//     DENSELY in stable order ("dense ids"), which is exactly the doc-id
+//     assignment a static Build over the final corpus would make — so
+//     results and tie-breaks line up bit for bit.
+//  2. Identical per-document arithmetic. Sealed segments' posting lists
+//     are byte-identical to a static BuildRange over their documents
+//     (segment.h), per-segment evaluation runs the shared AccumulateTopK /
+//     MaxScoreTopK cores with the snapshot's GLOBAL (live) collection
+//     statistics and per-term document frequencies (the PR 3 global-IDF
+//     discipline), and tombstoned documents are skipped without touching
+//     any other document's score.
+//  3. Deterministic merge of per-segment top-k lists through TopK's
+//     (score desc, dense id asc) total order.
+//
+// Thread-safety: all mutations (Ingest, Delete, Flush, Refresh, merge
+// commits) serialize on one writer mutex. Acquire() is a shared_ptr copy
+// under the same mutex; everything a snapshot points at is immutable, so
+// readers never block each other and never observe a half-applied change.
+// Background merges read only immutable inputs and commit under the mutex;
+// deletes that land on a segment while it is being merged are re-applied
+// to the merged segment at commit (bitmaps only ever gain bits).
+#ifndef TOPPRIV_INDEX_LIVE_LIVE_INDEX_H_
+#define TOPPRIV_INDEX_LIVE_LIVE_INDEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/live/segment.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace toppriv::index::live {
+
+/// One segment as pinned by a snapshot: the immutable segment, the
+/// tombstone bitmap frozen at snapshot time (null = no deletes), and the
+/// local→dense remap data.
+struct SnapshotSegment {
+  std::shared_ptr<const Segment> segment;
+  /// Tombstone mask parallel to local doc ids (1 = deleted); evaluators
+  /// pass it straight to the shared cores' `exclude` parameter.
+  std::shared_ptr<const std::vector<char>> deleted;
+  /// Dense id of this segment's first live document.
+  corpus::DocId dense_base = 0;
+  uint32_t live_docs = 0;
+  /// deleted_before[l] = number of tombstoned locals < l (null when clean).
+  std::shared_ptr<const std::vector<uint32_t>> deleted_before;
+  /// Ascending live local ids (dense-rank → local; null when clean).
+  std::shared_ptr<const std::vector<corpus::DocId>> live_locals;
+
+  /// Dense id of the LIVE local doc `local`.
+  corpus::DocId DenseId(corpus::DocId local) const {
+    const uint32_t shift =
+        deleted_before == nullptr ? 0 : (*deleted_before)[local];
+    return dense_base + (local - shift);
+  }
+  /// Local id of the dense-rank-th live doc of this segment.
+  corpus::DocId LocalId(corpus::DocId rank) const {
+    return live_locals == nullptr ? rank : (*live_locals)[rank];
+  }
+};
+
+/// An immutable, refcounted point-in-time view of the live index. Queries
+/// evaluate against a snapshot end to end, so ingest/merge/delete activity
+/// after Acquire() is invisible to them. Dense doc ids (0 .. num_documents)
+/// number the LIVE documents in stable (ingest) order — the id space a
+/// static build of the same collection would assign.
+class IndexSnapshot {
+ public:
+  size_t num_segments() const { return segments_.size(); }
+  const SnapshotSegment& segment(size_t s) const { return segments_[s]; }
+
+  /// Live collection aggregates (deleted documents excluded everywhere).
+  size_t num_documents() const { return num_documents_; }
+  size_t num_terms() const { return num_terms_; }
+  uint64_t total_tokens() const { return total_tokens_; }
+  double avg_doc_length() const { return avg_doc_length_; }
+
+  /// Global per-term document frequency over the live documents — what
+  /// every per-segment evaluation scores with (global-IDF discipline).
+  const std::vector<uint32_t>& global_df() const { return global_df_; }
+  uint32_t DocFreq(text::TermId term) const {
+    return term < global_df_.size() ? global_df_[term] : 0;
+  }
+
+  uint32_t DocLength(corpus::DocId dense) const;
+  /// The stable (ingest) identity of a dense id, for callers that need to
+  /// address a result across snapshots (e.g. to delete it).
+  StableId ToStableId(corpus::DocId dense) const;
+
+  /// Statistics of the logical live index; equal field-for-field —
+  /// including encoded_bytes, re-priced as ONE delta chain per term across
+  /// segment boundaries and tombstone holes — to the static
+  /// InvertedIndex::Build(final corpus).ComputeStats().
+  IndexStats ComputeStats() const;
+
+  /// Monotonic snapshot sequence number (diagnostics).
+  uint64_t generation() const { return generation_; }
+
+ private:
+  friend class LiveIndex;
+  /// Segment owning dense id `dense` (index into segments_).
+  size_t SegmentOf(corpus::DocId dense) const;
+
+  std::vector<SnapshotSegment> segments_;
+  std::vector<uint32_t> global_df_;
+  size_t num_terms_ = 0;
+  size_t num_documents_ = 0;
+  uint64_t total_tokens_ = 0;
+  double avg_doc_length_ = 0.0;
+  uint64_t generation_ = 0;
+};
+
+struct LiveIndexOptions {
+  /// Auto-seal threshold: the writer seals into a segment once it holds
+  /// this many documents (Refresh/Flush seal earlier).
+  size_t max_writer_docs = 128;
+  /// Tiered merge policy: `merge_factor` adjacent segments in the same
+  /// doc-count tier (tier t holds segments with fewer than
+  /// max_writer_docs * merge_factor^t live docs... see TierOf) merge into
+  /// one.
+  size_t merge_factor = 4;
+  /// A segment whose tombstoned fraction reaches this ratio is compacted
+  /// (rewritten without its deleted docs) on its own.
+  double compact_deleted_ratio = 0.5;
+  /// Worker pool merges run on; nullptr executes merges inline on the
+  /// mutating thread at the commit points (deterministic, test-friendly).
+  /// The pool is borrowed and must outlive the LiveIndex. Merge tasks only
+  /// Submit — they never ParallelFor — so sharing the serving pool is safe.
+  util::ThreadPool* merge_pool = nullptr;
+};
+
+/// The mutable, concurrently-queryable index. See file comment.
+class LiveIndex {
+ public:
+  explicit LiveIndex(LiveIndexOptions options = LiveIndexOptions());
+  /// Blocks until in-flight background merges drain.
+  ~LiveIndex();
+
+  LiveIndex(const LiveIndex&) = delete;
+  LiveIndex& operator=(const LiveIndex&) = delete;
+
+  /// Ingests a batch, returning the assigned stable ids. The batch becomes
+  /// visible to NEW snapshots at the next Refresh (auto-sealed segments
+  /// included); existing snapshots are never perturbed.
+  std::vector<StableId> Ingest(
+      const std::vector<std::vector<text::TermId>>& docs);
+
+  /// Tombstones one document. Returns false if the id was never assigned,
+  /// was already deleted, or was deleted and since compacted away.
+  bool Delete(StableId stable);
+
+  /// Grows the term space (snapshot num_terms / df table width) to at
+  /// least `num_terms` — callers ingesting from a corpus sync this with
+  /// the corpus vocabulary so stats match a static build even when tail
+  /// vocabulary terms never occur in any document.
+  void EnsureTermSpace(size_t num_terms);
+
+  /// Seals any buffered writer documents into a segment.
+  void Flush();
+
+  /// Publishes all committed mutations: seals the writer, rebuilds the
+  /// current snapshot if anything changed, and returns it. A rebuild is
+  /// O(segments × terms) df aggregation (plus one posting walk for each
+  /// segment whose tombstones changed since its last publish) under the
+  /// writer mutex — batch ingest and publish per batch, not per doc
+  /// (micro_bench's LiveIngest kernel charts the amortization; ROADMAP
+  /// records incremental df maintenance as the next step).
+  std::shared_ptr<const IndexSnapshot> Refresh();
+
+  /// The current published snapshot (cheap: one shared_ptr copy under the
+  /// writer mutex; never null — an empty index has an empty snapshot).
+  std::shared_ptr<const IndexSnapshot> Acquire() const;
+
+  /// Synchronously merges ALL segments (and compacts every tombstone)
+  /// into one; flushes first and waits for background merges. The classic
+  /// force-merge used by tests and the merge bench.
+  void ForceMerge();
+
+  /// Blocks until no background merge is in flight.
+  void WaitForMerges();
+
+  /// Sealed segment count (diagnostics; excludes the writer).
+  size_t num_segments() const;
+  /// Next stable id to be assigned (== total documents ever ingested).
+  StableId next_stable_id() const;
+
+  /// Manifest serialization: header (term space, next stable id, segment
+  /// count), then per segment its stable-id list (delta-coded), tombstone
+  /// list and hardened InvertedIndex blob. Flushes the writer and drains
+  /// merges first. Deserialize rejects hostile blobs — truncation,
+  /// overlapping/unordered segment ranges, stable ids beyond the declared
+  /// id space, stale tombstone bitmaps (out-of-range, duplicate or
+  /// non-ascending local ids, counts exceeding the segment), segment blobs
+  /// contradicting the manifest, and trailing bytes — with clean DataLoss
+  /// statuses.
+  std::string Serialize();
+  static util::StatusOr<std::unique_ptr<LiveIndex>> Deserialize(
+      const std::string& bytes, LiveIndexOptions options = LiveIndexOptions());
+
+ private:
+  /// One sealed segment plus its mutable bookkeeping. `deleted` is
+  /// copy-on-write: Delete() replaces the pointer with an augmented copy,
+  /// so snapshots holding the old pointer are isolated. The three caches
+  /// are derived from `deleted` and invalidated on every delete.
+  struct Entry {
+    std::shared_ptr<const Segment> segment;
+    std::shared_ptr<const std::vector<char>> deleted;
+    uint32_t num_deleted = 0;
+    uint64_t deleted_tokens = 0;
+    bool merging = false;
+    std::shared_ptr<const std::vector<uint32_t>> live_df;
+    std::shared_ptr<const std::vector<uint32_t>> deleted_before;
+    std::shared_ptr<const std::vector<corpus::DocId>> live_locals;
+  };
+  /// Immutable inputs a merge captures under the lock.
+  struct MergeInput {
+    std::shared_ptr<const Segment> segment;
+    std::shared_ptr<const std::vector<char>> deleted;
+  };
+
+  void FlushLocked(std::unique_lock<std::mutex>& lock);
+  void RebuildSnapshotLocked();
+  void RefreshEntryCachesLocked(Entry& e);
+  void WaitForMergesLocked(std::unique_lock<std::mutex>& lock);
+  /// Scans for merge candidates (tombstone compactions first, then tiered
+  /// runs) and either submits them to the pool or executes them inline
+  /// (dropping the lock while building).
+  void MaybeScheduleMergeLocked(std::unique_lock<std::mutex>& lock);
+  size_t TierOf(uint64_t live_docs) const;
+  /// Builds the merged segment from immutable inputs (lock-free). Null
+  /// when every input document is tombstoned.
+  static std::shared_ptr<const Segment> BuildMerged(
+      const std::vector<MergeInput>& inputs);
+  /// Swaps `inputs` for `merged` in the entry list, re-applying deletes
+  /// that landed during the build; rebuilds the snapshot and cascades the
+  /// merge policy.
+  void CommitMerge(const std::vector<MergeInput>& inputs,
+                   std::shared_ptr<const Segment> merged);
+
+  LiveIndexOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable merges_done_;
+  size_t merges_in_flight_ = 0;
+  bool closing_ = false;
+  std::vector<Entry> entries_;
+  SegmentWriter writer_{0};
+  size_t num_terms_ = 0;
+  uint64_t generation_ = 0;
+  bool dirty_ = false;
+  std::shared_ptr<const IndexSnapshot> current_;
+};
+
+/// Streams corpus documents [begin, end) into `live` in `batch_size`-doc
+/// batches, publishing (Refresh) after every batch — the one ingest
+/// discipline shared by the serving bench's writer thread, the mixed-phase
+/// tests, the ingest microbenchmark and the experiment fixture.
+void StreamCorpus(const corpus::Corpus& corpus, size_t begin, size_t end,
+                  size_t batch_size, LiveIndex* live);
+
+}  // namespace toppriv::index::live
+
+#endif  // TOPPRIV_INDEX_LIVE_LIVE_INDEX_H_

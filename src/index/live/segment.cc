@@ -1,0 +1,66 @@
+#include "index/live/segment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace toppriv::index::live {
+
+Segment::Segment(InvertedIndex index, StableId stable_begin,
+                 std::vector<StableId> stable_ids)
+    : index_(std::move(index)),
+      stable_begin_(stable_begin),
+      stable_ids_(std::move(stable_ids)) {
+  TOPPRIV_CHECK_EQ(index_.num_documents(), stable_ids_.size());
+  TOPPRIV_CHECK(!stable_ids_.empty());
+  TOPPRIV_CHECK_GE(stable_ids_.front(), stable_begin_);
+  for (size_t i = 1; i < stable_ids_.size(); ++i) {
+    TOPPRIV_CHECK_LT(stable_ids_[i - 1], stable_ids_[i]);
+  }
+  stable_end_ = stable_ids_.back() + 1;
+}
+
+bool Segment::FindLocal(StableId stable, corpus::DocId* local) const {
+  auto it = std::lower_bound(stable_ids_.begin(), stable_ids_.end(), stable);
+  if (it == stable_ids_.end() || *it != stable) return false;
+  *local = static_cast<corpus::DocId>(it - stable_ids_.begin());
+  return true;
+}
+
+SegmentWriter::SegmentWriter(StableId stable_begin)
+    : stable_begin_(stable_begin), next_stable_(stable_begin) {}
+
+StableId SegmentWriter::Add(const std::vector<text::TermId>& tokens) {
+  const corpus::DocId local = static_cast<corpus::DocId>(doc_lengths_.size());
+  counts_.clear();
+  for (text::TermId t : tokens) ++counts_[t];
+  if (!counts_.empty()) {
+    const text::TermId max_term = counts_.rbegin()->first;
+    if (max_term >= builders_.size()) builders_.resize(max_term + 1);
+  }
+  // Ascending term order within the doc (std::map), ascending doc order
+  // across Adds — the exact append sequence InvertedIndex::Build produces.
+  for (const auto& [term, tf] : counts_) builders_[term].Append(local, tf);
+  doc_lengths_.push_back(static_cast<uint32_t>(tokens.size()));
+  return next_stable_++;
+}
+
+std::shared_ptr<const Segment> SegmentWriter::Seal() {
+  TOPPRIV_CHECK(!doc_lengths_.empty());
+  std::vector<PostingList> lists;
+  lists.reserve(builders_.size());
+  for (PostingList::Builder& b : builders_) lists.push_back(b.Build());
+  std::vector<StableId> stable_ids(doc_lengths_.size());
+  for (size_t i = 0; i < stable_ids.size(); ++i) {
+    stable_ids[i] = stable_begin_ + i;
+  }
+  auto segment = std::make_shared<Segment>(
+      InvertedIndex::FromParts(std::move(lists), std::move(doc_lengths_)),
+      stable_begin_, std::move(stable_ids));
+  builders_.clear();
+  doc_lengths_.clear();
+  stable_begin_ = next_stable_;
+  return segment;
+}
+
+}  // namespace toppriv::index::live

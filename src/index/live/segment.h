@@ -1,0 +1,99 @@
+// Segments: the immutable unit of the live index.
+//
+// A SegmentWriter is the in-memory mutable tail of a LiveIndex — it ingests
+// documents (assigning monotonically increasing STABLE ids that are never
+// reused) and seals into a Segment: an immutable InvertedIndex over the
+// segment's documents with LOCAL doc ids 0..n-1, plus the local→stable id
+// map. A freshly sealed segment's stable ids are contiguous; a merged
+// segment's are the (still strictly ascending) survivors of its inputs, so
+// "ascending local id" always means "ascending stable id" and concatenating
+// segments in stable order reads the live collection in ingest order.
+//
+// Bit-parity by construction: Add() counts term frequencies exactly the way
+// InvertedIndex::Build does (a sorted std::map per document) and appends to
+// per-term PostingList::Builders in the same document order, so a sealed
+// segment's posting lists are byte-identical to BuildRange over the same
+// documents.
+#ifndef TOPPRIV_INDEX_LIVE_SEGMENT_H_
+#define TOPPRIV_INDEX_LIVE_SEGMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace toppriv::index::live {
+
+/// Stable document identity: assigned at ingest, dense across a LiveIndex's
+/// lifetime history, never reassigned (deletes leave holes; merges drop the
+/// holes but never renumber survivors' stable ids).
+using StableId = uint64_t;
+
+/// One immutable sealed segment.
+class Segment {
+ public:
+  Segment(InvertedIndex index, StableId stable_begin,
+          std::vector<StableId> stable_ids);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  const InvertedIndex& index() const { return index_; }
+  size_t num_docs() const { return stable_ids_.size(); }
+  size_t num_terms() const { return index_.num_terms(); }
+
+  /// The half-open stable-id range this segment covers. Ranges of the
+  /// segments in a LiveIndex tile the ingested id space in order; a merged
+  /// segment covers the union of its inputs' ranges even where deletes
+  /// left holes.
+  StableId stable_begin() const { return stable_begin_; }
+  StableId stable_end() const { return stable_end_; }
+
+  /// Local→stable map, strictly ascending.
+  const std::vector<StableId>& stable_ids() const { return stable_ids_; }
+
+  /// Stable→local lookup. False if this segment never held `stable` or the
+  /// doc was compacted away by a merge.
+  bool FindLocal(StableId stable, corpus::DocId* local) const;
+
+ private:
+  InvertedIndex index_;
+  StableId stable_begin_ = 0;
+  StableId stable_end_ = 0;
+  std::vector<StableId> stable_ids_;
+};
+
+/// The mutable in-memory writer. Not thread-safe; the owning LiveIndex
+/// serializes all mutations.
+class SegmentWriter {
+ public:
+  explicit SegmentWriter(StableId stable_begin);
+
+  /// Ingests one document, returning its stable id.
+  StableId Add(const std::vector<text::TermId>& tokens);
+
+  size_t num_docs() const { return doc_lengths_.size(); }
+  bool empty() const { return doc_lengths_.empty(); }
+  /// Highest term id seen + 1 (the writer's term space grows with ingest).
+  size_t num_terms() const { return builders_.size(); }
+  StableId stable_begin() const { return stable_begin_; }
+  StableId next_stable() const { return next_stable_; }
+
+  /// Seals the buffered documents into an immutable segment and resets the
+  /// writer to start a new one at the next stable id. Must not be called
+  /// on an empty writer.
+  std::shared_ptr<const Segment> Seal();
+
+ private:
+  StableId stable_begin_;
+  StableId next_stable_;
+  std::vector<PostingList::Builder> builders_;
+  std::vector<uint32_t> doc_lengths_;
+  std::map<text::TermId, uint32_t> counts_;  // reused across documents
+};
+
+}  // namespace toppriv::index::live
+
+#endif  // TOPPRIV_INDEX_LIVE_SEGMENT_H_

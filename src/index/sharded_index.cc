@@ -8,22 +8,32 @@
 namespace toppriv::index {
 
 ShardedIndex ShardedIndex::Build(const corpus::Corpus& corpus,
-                                 size_t num_shards) {
+                                 size_t num_shards, util::ThreadPool* pool) {
   TOPPRIV_CHECK_GE(num_shards, 1u);
   const uint64_t num_docs = corpus.num_documents();
 
   ShardedIndex index;
   std::vector<ShardRange> ranges;
   ranges.reserve(num_shards);
-  index.shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     // Balanced contiguous split: shard s owns [N*s/K, N*(s+1)/K).
     ShardRange range;
     range.begin = static_cast<corpus::DocId>(num_docs * s / num_shards);
     range.end = static_cast<corpus::DocId>(num_docs * (s + 1) / num_shards);
-    index.shards_.push_back(
-        InvertedIndex::BuildRange(corpus, range.begin, range.end));
     ranges.push_back(range);
+  }
+  // Shards are independent doc ranges writing into pre-sized slots, so the
+  // parallel fan-out is trivially deterministic: the serial and pooled
+  // paths produce bit-identical shards.
+  index.shards_.resize(num_shards);
+  auto build_shard = [&](size_t s) {
+    index.shards_[s] =
+        InvertedIndex::BuildRange(corpus, ranges[s].begin, ranges[s].end);
+  };
+  if (pool != nullptr && num_shards > 1) {
+    pool->ParallelFor(num_shards, build_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) build_shard(s);
   }
   index.FinishManifest(std::move(ranges));
   return index;

@@ -20,6 +20,7 @@
 #include "corpus/corpus.h"
 #include "index/inverted_index.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace toppriv::index {
 
@@ -62,7 +63,12 @@ class ShardedIndex {
   /// Partitions the corpus into `num_shards` (>= 1) near-equal contiguous
   /// doc ranges and builds one InvertedIndex per range. More shards than
   /// documents leaves the surplus shards empty (their ranges are empty).
-  static ShardedIndex Build(const corpus::Corpus& corpus, size_t num_shards);
+  /// `pool`, when given, fans the per-shard builds out over its workers —
+  /// shards are independent doc ranges, so the result is bit-identical to
+  /// the serial build (sharding_test asserts it) and construction scales
+  /// with cores. Must not be called from one of `pool`'s own workers.
+  static ShardedIndex Build(const corpus::Corpus& corpus, size_t num_shards,
+                            util::ThreadPool* pool = nullptr);
 
   size_t num_shards() const { return shards_.size(); }
   const InvertedIndex& shard(size_t s) const;

@@ -63,9 +63,15 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
                                       const Scorer& scorer,
                                       const std::vector<QueryTerm>& query,
                                       const std::vector<uint32_t>& dfs,
-                                      size_t k, EvalScratch* scratch) {
+                                      size_t k, EvalScratch* scratch,
+                                      const std::vector<char>* exclude) {
   TOPPRIV_CHECK_EQ(query.size(), dfs.size());
   if (query.empty() || k == 0) return {};
+  // Hoisted so the common no-tombstone case (exclude == nullptr, every
+  // static index and clean segment) pays one null check per posting.
+  const char* excluded = exclude != nullptr ? exclude->data() : nullptr;
+  TOPPRIV_DCHECK(exclude == nullptr ||
+                 exclude->size() == index.num_documents());
 
   scratch->Prepare(index.num_documents());
 
@@ -89,6 +95,7 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
       for (uint32_t i = 0; i < block.count; ++i) {
         const corpus::DocId doc = block.docs[i];
         TOPPRIV_DCHECK(doc < scores.size());
+        if (excluded != nullptr && excluded[doc]) continue;
         if (!is_touched[doc]) {
           is_touched[doc] = 1;
           touched.push_back(doc);
@@ -244,9 +251,13 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
                                     const std::vector<QueryTerm>& query,
                                     const std::vector<uint32_t>& dfs,
                                     size_t k, EvalScratch* scratch,
-                                    const std::vector<double>* term_bounds) {
+                                    const std::vector<double>* term_bounds,
+                                    const std::vector<char>* exclude) {
   TOPPRIV_CHECK_EQ(query.size(), dfs.size());
   if (query.empty() || k == 0) return {};
+  const char* excluded = exclude != nullptr ? exclude->data() : nullptr;
+  TOPPRIV_DCHECK(exclude == nullptr ||
+                 exclude->size() == index.num_documents());
 
   // Active terms, in canonical (CollapseQuery) order, with per-term score
   // bounds. The same skip rule as TAAT: an empty list or a zero global df
@@ -391,6 +402,11 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
     size_t h = 1;
     while (h < ess.size() && cursors[ess[h]].doc == pivot) ++h;
 
+    // A tombstoned pivot is never scored, probed, or offered — its
+    // essential cursors just step past it below. Skipping it changes no
+    // other candidate's arithmetic (scores are per-document), which is the
+    // MaxScore half of the live-index parity argument.
+    const bool pivot_live = excluded == nullptr || !excluded[pivot];
     const uint32_t doc_length = index.DocLength(pivot);
     double partial = 0.0;
     hits.clear();
@@ -398,10 +414,13 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
       TermCursor& c = cursors[ess[x]];
       if (!c.block_decoded) {
         // Sitting at an undecoded block whose first doc is the pivot.
+        // Decoded even for a tombstoned pivot: CursorAdvanceOne steps by
+        // decoded position.
         c.list->DecodeBlock(c.block_idx, &c.block);
         c.block_decoded = true;
         c.pos = 0;
       }
+      if (!pivot_live) continue;
       const double v = scorer.TermScore(stats, doc_length,
                                         c.block.tfs[c.pos], dfs[c.qi],
                                         query[c.qi].qtf);
@@ -416,32 +435,34 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
     // run), which also tightens the first check to the pure non-essential
     // budget. `partial` is a bound-order sum used only inside inflated
     // comparisons, never as the score.
-    bool abandoned = false;
-    for (size_t j = ne; j-- > 0;) {
-      if (topk.AtCapacity() &&
-          InflateBound(partial + sorted_prefix[j + 1]) < threshold) {
-        abandoned = true;
-        break;
+    if (pivot_live) {
+      bool abandoned = false;
+      for (size_t j = ne; j-- > 0;) {
+        if (topk.AtCapacity() &&
+            InflateBound(partial + sorted_prefix[j + 1]) < threshold) {
+          abandoned = true;
+          break;
+        }
+        const size_t i = order[j];
+        TermCursor& c = cursors[i];
+        if (CursorAdvanceTo(&c, pivot)) {
+          const double v = scorer.TermScore(stats, doc_length,
+                                            c.block.tfs[c.pos], dfs[c.qi],
+                                            query[c.qi].qtf);
+          partial += v;
+          contrib[i] = v;
+          hits.push_back(static_cast<uint32_t>(i));
+        }
       }
-      const size_t i = order[j];
-      TermCursor& c = cursors[i];
-      if (CursorAdvanceTo(&c, pivot)) {
-        const double v = scorer.TermScore(stats, doc_length,
-                                          c.block.tfs[c.pos], dfs[c.qi],
-                                          query[c.qi].qtf);
-        partial += v;
-        contrib[i] = v;
-        hits.push_back(static_cast<uint32_t>(i));
+      if (!abandoned) {
+        // Canonical re-accumulation from the cache — the IDENTICAL
+        // floating-point sum TAAT computes for this document.
+        std::sort(hits.begin(), hits.end());
+        double acc = 0.0;
+        for (const uint32_t i : hits) acc += contrib[i];
+        topk.Offer(pivot, scorer.Normalize(stats, doc_length, acc));
+        raise_threshold();
       }
-    }
-    if (!abandoned) {
-      // Canonical re-accumulation from the cache — the IDENTICAL
-      // floating-point sum TAAT computes for this document.
-      std::sort(hits.begin(), hits.end());
-      double acc = 0.0;
-      for (const uint32_t i : hits) acc += contrib[i];
-      topk.Offer(pivot, scorer.Normalize(stats, doc_length, acc));
-      raise_threshold();
     }
     // Step the essential hit cursors past the pivot and restore doc order;
     // non-essential cursors catch up lazily on later probes. When
@@ -466,15 +487,16 @@ std::vector<ScoredDoc> EvaluateTopK(EvalStrategy strategy,
                                     const std::vector<QueryTerm>& query,
                                     const std::vector<uint32_t>& dfs,
                                     size_t k, EvalScratch* scratch,
-                                    const std::vector<double>* term_bounds) {
+                                    const std::vector<double>* term_bounds,
+                                    const std::vector<char>* exclude) {
   switch (strategy) {
     case EvalStrategy::kMaxScore:
       return MaxScoreTopK(index, stats, scorer, query, dfs, k, scratch,
-                          term_bounds);
+                          term_bounds, exclude);
     case EvalStrategy::kTAAT:
       break;
   }
-  return AccumulateTopK(index, stats, scorer, query, dfs, k, scratch);
+  return AccumulateTopK(index, stats, scorer, query, dfs, k, scratch, exclude);
 }
 
 SearchEngine::SearchEngine(const corpus::Corpus& corpus,

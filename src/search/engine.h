@@ -80,14 +80,16 @@ class EvalScratch {
                                                const Scorer&,
                                                const std::vector<QueryTerm>&,
                                                const std::vector<uint32_t>&,
-                                               size_t, EvalScratch*);
+                                               size_t, EvalScratch*,
+                                               const std::vector<char>*);
   friend std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex&,
                                              const CollectionStats&,
                                              const Scorer&,
                                              const std::vector<QueryTerm>&,
                                              const std::vector<uint32_t>&,
                                              size_t, EvalScratch*,
-                                             const std::vector<double>*);
+                                             const std::vector<double>*,
+                                             const std::vector<char>*);
 
   /// Grows the accumulator to cover `num_documents` and resets any state a
   /// previous (possibly abandoned) query left behind.
@@ -125,12 +127,23 @@ std::vector<QueryTerm> CollapseQuery(const std::vector<text::TermId>& terms);
 /// callers offset them by their shard's range base before merging.
 /// Exposing this lets SearchEngine and ShardedSearchEngine run literally
 /// the same arithmetic, which is what the bit-parity suite locks down.
+///
+/// `exclude`, when given, is a per-document tombstone mask (parallel to
+/// `index`'s local doc-id space; nonzero = excluded): masked documents
+/// never enter the top-k. The live index evaluates sealed segments with
+/// their delete bitmaps here; since scoring a document reads only its own
+/// posting tf, its own length and the collection-wide stats/df, skipping
+/// masked documents changes no surviving document's score bits — which is
+/// what keeps the live engine bit-identical to a static build of the
+/// surviving corpus.
 std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
                                       const CollectionStats& stats,
                                       const Scorer& scorer,
                                       const std::vector<QueryTerm>& query,
                                       const std::vector<uint32_t>& dfs,
-                                      size_t k, EvalScratch* scratch);
+                                      size_t k, EvalScratch* scratch,
+                                      const std::vector<char>* exclude =
+                                          nullptr);
 
 /// Exact per-term impact bounds: for each term, the maximum TermScore any
 /// of its postings can produce at qtf = 1 (one full walk of the index).
@@ -157,6 +170,9 @@ std::vector<double> ComputeTermImpactBounds(
 /// STRICTLY below the current k-th score (a tie could still win on doc id,
 /// so ties are never pruned). `term_bounds` is the ComputeTermImpactBounds
 /// table (nullptr falls back to the analytic Scorer::UpperBound).
+/// `exclude` is the tombstone mask of AccumulateTopK: a masked pivot is
+/// never scored or offered (its cursors advance past it), and the bounds
+/// stay valid — they dominate every posting, masked ones included.
 std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
                                     const CollectionStats& stats,
                                     const Scorer& scorer,
@@ -164,6 +180,8 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
                                     const std::vector<uint32_t>& dfs,
                                     size_t k, EvalScratch* scratch,
                                     const std::vector<double>* term_bounds =
+                                        nullptr,
+                                    const std::vector<char>* exclude =
                                         nullptr);
 
 /// Strategy dispatch over the two cores above.
@@ -175,6 +193,8 @@ std::vector<ScoredDoc> EvaluateTopK(EvalStrategy strategy,
                                     const std::vector<uint32_t>& dfs,
                                     size_t k, EvalScratch* scratch,
                                     const std::vector<double>* term_bounds =
+                                        nullptr,
+                                    const std::vector<char>* exclude =
                                         nullptr);
 
 /// One entry in the engine-side query log: the adversary's view. Queries

@@ -1,0 +1,65 @@
+#include "search/live_engine.h"
+
+#include "util/check.h"
+
+namespace toppriv::search {
+
+LiveSearchEngine::LiveSearchEngine(const corpus::Corpus& corpus,
+                                   index::live::LiveIndex& live,
+                                   std::unique_ptr<Scorer> scorer,
+                                   EvalStrategy strategy)
+    : corpus_(corpus),
+      live_(live),
+      scorer_(std::move(scorer)),
+      strategy_(strategy) {
+  TOPPRIV_CHECK(scorer_ != nullptr);
+}
+
+std::vector<ScoredDoc> LiveSearchEngine::Search(
+    const std::vector<text::TermId>& terms, size_t k, uint64_t cycle_id) {
+  log_.Record(cycle_id, terms);
+  return Evaluate(terms, k);
+}
+
+std::vector<ScoredDoc> LiveSearchEngine::Evaluate(
+    const std::vector<text::TermId>& terms, size_t k) const {
+  const std::shared_ptr<const index::live::IndexSnapshot> snapshot =
+      live_.Acquire();
+  return EvaluateOn(*snapshot, terms, k);
+}
+
+std::vector<ScoredDoc> LiveSearchEngine::EvaluateOn(
+    const index::live::IndexSnapshot& snapshot,
+    const std::vector<text::TermId>& terms, size_t k) const {
+  if (terms.empty() || k == 0) return {};
+
+  // One canonical query plan for every segment: canonical term order,
+  // GLOBAL live document frequencies, global live collection stats.
+  const std::vector<QueryTerm> query = CollapseQuery(terms);
+  std::vector<uint32_t> dfs(query.size());
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    dfs[qi] = snapshot.DocFreq(query[qi].term);
+  }
+  CollectionStats stats;
+  stats.num_documents = snapshot.num_documents();
+  stats.avg_doc_length = snapshot.avg_doc_length();
+  stats.total_tokens = snapshot.total_tokens();
+
+  // Scatter over the segments sequentially (sessions parallelize above
+  // this layer), lifting local ids into the snapshot's dense space; the
+  // global top-k is a subset of the union of per-segment top-k lists.
+  static thread_local EvalScratch scratch;
+  TopK merged(k);
+  for (size_t s = 0; s < snapshot.num_segments(); ++s) {
+    const index::live::SnapshotSegment& ss = snapshot.segment(s);
+    std::vector<ScoredDoc> results = EvaluateTopK(
+        strategy_, ss.segment->index(), stats, *scorer_, query, dfs, k,
+        &scratch, /*term_bounds=*/nullptr, ss.deleted.get());
+    for (const ScoredDoc& sd : results) {
+      merged.Offer(ss.DenseId(sd.doc), sd.score);
+    }
+  }
+  return merged.Finish();
+}
+
+}  // namespace toppriv::search

@@ -1,14 +1,20 @@
 // Tests for the multi-session serving layer: thread-count-independent
-// results, session independence, and workload dealing.
+// results, session independence, workload dealing, and the mixed
+// read/write phase (concurrent sessions over a LiveSearchEngine while the
+// corpus streams in).
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "index/live/live_index.h"
 #include "search/engine.h"
+#include "search/live_engine.h"
 #include "search/scorer.h"
 #include "serving/session_driver.h"
 #include "tests/test_helpers.h"
 #include "topicmodel/inference.h"
+#include "util/thread_pool.h"
 
 namespace toppriv::serving {
 namespace {
@@ -111,6 +117,75 @@ TEST_F(SessionDriverTest, RepeatedRunsAreIdentical) {
   ServingReport b = RunWith(2, sessions);
   for (size_t s = 0; s < a.sessions.size(); ++s) {
     EXPECT_EQ(a.sessions[s].digest, b.sessions[s].digest);
+  }
+}
+
+// The mixed read/write phase: a session fleet serves ghost-query cycles
+// over a LiveSearchEngine WHILE a writer streams the rest of the corpus in
+// (with background merges on a shared pool) — the live-traffic scenario
+// the static engines cannot model, and the serving-side ThreadSanitizer
+// target for the new subsystem. Mid-stream results depend on snapshot
+// timing (inherently schedule-dependent), so the deterministic assertion
+// is convergence: once ingest completes, a fresh driver run over the live
+// engine produces digests bit-identical to the same driver over the
+// static engine.
+TEST(LiveServingTest, MixedIngestAndServingConvergesToStaticDigests) {
+  const auto& world = World();
+  topicmodel::LdaInferencer inferencer(world.model);
+
+  util::ThreadPool merge_pool(2);
+  index::live::LiveIndexOptions live_options;
+  live_options.max_writer_docs = 64;
+  live_options.merge_pool = &merge_pool;
+  index::live::LiveIndex live(live_options);
+  live.EnsureTermSpace(world.corpus.vocabulary_size());
+
+  // Half the corpus is ingested up-front, the rest streams during serving.
+  const size_t upfront = world.corpus.num_documents() / 2;
+  std::vector<std::vector<text::TermId>> batch;
+  for (size_t d = 0; d < upfront; ++d) {
+    batch.push_back(world.corpus.documents()[d].tokens);
+  }
+  live.Ingest(batch);
+  live.Refresh();
+
+  search::LiveSearchEngine engine(world.corpus, live,
+                                  search::MakeBm25Scorer());
+  std::vector<std::vector<text::TermId>> queries;
+  for (size_t i = 0; i < 8; ++i) {
+    queries.push_back(world.workload[i % world.workload.size()].term_ids);
+  }
+  std::vector<SessionWorkload> sessions = DealSessions(queries, 4);
+
+  DriverOptions options;
+  options.num_threads = 4;
+  options.seed = 33;
+  SessionDriver driver(world.model, inferencer, engine, options);
+
+  std::thread writer([&] {
+    index::live::StreamCorpus(world.corpus, upfront,
+                              world.corpus.num_documents(), /*batch_size=*/20,
+                              &live);
+  });
+  ServingReport mixed = driver.Run(sessions);  // races the writer by design
+  writer.join();
+  live.WaitForMerges();
+  live.Refresh();
+  EXPECT_EQ(mixed.sessions.size(), 4u);
+  EXPECT_GT(mixed.total_queries, 0u);
+
+  // Post-convergence determinism: live vs static digests, bit for bit.
+  search::SearchEngine static_engine(world.corpus, world.index,
+                                     search::MakeBm25Scorer());
+  SessionDriver static_driver(world.model, inferencer, static_engine, options);
+  SessionDriver live_driver(world.model, inferencer, engine, options);
+  ServingReport want = static_driver.Run(sessions);
+  ServingReport got = live_driver.Run(sessions);
+  ASSERT_EQ(got.sessions.size(), want.sessions.size());
+  for (size_t s = 0; s < got.sessions.size(); ++s) {
+    EXPECT_EQ(got.sessions[s].digest, want.sessions[s].digest) << s;
+    EXPECT_EQ(got.sessions[s].queries_submitted,
+              want.sessions[s].queries_submitted);
   }
 }
 

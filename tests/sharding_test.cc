@@ -21,6 +21,7 @@
 #include "topicmodel/inference.h"
 #include "util/io.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace toppriv {
 namespace {
@@ -235,6 +236,38 @@ TEST(ShardingTieBreakTest, ExactCrossShardTiesOrderByDocId) {
     ASSERT_EQ(top2.size(), 2u);
     EXPECT_EQ(top2[0].doc, 0u);
     EXPECT_EQ(top2[1].doc, 2u);
+  }
+}
+
+// ------------------------------------------------------- parallel build --
+
+void ExpectStatsEqual(const IndexStats& got, const IndexStats& want);
+
+// Shard construction fans out over ThreadPool::ParallelFor (shards are
+// independent doc ranges). The pooled build must be indistinguishable from
+// the serial one: identical serialized bytes, identical stats, identical
+// query results.
+TEST(ShardingParallelBuildTest, PooledBuildMatchesSerialBitForBit) {
+  const auto& world = World();
+  util::ThreadPool pool(4);
+  for (size_t num_shards : kShardCounts) {
+    SCOPED_TRACE(num_shards);
+    ShardedIndex serial = ShardedIndex::Build(world.corpus, num_shards);
+    ShardedIndex pooled = ShardedIndex::Build(world.corpus, num_shards, &pool);
+    // Byte equality implies every shard's postings, lengths and manifest
+    // agree exactly; stats equality re-checks the aggregates.
+    EXPECT_EQ(pooled.Serialize(), serial.Serialize());
+    ExpectStatsEqual(pooled.ComputeStats(), serial.ComputeStats());
+    search::ShardedSearchEngine serial_engine(world.corpus, serial,
+                                              search::MakeBm25Scorer());
+    search::ShardedSearchEngine pooled_engine(world.corpus, pooled,
+                                              search::MakeBm25Scorer());
+    for (size_t qi = 0; qi < 10; ++qi) {
+      ExpectBitIdentical(
+          pooled_engine.Evaluate(world.workload[qi].term_ids, 10),
+          serial_engine.Evaluate(world.workload[qi].term_ids, 10),
+          "parallel-build");
+    }
   }
 }
 
