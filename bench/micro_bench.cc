@@ -21,11 +21,13 @@
 #include "corpus/workload.h"
 #include "index/inverted_index.h"
 #include "index/live/live_index.h"
+#include "index/live/wal.h"
 #include "search/engine.h"
 #include "search/scorer.h"
 #include "topicmodel/gibbs_trainer.h"
 #include "topicmodel/inference.h"
 #include "toppriv/ghost_generator.h"
+#include "util/filesystem.h"
 #include "util/timer.h"
 
 namespace {
@@ -134,6 +136,32 @@ uint64_t KernelSegmentMerge() {
   return live.num_segments() + live.Acquire()->ComputeStats().total_postings;
 }
 
+uint64_t KernelWalAppend(size_t sync_every) {
+  // Appends 2000 ingest-sized records to an in-memory WAL (the
+  // fault-injecting file system doubles as an allocation-only backend so
+  // this measures encode + CRC + append, not the disk), syncing every
+  // `sync_every` records (0 = once at the end). Maps onto the durability
+  // policies: 1 ~ kPerBatch, 16 ~ kPerRefresh at 16-doc batches, 0 ~
+  // kManual — the records/s ceiling each policy pays for.
+  constexpr size_t kRecords = 2000;
+  util::FaultInjectingFileSystem fs;
+  auto writer =
+      index::live::WalWriter::Create(&fs, "bench-wal", /*generation=*/1,
+                                     /*base_seq=*/0);
+  if (!writer.ok()) return 0;
+  index::live::WalRecord record;
+  record.type = index::live::WalRecordType::kIngest;
+  record.docs = {{1, 2, 3, 5, 8, 13, 21, 34}, {2, 7, 18, 28}};
+  for (size_t i = 0; i < kRecords; ++i) {
+    if (!(*writer)->Append(&record).ok()) return 0;
+    if (sync_every != 0 && (i + 1) % sync_every == 0) {
+      if (!(*writer)->Sync().ok()) return 0;
+    }
+  }
+  if (!(*writer)->Sync().ok()) return 0;
+  return (*writer)->next_seq();
+}
+
 uint64_t KernelQueryEvaluation(search::SearchEngine& engine, size_t* qi) {
   const auto& world = World();
   const auto& q = world.workload[*qi % world.workload.size()];
@@ -215,6 +243,21 @@ void BM_SegmentMerge(benchmark::State& state) {
                           static_cast<int64_t>(world.corpus.num_documents()));
 }
 BENCHMARK(BM_SegmentMerge)->Unit(benchmark::kMillisecond);
+
+void BM_WalAppend(benchmark::State& state) {
+  // Arg: records per Sync (0 = one Sync at the end); items/s is the WAL's
+  // records/s ceiling under that fsync cadence.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KernelWalAppend(static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_WalAppend)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_QueryEvaluation(benchmark::State& state) {
   // Arg 0: 0 = TAAT, 1 = MaxScore — the strategy comparison in one chart.
@@ -327,6 +370,9 @@ int main() {
   RunKernel("LiveIngest/batch16", 3, [] { return KernelLiveIngest(16); });
   RunKernel("LiveIngest/batch128", 3, [] { return KernelLiveIngest(128); });
   RunKernel("SegmentMerge", 3, [] { return KernelSegmentMerge(); });
+  RunKernel("WalAppend/sync1", 50, [] { return KernelWalAppend(1); });
+  RunKernel("WalAppend/sync16", 50, [] { return KernelWalAppend(16); });
+  RunKernel("WalAppend/syncEnd", 50, [] { return KernelWalAppend(0); });
 
   {
     search::SearchEngine engine(world.corpus, world.index,

@@ -7,6 +7,7 @@
 #include "search/sharded_engine.h"
 
 #include "util/check.h"
+#include "util/filesystem.h"
 #include "util/hash.h"
 #include "util/io.h"
 #include "util/strings.h"
@@ -37,6 +38,19 @@ double EnvFraction(const char* name, double fallback) {
   return std::min(1.0, std::max(0.0, parsed));
 }
 
+std::optional<index::live::DurabilityPolicy> EnvDurability(const char* name) {
+  const std::string v = EnvString(name, "off");
+  if (v == "off") return std::nullopt;
+  if (v == "batch") return index::live::DurabilityPolicy::kPerBatch;
+  if (v == "refresh") return index::live::DurabilityPolicy::kPerRefresh;
+  if (v == "manual") return index::live::DurabilityPolicy::kManual;
+  std::fprintf(stderr,
+               "[fixture] unknown %s='%s' (want off|batch|refresh|manual); "
+               "running in-memory\n",
+               name, v.c_str());
+  return std::nullopt;
+}
+
 // FNV-1a over a byte string, for cache keys.
 uint64_t HashBytes(const std::string& s) {
   uint64_t h = util::kFnv1aOffsetBasis;
@@ -59,6 +73,7 @@ FixtureConfig FixtureConfig::FromEnv() {
   config.shard_threads = EnvSize("TOPPRIV_SHARD_THREADS", 1);
   config.eval_strategy = search::EvalStrategyFromEnv();
   config.live_ingest_upfront = EnvFraction("TOPPRIV_LIVE_INGEST", 0.5);
+  config.durability = EnvDurability("TOPPRIV_DURABILITY");
   return config;
 }
 
@@ -136,7 +151,22 @@ const index::ShardedIndex& ExperimentFixture::sharded_index(
 std::unique_ptr<index::live::LiveIndex> ExperimentFixture::MakeLiveIndex(
     double upfront_fraction, index::live::LiveIndexOptions options) {
   EnsureCorpus();
-  auto live = std::make_unique<index::live::LiveIndex>(options);
+  std::unique_ptr<index::live::LiveIndex> live;
+  if (config_.durability.has_value()) {
+    options.durability = *config_.durability;
+    util::FileSystem* fs = util::GetRealFileSystem();
+    const std::string dir = config_.cache_dir + "/live_wal";
+    // Each run measures its own ingest: drop the previous run's log so
+    // Recover() opens a fresh generation instead of replaying stale docs.
+    if (auto names = fs->List(dir); names.ok()) {
+      for (const std::string& name : *names) fs->Remove(dir + "/" + name);
+    }
+    auto recovered = index::live::LiveIndex::Recover(fs, dir, options);
+    TOPPRIV_CHECK(recovered.ok());
+    live = std::move(*recovered);
+  } else {
+    live = std::make_unique<index::live::LiveIndex>(options);
+  }
   live->EnsureTermSpace(corpus_->vocabulary_size());
   const double f = std::min(1.0, std::max(0.0, upfront_fraction));
   const size_t upfront = static_cast<size_t>(

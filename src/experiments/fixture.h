@@ -16,6 +16,11 @@
 //   TOPPRIV_LIVE_INGEST fraction of the corpus ingested up-front into a
 //                          MakeLiveIndex live index (default 0.5); the
 //                          rest streams in during the serving run
+//   TOPPRIV_DURABILITY  WAL mode for MakeLiveIndex indexes: off (default,
+//                          in-memory), batch, refresh or manual. When on,
+//                          the index is opened with LiveIndex::Recover()
+//                          under <cache_dir>/live_wal (wiped per run so
+//                          figures measure this run's ingest, not replay)
 #ifndef TOPPRIV_EXPERIMENTS_FIXTURE_H_
 #define TOPPRIV_EXPERIMENTS_FIXTURE_H_
 
@@ -57,6 +62,11 @@ struct FixtureConfig {
   /// (TOPPRIV_LIVE_INGEST, clamped to [0, 1]); the remainder is streamed
   /// during the serving run's mixed read/write phase.
   double live_ingest_upfront = 0.5;
+  /// WAL sync discipline for MakeLiveIndex indexes (TOPPRIV_DURABILITY:
+  /// off | batch | refresh | manual). Unset = in-memory, as before; set,
+  /// MakeLiveIndex opens the index durably under <cache_dir>/live_wal so
+  /// the serving benches measure the ingest path with logging + fsync on.
+  std::optional<index::live::DurabilityPolicy> durability;
 
   /// Reads the TOPPRIV_* environment variables over the defaults.
   static FixtureConfig FromEnv();

@@ -57,7 +57,14 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+namespace toppriv::util {
+class FileSystem;
+}  // namespace toppriv::util
+
 namespace toppriv::index::live {
+
+struct WalRecord;
+class WalWriter;
 
 /// One segment as pinned by a snapshot: the immutable segment, the
 /// tombstone bitmap frozen at snapshot time (null = no deletes), and the
@@ -138,6 +145,20 @@ class IndexSnapshot {
   uint64_t generation_ = 0;
 };
 
+/// When the WAL is fsync'd relative to acknowledging a mutation. "Acked
+/// implies durable" holds at different points:
+///   kPerBatch   every mutation call syncs before returning — a returned
+///               Ingest/Delete survives any crash (slowest, strongest);
+///   kPerRefresh appends are buffered, Refresh() syncs before publishing —
+///               a snapshot never shows state a crash could lose;
+///   kManual     nothing syncs until SyncWal()/Checkpoint() — fastest,
+///               bounded loss of the un-synced suffix.
+enum class DurabilityPolicy {
+  kPerBatch = 0,
+  kPerRefresh = 1,
+  kManual = 2,
+};
+
 struct LiveIndexOptions {
   /// Auto-seal threshold: the writer seals into a segment once it holds
   /// this many documents (Refresh/Flush seal earlier).
@@ -155,6 +176,9 @@ struct LiveIndexOptions {
   /// The pool is borrowed and must outlive the LiveIndex. Merge tasks only
   /// Submit — they never ParallelFor — so sharing the serving pool is safe.
   util::ThreadPool* merge_pool = nullptr;
+  /// WAL sync discipline for indexes opened with Recover(); an index
+  /// constructed directly is in-memory only and never consults this.
+  DurabilityPolicy durability = DurabilityPolicy::kPerBatch;
 };
 
 /// The mutable, concurrently-queryable index. See file comment.
@@ -225,6 +249,55 @@ class LiveIndex {
   static util::StatusOr<std::unique_ptr<LiveIndex>> Deserialize(
       const std::string& bytes, LiveIndexOptions options = LiveIndexOptions());
 
+  // ------------------------------------------------------------ durability --
+  // A durable LiveIndex writes every mutation through a write-ahead log
+  // BEFORE applying it in memory, and periodically collapses the log into
+  // a manifest generation (Checkpoint). See wal.h for the on-disk
+  // protocol and docs/ARCHITECTURE.md for the recovery walk-through.
+
+  /// What Recover() found on disk (diagnostics for tests and operators).
+  struct RecoveryStats {
+    /// The committed manifest generation recovery started from.
+    uint64_t manifest_generation = 0;
+    /// WAL records replayed on top of the manifest.
+    uint64_t replayed_records = 0;
+    /// True when bytes past the last valid WAL record were discarded.
+    bool wal_tail_lost = false;
+  };
+
+  /// Opens (or creates) the durable index in `dir`: loads the CURRENT
+  /// manifest generation, replays the WAL's longest valid record prefix,
+  /// then checkpoints into a fresh generation so the recovered state is
+  /// itself committed. A missing directory is a fresh index; a corrupt
+  /// manifest or WAL HEADER is DataLoss (a torn WAL TAIL is normal crash
+  /// debris and merely truncates the replay). `fs` is borrowed and must
+  /// outlive the index.
+  static util::StatusOr<std::unique_ptr<LiveIndex>> Recover(
+      util::FileSystem* fs, const std::string& dir,
+      LiveIndexOptions options = LiveIndexOptions(),
+      RecoveryStats* stats = nullptr);
+
+  /// Writes a manifest generation (tmp + fsync + rename), starts a fresh
+  /// WAL, flips CURRENT, and deletes the previous generation's files.
+  /// After OK, recovery no longer needs any pre-checkpoint WAL record.
+  util::Status Checkpoint();
+
+  /// Syncs buffered WAL appends (the kManual policy's durability point).
+  util::Status SyncWal();
+
+  /// True when this index was opened with Recover().
+  bool durable() const;
+  /// False after a WAL/checkpoint I/O failure: the index refuses further
+  /// mutations (queries still work) so memory can never run ahead of what
+  /// recovery could reconstruct. wal_status() carries the fatal error.
+  bool healthy() const;
+  util::Status wal_status() const;
+  /// Logical mutation clock: sequence number the NEXT logged mutation
+  /// would carry == total mutations ever logged (0 for in-memory indexes).
+  uint64_t wal_sequence() const;
+  /// Current manifest/WAL generation (0 for in-memory indexes).
+  uint64_t wal_generation() const;
+
  private:
   /// One sealed segment plus its mutable bookkeeping. `deleted` is
   /// copy-on-write: Delete() replaces the pointer with an augmented copy,
@@ -247,8 +320,20 @@ class LiveIndex {
   };
 
   void FlushLocked(std::unique_lock<std::mutex>& lock);
-  void RebuildSnapshotLocked();
-  void RefreshEntryCachesLocked(Entry& e);
+  /// Bumps the mutation clock; every state change under mu_ goes through
+  /// here so snapshot publication can detect staleness.
+  void MarkDirtyLocked();
+  /// Publishes a snapshot of the current state: captures a plan (cheap
+  /// shared_ptr copies) under mu_, UNLOCKS for the heavy O(segments ×
+  /// terms) aggregation, relocks, and installs the result if no newer
+  /// snapshot won the race. Readers (Acquire) only ever contend on
+  /// snapshot_mu_, held for a pointer swap.
+  std::shared_ptr<const IndexSnapshot> PublishLocked(
+      std::unique_lock<std::mutex>& lock);
+  /// Fills e's derived caches (live_df / deleted_before / live_locals)
+  /// from its segment and bitmap — pure function of immutable inputs, so
+  /// callable with or without mu_ held.
+  static void ComputeEntryCaches(Entry& e);
   void WaitForMergesLocked(std::unique_lock<std::mutex>& lock);
   /// Scans for merge candidates (tombstone compactions first, then tiered
   /// runs) and either submits them to the pool or executes them inline
@@ -265,6 +350,16 @@ class LiveIndex {
   void CommitMerge(const std::vector<MergeInput>& inputs,
                    std::shared_ptr<const Segment> merged);
 
+  /// Appends one WAL record for a mutation about to be applied, syncing
+  /// per policy. False = the mutation must NOT proceed (in-memory index:
+  /// trivially true; unhealthy or failed I/O: false, tragic error
+  /// recorded). WAL-first: nothing changes in memory until this returns.
+  bool LogMutationLocked(WalRecord&& record);
+  /// Serialization body shared by Serialize and Checkpoint; the writer
+  /// must already be sealed and merges drained.
+  std::string SerializeLocked() const;
+  util::Status CheckpointLocked(std::unique_lock<std::mutex>& lock);
+
   LiveIndexOptions options_;
   mutable std::mutex mu_;
   std::condition_variable merges_done_;
@@ -275,7 +370,23 @@ class LiveIndex {
   size_t num_terms_ = 0;
   uint64_t generation_ = 0;
   bool dirty_ = false;
+  /// Bumped on every state change (MarkDirtyLocked); a snapshot plan
+  /// captures its value to detect concurrent mutations and lose publish
+  /// races to newer plans.
+  uint64_t mutation_seq_ = 1;
+  uint64_t published_seq_ = 0;
+  /// Guards ONLY current_, so Acquire never waits behind snapshot
+  /// construction or merge commits. Lock order: mu_ before snapshot_mu_.
+  mutable std::mutex snapshot_mu_;
   std::shared_ptr<const IndexSnapshot> current_;
+
+  // Durability state (fs_ == nullptr means in-memory only).
+  util::FileSystem* fs_ = nullptr;
+  std::string dir_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_generation_ = 0;
+  uint64_t wal_seq_ = 0;
+  util::Status wal_error_;
 };
 
 /// Streams corpus documents [begin, end) into `live` in `batch_size`-doc

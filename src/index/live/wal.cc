@@ -1,0 +1,332 @@
+#include "index/live/wal.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace toppriv::index::live {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'T', 'P', 'W', 'L'};
+constexpr char kManifestMagic[4] = {'T', 'P', 'W', 'M'};
+constexpr uint8_t kWalVersion = 1;
+constexpr uint8_t kManifestVersion = 1;
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+uint32_t ReadU32At(const std::string& buf, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(buf[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeWalHeader(uint64_t generation, uint64_t base_seq) {
+  std::string out(kWalMagic, sizeof(kWalMagic));
+  out.push_back(static_cast<char>(kWalVersion));
+  util::AppendVarint(generation, &out);
+  util::AppendVarint(base_seq, &out);
+  AppendU32(util::Crc32::Compute(out.data(), out.size()), &out);
+  return out;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  util::AppendVarint(record.seq, &payload);
+  payload.push_back(static_cast<char>(record.type));
+  switch (record.type) {
+    case WalRecordType::kIngest:
+      util::AppendVarint(record.docs.size(), &payload);
+      for (const auto& doc : record.docs) {
+        util::AppendVarint(doc.size(), &payload);
+        for (const text::TermId term : doc) {
+          util::AppendVarint(term, &payload);
+        }
+      }
+      break;
+    case WalRecordType::kDelete:
+      util::AppendVarint(record.stable, &payload);
+      break;
+    case WalRecordType::kSeal:
+      break;
+    case WalRecordType::kTermSpace:
+      util::AppendVarint(record.num_terms, &payload);
+      break;
+  }
+  std::string out;
+  AppendU32(static_cast<uint32_t>(payload.size()), &out);
+  AppendU32(util::Crc32::Compute(payload), &out);
+  out.append(payload);
+  return out;
+}
+
+namespace {
+
+/// Decodes one record payload (seq already split off by the caller).
+/// Returns false on any malformation — the caller treats the record, and
+/// everything after it, as lost tail.
+bool DecodePayload(const std::string& payload, WalRecord* record) {
+  size_t pos = 0;
+  uint64_t seq = 0;
+  if (!util::DecodeVarint(payload, &pos, &seq)) return false;
+  if (pos >= payload.size()) return false;
+  const uint8_t type = static_cast<uint8_t>(payload[pos++]);
+  record->seq = seq;
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kIngest): {
+      record->type = WalRecordType::kIngest;
+      uint64_t ndocs = 0;
+      if (!util::DecodeVarint(payload, &pos, &ndocs)) return false;
+      // A doc costs at least one length byte, so ndocs can never exceed
+      // the remaining payload bytes (bounds attacker-chosen counts).
+      if (ndocs > payload.size() - pos) return false;
+      record->docs.clear();
+      record->docs.reserve(ndocs);
+      for (uint64_t d = 0; d < ndocs; ++d) {
+        uint64_t nterms = 0;
+        if (!util::DecodeVarint(payload, &pos, &nterms)) return false;
+        if (nterms > payload.size() - pos) return false;
+        std::vector<text::TermId> doc;
+        doc.reserve(nterms);
+        for (uint64_t t = 0; t < nterms; ++t) {
+          uint64_t term = 0;
+          if (!util::DecodeVarint(payload, &pos, &term)) return false;
+          if (term > UINT32_MAX) return false;
+          doc.push_back(static_cast<text::TermId>(term));
+        }
+        record->docs.push_back(std::move(doc));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kDelete): {
+      record->type = WalRecordType::kDelete;
+      uint64_t stable = 0;
+      if (!util::DecodeVarint(payload, &pos, &stable)) return false;
+      record->stable = stable;
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kSeal):
+      record->type = WalRecordType::kSeal;
+      break;
+    case static_cast<uint8_t>(WalRecordType::kTermSpace): {
+      record->type = WalRecordType::kTermSpace;
+      uint64_t n = 0;
+      if (!util::DecodeVarint(payload, &pos, &n)) return false;
+      record->num_terms = n;
+      break;
+    }
+    default:
+      return false;  // unknown type: cannot trust anything after it
+  }
+  return pos == payload.size();  // trailing payload bytes = corruption
+}
+
+}  // namespace
+
+util::StatusOr<WalReplay> ParseWal(const std::string& bytes) {
+  // Header: magic + version + two varints + crc. Validate the CRC over
+  // exactly the bytes that precede it.
+  size_t pos = sizeof(kWalMagic);
+  if (bytes.size() < pos + 1) {
+    return util::Status::DataLoss("wal: file shorter than header");
+  }
+  if (bytes.compare(0, sizeof(kWalMagic), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return util::Status::DataLoss("wal: bad magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(bytes[pos++]);
+  if (version != kWalVersion) {
+    return util::Status::DataLoss("wal: unsupported version " +
+                                  std::to_string(version));
+  }
+  WalReplay replay;
+  if (!util::DecodeVarint(bytes, &pos, &replay.generation) ||
+      !util::DecodeVarint(bytes, &pos, &replay.base_seq)) {
+    return util::Status::DataLoss("wal: truncated header");
+  }
+  if (bytes.size() < pos + 4) {
+    return util::Status::DataLoss("wal: header crc missing");
+  }
+  if (ReadU32At(bytes, pos) != util::Crc32::Compute(bytes.data(), pos)) {
+    return util::Status::DataLoss("wal: header crc mismatch");
+  }
+  pos += 4;
+
+  // Records: stop (tail_lost) at the first frame that does not check out.
+  replay.next_seq = replay.base_seq;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      replay.tail_lost = true;
+      break;
+    }
+    const uint32_t len = ReadU32At(bytes, pos);
+    const uint32_t crc = ReadU32At(bytes, pos + 4);
+    if (len > bytes.size() - pos - 8) {
+      replay.tail_lost = true;  // frame claims bytes the file doesn't have
+      break;
+    }
+    const std::string payload = bytes.substr(pos + 8, len);
+    if (util::Crc32::Compute(payload) != crc) {
+      replay.tail_lost = true;
+      break;
+    }
+    WalRecord record;
+    if (!DecodePayload(payload, &record) || record.seq != replay.next_seq) {
+      replay.tail_lost = true;
+      break;
+    }
+    pos += 8 + len;
+    ++replay.next_seq;
+    replay.records.push_back(std::move(record));
+  }
+  return replay;
+}
+
+util::StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
+    util::FileSystem* fs, const std::string& path, uint64_t generation,
+    uint64_t base_seq) {
+  auto file = fs->OpenForAppend(path);
+  TOPPRIV_RETURN_IF_ERROR(file.status());
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(std::move(*file), generation, base_seq));
+  TOPPRIV_RETURN_IF_ERROR(
+      writer->file_->Append(EncodeWalHeader(generation, base_seq)));
+  TOPPRIV_RETURN_IF_ERROR(writer->file_->Sync());
+  return writer;
+}
+
+util::Status WalWriter::Append(WalRecord* record) {
+  record->seq = next_seq_;
+  TOPPRIV_RETURN_IF_ERROR(file_->Append(EncodeWalRecord(*record)));
+  ++next_seq_;
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::Sync() { return file_->Sync(); }
+
+// ------------------------------------------------- manifest generations --
+
+std::string EncodeManifestFile(uint64_t generation, uint64_t base_seq,
+                               const std::string& blob) {
+  std::string out(kManifestMagic, sizeof(kManifestMagic));
+  out.push_back(static_cast<char>(kManifestVersion));
+  util::AppendVarint(generation, &out);
+  util::AppendVarint(base_seq, &out);
+  util::AppendVarint(blob.size(), &out);
+  out.append(blob);
+  AppendU32(util::Crc32::Compute(out.data(), out.size()), &out);
+  return out;
+}
+
+util::StatusOr<ManifestFile> ParseManifestFile(const std::string& bytes) {
+  size_t pos = sizeof(kManifestMagic);
+  if (bytes.size() < pos + 1 ||
+      bytes.compare(0, sizeof(kManifestMagic), kManifestMagic,
+                    sizeof(kManifestMagic)) != 0) {
+    return util::Status::DataLoss("manifest: bad magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(bytes[pos++]);
+  if (version != kManifestVersion) {
+    return util::Status::DataLoss("manifest: unsupported version " +
+                                  std::to_string(version));
+  }
+  ManifestFile out;
+  uint64_t blob_len = 0;
+  if (!util::DecodeVarint(bytes, &pos, &out.generation) ||
+      !util::DecodeVarint(bytes, &pos, &out.base_seq) ||
+      !util::DecodeVarint(bytes, &pos, &blob_len)) {
+    return util::Status::DataLoss("manifest: truncated header");
+  }
+  if (blob_len > bytes.size() - pos) {
+    return util::Status::DataLoss("manifest: blob length exceeds file");
+  }
+  if (bytes.size() - pos - blob_len != 4) {
+    return util::Status::DataLoss("manifest: trailing bytes");
+  }
+  if (ReadU32At(bytes, pos + blob_len) !=
+      util::Crc32::Compute(bytes.data(), pos + blob_len)) {
+    return util::Status::DataLoss("manifest: crc mismatch");
+  }
+  out.blob = bytes.substr(pos, blob_len);
+  return out;
+}
+
+// ------------------------------------------------------ naming + CURRENT --
+
+std::string WalFileName(uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06" PRIu64, generation);
+  return buf;
+}
+
+std::string ManifestFileName(uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "manifest-%06" PRIu64, generation);
+  return buf;
+}
+
+bool ParseGenerationFileName(const std::string& name, std::string* kind,
+                             uint64_t* generation) {
+  const size_t dash = name.find('-');
+  if (dash == std::string::npos || dash + 1 == name.size()) return false;
+  const std::string head = name.substr(0, dash);
+  if (head != "wal" && head != "manifest") return false;
+  uint64_t g = 0;
+  for (size_t i = dash + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;  // rejects ".tmp" suffixes too
+    g = g * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *kind = head;
+  *generation = g;
+  return true;
+}
+
+util::Status WriteCurrentFile(util::FileSystem* fs, const std::string& dir,
+                              uint64_t generation) {
+  const std::string tmp = dir + "/CURRENT.tmp";
+  const std::string content = std::to_string(generation) + "\n";
+  if (fs->Exists(tmp)) {
+    // A stale tmp from a crashed previous attempt — appending to it would
+    // produce garbage, so start over.
+    TOPPRIV_RETURN_IF_ERROR(fs->Remove(tmp));
+  }
+  auto file = fs->OpenForAppend(tmp);
+  TOPPRIV_RETURN_IF_ERROR(file.status());
+  TOPPRIV_RETURN_IF_ERROR((*file)->Append(content));
+  TOPPRIV_RETURN_IF_ERROR((*file)->Sync());
+  TOPPRIV_RETURN_IF_ERROR((*file)->Close());
+  return fs->Rename(tmp, dir + "/CURRENT");
+}
+
+util::StatusOr<uint64_t> ReadCurrentFile(util::FileSystem* fs,
+                                         const std::string& dir) {
+  const std::string path = dir + "/CURRENT";
+  if (!fs->Exists(path)) {
+    return util::Status::NotFound("no CURRENT file in " + dir);
+  }
+  auto bytes = fs->Read(path);
+  TOPPRIV_RETURN_IF_ERROR(bytes.status());
+  uint64_t g = 0;
+  size_t digits = 0;
+  for (const char c : *bytes) {
+    if (c == '\n' && digits > 0) return g;
+    if (c < '0' || c > '9' || digits >= 19) {
+      return util::Status::DataLoss("CURRENT: malformed generation");
+    }
+    g = g * 10 + static_cast<uint64_t>(c - '0');
+    ++digits;
+  }
+  return util::Status::DataLoss("CURRENT: missing newline");
+}
+
+}  // namespace toppriv::index::live

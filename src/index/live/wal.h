@@ -1,0 +1,164 @@
+// Write-ahead log and manifest-generation file formats for the durable
+// live index.
+//
+// Durability protocol (LevelDB/Lucene-translog shaped):
+//
+//   dir/CURRENT          decimal generation number G, written via tmp+rename
+//   dir/manifest-G       full LiveIndex::Serialize blob as of generation G
+//   dir/wal-G            mutations applied AFTER manifest-G was written
+//
+// A checkpoint serializes the index, writes manifest-(G+1) (tmp, sync,
+// rename), starts an empty wal-(G+1), then flips CURRENT — each step
+// individually atomic, so a crash between any two steps recovers to either
+// the old or the new generation, never a hybrid. Recovery loads
+// manifest-G, replays wal-G's longest valid record prefix, and stops at
+// the first torn or corrupt record.
+//
+// WAL wire format. The file opens with a header:
+//
+//   "TPWL" | u8 version=1 | varint generation | varint base_seq | u32 crc
+//
+// where crc is the CRC32C of the bytes before it and base_seq is the
+// sequence number of the first record. Records follow back to back:
+//
+//   u32 payload_len | u32 crc32c(payload) | payload
+//   payload = varint seq | u8 type | body
+//
+// Record bodies:
+//   kIngest    varint ndocs, then per doc: varint nterms + term varints
+//   kDelete    varint stable_id
+//   kSeal      (empty) — an explicit writer seal (Flush/Refresh/Serialize)
+//   kTermSpace varint num_terms
+//
+// Sequence numbers are dense (each record's seq is the previous + 1,
+// starting at base_seq); a gap or repeat means the file was stitched or
+// corrupted and replay stops there. The CRC is over the payload only: the
+// length prefix is validated implicitly (a corrupt length either points
+// past the buffer — torn tail — or misframes the payload and fails the
+// CRC with probability 1 - 2^-32).
+#ifndef TOPPRIV_INDEX_LIVE_WAL_H_
+#define TOPPRIV_INDEX_LIVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/live/segment.h"
+#include "text/vocabulary.h"
+#include "util/filesystem.h"
+#include "util/status.h"
+
+namespace toppriv::index::live {
+
+enum class WalRecordType : uint8_t {
+  kIngest = 1,
+  kDelete = 2,
+  kSeal = 3,
+  kTermSpace = 4,
+};
+
+/// One decoded WAL record. Which payload field is meaningful depends on
+/// `type`; the others stay default-initialized.
+struct WalRecord {
+  uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kSeal;
+  std::vector<std::vector<text::TermId>> docs;  // kIngest
+  StableId stable = 0;                          // kDelete
+  uint64_t num_terms = 0;                       // kTermSpace
+};
+
+/// Encodes the file header for generation `generation` whose first record
+/// will carry sequence number `base_seq`.
+std::string EncodeWalHeader(uint64_t generation, uint64_t base_seq);
+
+/// Encodes one record (length prefix + CRC + payload).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// The result of scanning a WAL file: the longest valid record prefix.
+struct WalReplay {
+  uint64_t generation = 0;
+  uint64_t base_seq = 0;
+  std::vector<WalRecord> records;
+  /// True when bytes after the last valid record were discarded (torn
+  /// write, bit flip, stitched-on garbage). Never an error: the suffix was
+  /// by construction never acknowledged as durable.
+  bool tail_lost = false;
+  /// Sequence number the next record would carry (base_seq + records).
+  uint64_t next_seq = 0;
+};
+
+/// Parses a WAL file. A damaged HEADER is DataLoss (the file tells us
+/// nothing trustworthy); damaged or torn RECORDS merely end the replay
+/// with tail_lost = true.
+util::StatusOr<WalReplay> ParseWal(const std::string& bytes);
+
+/// Appends records to a WAL file through a FileSystem. Create() writes and
+/// syncs the header, so an empty-but-valid log exists on disk (or the
+/// creation fails cleanly) before any mutation is acknowledged.
+class WalWriter {
+ public:
+  static util::StatusOr<std::unique_ptr<WalWriter>> Create(
+      util::FileSystem* fs, const std::string& path, uint64_t generation,
+      uint64_t base_seq);
+
+  /// Appends one record, assigning it the next sequence number (returned
+  /// via record->seq). Does NOT sync.
+  util::Status Append(WalRecord* record);
+  /// Makes all appended records crash-durable.
+  util::Status Sync();
+
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t generation() const { return generation_; }
+
+ private:
+  WalWriter(std::unique_ptr<util::WritableFile> file, uint64_t generation,
+            uint64_t base_seq)
+      : file_(std::move(file)), generation_(generation), next_seq_(base_seq) {}
+
+  std::unique_ptr<util::WritableFile> file_;
+  uint64_t generation_;
+  uint64_t next_seq_;
+};
+
+// ------------------------------------------------- manifest generations --
+
+/// Wraps a LiveIndex::Serialize blob in a self-validating file:
+///   "TPWM" | u8 version=1 | varint generation | varint base_seq
+///         | varint blob_len | blob | u32 crc32c(everything before)
+/// base_seq is the WAL sequence number the NEXT mutation after this
+/// manifest will carry — it anchors wal-G's header.
+std::string EncodeManifestFile(uint64_t generation, uint64_t base_seq,
+                               const std::string& blob);
+
+struct ManifestFile {
+  uint64_t generation = 0;
+  uint64_t base_seq = 0;
+  std::string blob;
+};
+
+/// Any damage (magic, version, truncation, CRC, trailing bytes) is
+/// DataLoss — a manifest was fully synced before its generation became
+/// CURRENT, so a broken one is real corruption, not a torn tail.
+util::StatusOr<ManifestFile> ParseManifestFile(const std::string& bytes);
+
+// ------------------------------------------------------ naming + CURRENT --
+
+std::string WalFileName(uint64_t generation);
+std::string ManifestFileName(uint64_t generation);
+/// Extracts the generation from a "wal-*" / "manifest-*" file name.
+/// Returns false for other names (CURRENT, tmp files, strangers).
+bool ParseGenerationFileName(const std::string& name, std::string* kind,
+                             uint64_t* generation);
+
+/// Writes `dir`/CURRENT containing the decimal generation, via tmp+rename.
+util::Status WriteCurrentFile(util::FileSystem* fs, const std::string& dir,
+                              uint64_t generation);
+/// Reads and validates `dir`/CURRENT. NotFound when no CURRENT exists
+/// (fresh directory); DataLoss when it exists but is gibberish.
+util::StatusOr<uint64_t> ReadCurrentFile(util::FileSystem* fs,
+                                         const std::string& dir);
+
+}  // namespace toppriv::index::live
+
+#endif  // TOPPRIV_INDEX_LIVE_WAL_H_

@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+namespace toppriv::util {
+
+namespace {
+
+/// Reflected CRC32C polynomial (0x1EDC6F41 bit-reversed).
+constexpr uint32_t kPolyReflected = 0x82f63b78u;
+
+const uint32_t* Table() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32::Extend(uint32_t state, const void* data, size_t n) {
+  const uint32_t* table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state = table[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace toppriv::util

@@ -1,0 +1,338 @@
+#include "util/filesystem.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/io.h"
+
+namespace toppriv::util {
+
+namespace {
+
+// ------------------------------------------------------------ real posix --
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsyncs a directory so a just-created/renamed/removed entry is durable.
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("open dir for sync: " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync dir: " + dir);
+  return Status::Ok();
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(const std::string& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("write: " + path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Status::IoError("fsync: " + path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::IoError("close: " + path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class RealFileSystem : public FileSystem {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    struct stat st;
+    const bool existed = ::stat(path.c_str(), &st) == 0;
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Status::IoError("open for append: " + path);
+    if (!existed) {
+      // Make the directory entry itself durable, so a crash cannot forget
+      // a file whose appended records we later report as synced.
+      Status dir_status = SyncDir(ParentDir(path));
+      if (!dir_status.ok()) {
+        ::close(fd);
+        return dir_status;
+      }
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  StatusOr<std::string> Read(const std::string& path) override {
+    return ReadFileToString(path);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError("rename: " + from + " -> " + to);
+    }
+    return SyncDir(ParentDir(to));
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("remove: " + path);
+      return Status::IoError("remove: " + path);
+    }
+    return SyncDir(ParentDir(path));
+  }
+
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Status::NotFound("opendir: " + dir);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat st;
+      if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  bool Exists(const std::string& path) override { return FileExists(path); }
+
+  Status MakeDirs(const std::string& dir) override {
+    return ::toppriv::util::MakeDirs(dir);
+  }
+};
+
+}  // namespace
+
+FileSystem* GetRealFileSystem() {
+  static FileSystem* fs = new RealFileSystem();
+  return fs;
+}
+
+// -------------------------------------------------------- fault injection --
+
+/// Append handle over a FaultInjectingFileSystem entry. Appends re-resolve
+/// the path each call, so a file recreated behind the handle still works.
+/// Lives in the enclosing namespace so the friend declaration matches.
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(const std::string& data) override;
+  Status Sync() override;
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  FaultInjectingFileSystem* fs_;
+  std::string path_;
+};
+
+Status FaultInjectingFileSystem::CountOp(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // documents that callers hold mu_
+  const uint64_t idx = op_count_++;
+  if (fault_at_ >= 0 && !fault_fired_ &&
+      idx == static_cast<uint64_t>(fault_at_)) {
+    fault_fired_ = true;
+    return Status::IoError("injected fault at op " + std::to_string(idx));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingWritableFile::Append(const std::string& data) {
+  std::unique_lock<std::mutex> lock(fs_->mu_);
+  Status fault = fs_->CountOp(lock);
+  FaultInjectingFileSystem::FileState& f = fs_->files_[path_];
+  if (!fault.ok()) {
+    if (fs_->fault_mode_ == FaultInjectingFileSystem::FaultMode::kShortWrite) {
+      // A torn append: a prefix reaches the file, the rest never does.
+      f.data.append(data.substr(0, data.size() / 2));
+    }
+    return fault;
+  }
+  f.data.append(data);
+  return Status::Ok();
+}
+
+Status FaultInjectingWritableFile::Sync() {
+  std::unique_lock<std::mutex> lock(fs_->mu_);
+  Status fault = fs_->CountOp(lock);
+  if (!fault.ok()) return fault;  // watermark NOT advanced
+  FaultInjectingFileSystem::FileState& f = fs_->files_[path_];
+  f.synced = f.data.size();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::OpenForAppend(
+    const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Status fault = CountOp(lock);
+  if (!fault.ok()) return fault;
+  files_[path];  // creates (empty, unsynced-data-free) if missing
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingWritableFile>(this, path));
+}
+
+StatusOr<std::string> FaultInjectingFileSystem::Read(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("cannot open: " + path);
+  return it->second.data;
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Status fault = CountOp(lock);
+  if (!fault.ok()) return fault;
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("rename source: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status FaultInjectingFileSystem::Remove(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Status fault = CountOp(lock);
+  if (!fault.ok()) return fault;
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("remove: " + path);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingFileSystem::List(
+    const std::string& dir) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // std::map iteration order is already sorted
+}
+
+bool FaultInjectingFileSystem::Exists(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return files_.find(path) != files_.end();
+}
+
+Status FaultInjectingFileSystem::MakeDirs(const std::string& dir) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Status fault = CountOp(lock);
+  if (!fault.ok()) return fault;
+  dirs_[dir] = true;
+  return Status::Ok();
+}
+
+void FaultInjectingFileSystem::ArmFault(uint64_t after_ops, FaultMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  fault_at_ = static_cast<int64_t>(op_count_ + after_ops);
+  fault_mode_ = mode;
+  fault_fired_ = false;
+}
+
+void FaultInjectingFileSystem::DisarmFault() {
+  std::unique_lock<std::mutex> lock(mu_);
+  fault_at_ = -1;
+}
+
+bool FaultInjectingFileSystem::fault_fired() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return fault_fired_;
+}
+
+uint64_t FaultInjectingFileSystem::op_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+void FaultInjectingFileSystem::PowerCut() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    if (state.data.size() > state.synced) state.data.resize(state.synced);
+  }
+}
+
+std::string FaultInjectingFileSystem::FileBytes(const std::string& path) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? std::string() : it->second.data;
+}
+
+void FaultInjectingFileSystem::SetFileBytes(const std::string& path,
+                                            const std::string& bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  FileState& f = files_[path];
+  f.data = bytes;
+  f.synced = bytes.size();
+}
+
+void FaultInjectingFileSystem::Truncate(const std::string& path, size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  FileState& f = it->second;
+  if (f.data.size() > n) f.data.resize(n);
+  if (f.synced > f.data.size()) f.synced = f.data.size();
+}
+
+void FaultInjectingFileSystem::CorruptByte(const std::string& path,
+                                           size_t offset, uint8_t mask) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || offset >= it->second.data.size()) return;
+  it->second.data[offset] =
+      static_cast<char>(static_cast<uint8_t>(it->second.data[offset]) ^ mask);
+}
+
+std::unique_ptr<FaultInjectingFileSystem> FaultInjectingFileSystem::Clone()
+    const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto copy = std::make_unique<FaultInjectingFileSystem>();
+  copy->files_ = files_;
+  copy->dirs_ = dirs_;
+  return copy;
+}
+
+}  // namespace toppriv::util

@@ -1,0 +1,157 @@
+// The file-system seam the durable live index writes through.
+//
+// Everything the WAL/checkpoint machinery does to disk — append, fsync,
+// atomic rename, delete, list — goes through this interface, so crash
+// recovery is TESTABLE: the production path runs against the POSIX
+// implementation (RealFileSystem), while tests run the identical code
+// against FaultInjectingFileSystem, an in-memory file system that can fail
+// or short-write the Nth mutating operation and simulate a power cut by
+// dropping every byte that was never Sync()'d. The fault file system is
+// the ONLY test hook; no production code path branches on "am I under
+// test".
+//
+// Durability model (what Sync must mean): after WritableFile::Sync()
+// returns OK, every byte appended so far survives a crash. Rename() is an
+// atomic replace (the destination is either the old or the new file, never
+// a mixture) and is durable on return — RealFileSystem fsyncs the parent
+// directory; the in-memory implementation treats metadata operations
+// (create/rename/remove) as journaled, only DATA is lost at a power cut.
+// Unsynced appended data may survive a crash partially, at any byte
+// boundary — the WAL's record CRCs exist precisely because of this, and
+// the recovery test sweeps every such boundary.
+#ifndef TOPPRIV_UTIL_FILESYSTEM_H_
+#define TOPPRIV_UTIL_FILESYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace toppriv::util {
+
+/// An open append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  /// Appends `data` at the end of the file.
+  virtual Status Append(const std::string& data) = 0;
+  /// Makes every appended byte crash-durable before returning OK.
+  virtual Status Sync() = 0;
+  /// Closes the handle (no implicit Sync). Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Minimal file-system surface for WAL + checkpoint I/O.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it (empty) if missing.
+  virtual StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) = 0;
+  /// Reads the whole file.
+  virtual StatusOr<std::string> Read(const std::string& path) = 0;
+  /// Atomically replaces `to` with `from` (and makes the swap durable).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Deletes a file. Missing file is an error (NotFound).
+  virtual Status Remove(const std::string& path) = 0;
+  /// Base names of the regular files directly inside `dir`, sorted.
+  virtual StatusOr<std::vector<std::string>> List(const std::string& dir) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  /// Creates `dir` and any missing parents.
+  virtual Status MakeDirs(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX file system (singleton; never destroyed).
+FileSystem* GetRealFileSystem();
+
+/// In-memory file system with deterministic fault injection — the test
+/// seam for crash-recovery suites and an allocation-only backend for WAL
+/// microbenches. Thread-safe (one internal mutex).
+///
+/// Fault plan: ArmFault(n, mode) makes the n-th SUBSEQUENT mutating
+/// operation (Append/Sync/Rename/Remove/OpenForAppend-create/MakeDirs;
+/// n = 0 is the very next one) fail with IoError. kShortWrite retains a
+/// prefix of the data before failing (a torn append); for non-append
+/// operations it behaves like kFailOp. Faults are one-shot: after firing,
+/// later operations succeed again — the caller is expected to treat the
+/// failure as fatal and "crash" (recover from the file-system state), as
+/// LiveIndex does by refusing further mutations.
+///
+/// PowerCut() truncates every file to its last Sync()'d length, modeling a
+/// crash before the page cache was written back. Metadata (file existence,
+/// renames, removes) is treated as journaled and survives.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  enum class FaultMode {
+    kFailOp,      // the op fails cleanly, no effect
+    kShortWrite,  // an append keeps a prefix, then fails
+  };
+
+  FaultInjectingFileSystem() = default;
+
+  StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  StatusOr<std::string> Read(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  Status MakeDirs(const std::string& dir) override;
+
+  // ------------------------------------------------ fault orchestration --
+
+  /// Arms a one-shot fault on the `after_ops`-th mutating operation from
+  /// now (0 = the next one).
+  void ArmFault(uint64_t after_ops, FaultMode mode);
+  void DisarmFault();
+  /// True once an armed fault has fired.
+  bool fault_fired() const;
+  /// Mutating operations performed so far (the fault counter's clock).
+  uint64_t op_count() const;
+
+  /// Drops every byte appended after each file's last successful Sync.
+  void PowerCut();
+
+  // ------------------------------------------------- state manipulation --
+  // Test utilities for building hostile on-disk states.
+
+  /// Full byte content of `path` (empty if missing).
+  std::string FileBytes(const std::string& path) const;
+  /// Replaces `path`'s content (marks it fully synced).
+  void SetFileBytes(const std::string& path, const std::string& bytes);
+  /// Truncates `path` to `n` bytes (no-op if already shorter).
+  void Truncate(const std::string& path, size_t n);
+  /// XORs one byte of `path` with `mask`.
+  void CorruptByte(const std::string& path, size_t offset, uint8_t mask);
+  /// Deep copy of the current files (fault plan not copied) — lets a test
+  /// recover many times from one captured crash image.
+  std::unique_ptr<FaultInjectingFileSystem> Clone() const;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  struct FileState {
+    std::string data;
+    size_t synced = 0;  // prefix length guaranteed to survive PowerCut
+  };
+
+  /// Counts one mutating op; returns non-OK if the armed fault fires.
+  Status CountOp(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  std::map<std::string, bool> dirs_;
+  uint64_t op_count_ = 0;
+  int64_t fault_at_ = -1;  // op index the fault fires at; -1 = disarmed
+  FaultMode fault_mode_ = FaultMode::kFailOp;
+  bool fault_fired_ = false;
+};
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_FILESYSTEM_H_

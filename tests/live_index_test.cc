@@ -484,6 +484,32 @@ TEST(LiveIndexSerializationTest, RoundTripPreservesEverything) {
   EXPECT_EQ(ids[0], 4u);
 }
 
+TEST(LiveIndexSerializationTest, FormatTagVersioning) {
+  // Serialize leads with a format-version tag whose value can never
+  // collide with a legacy blob's leading num_terms field.
+  const std::string tagged = SmallLiveBlob();
+  util::BinaryReader reader(tagged);
+  uint64_t tag = 0;
+  ASSERT_TRUE(reader.ReadVarint(&tag).ok());
+  EXPECT_EQ(tag, (uint64_t{1} << 32) | 1);
+
+  // A pre-versioning blob (no tag) still decodes, to the identical index:
+  // re-serializing it reproduces today's tagged bytes exactly.
+  const std::string legacy = tagged.substr(reader.position());
+  auto from_legacy = LiveIndex::Deserialize(legacy);
+  ASSERT_TRUE(from_legacy.ok()) << from_legacy.status().ToString();
+  EXPECT_EQ((*from_legacy)->Serialize(), tagged);
+
+  // A tag from a future format version is refused outright — never
+  // misparsed as data.
+  std::string future;
+  util::AppendVarint((uint64_t{2} << 32) | 1, &future);
+  future += legacy;
+  auto result = LiveIndex::Deserialize(future);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
 TEST(LiveIndexSerializationTest, TruncatedBlobsNeverCrash) {
   std::string bytes = SmallLiveBlob();
   ASSERT_TRUE(LiveIndex::Deserialize(bytes).ok());
@@ -639,6 +665,85 @@ TEST(LiveIndexHostileTest, ZeroDocSegmentRejected) {
   EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
 }
 
+// ----------------------------------------------------------- edge cases --
+
+TEST(LiveIndexTest, EmptyBatchIngestIsInvisible) {
+  const std::vector<Doc> docs = {{0, 1}, {1, 2, 3}, {0, 3}};
+  LiveIndexOptions options;
+  options.max_writer_docs = 2;
+  LiveIndex live(options);
+  live.EnsureTermSpace(4);
+  EXPECT_TRUE(live.Ingest({}).empty());  // empty batch on an empty index
+  live.Ingest({docs[0]});
+  EXPECT_TRUE(live.Ingest({}).empty());  // empty batch mid-stream
+  live.Ingest({docs[1], docs[2]});
+  EXPECT_TRUE(live.Ingest({}).empty());  // empty batch after an auto-seal
+  EXPECT_EQ(live.next_stable_id(), 3u);  // no phantom ids were assigned
+  ExpectLiveMatchesStatic(live, docs, 4, {{0}, {1}, {2}, {3}, {0, 1, 2, 3}}, 3,
+                          "empty-batches");
+}
+
+TEST(LiveIndexTest, DeleteOfNeverIngestedIdIsRefusedWithoutDamage) {
+  const std::vector<Doc> docs = {{0, 1}, {1, 2}};
+  LiveIndex live;
+  live.EnsureTermSpace(3);
+  EXPECT_FALSE(live.Delete(0));  // nothing ingested yet
+  std::vector<StableId> ids = live.Ingest(docs);
+  EXPECT_FALSE(live.Delete(ids.back() + 1));    // one past the assigned space
+  EXPECT_FALSE(live.Delete(ids.back() + 100));  // far past it
+  ExpectLiveMatchesStatic(live, docs, 3, {{0}, {1}, {2}, {0, 1, 2}}, 2,
+                          "bogus-deletes");
+}
+
+TEST(LiveIndexTest, FlushOnEmptyWriterIsIdempotent) {
+  const std::vector<Doc> docs = {{0, 1, 2}, {2, 0}};
+  LiveIndex live;
+  live.EnsureTermSpace(3);
+  live.Flush();  // nothing buffered: must not create a segment
+  EXPECT_EQ(live.num_segments(), 0u);
+  live.Ingest(docs);
+  live.Flush();
+  const size_t sealed = live.num_segments();
+  live.Flush();  // writer already empty: segmentation must not change
+  live.Flush();
+  EXPECT_EQ(live.num_segments(), sealed);
+  ExpectLiveMatchesStatic(live, docs, 3, {{0}, {1}, {2}, {0, 1, 2}}, 2,
+                          "redundant-flushes");
+}
+
+// ---------------------------------------------------- snapshot lifetime --
+
+// A snapshot is a self-contained refcounted view: dropping the LiveIndex
+// that published it must leave every byte the snapshot points at alive.
+// The ASan CI job turns any violation into a use-after-free report.
+TEST(LiveIndexTest, SnapshotOutlivesItsLiveIndex) {
+  const std::vector<Doc> docs = {{0, 1, 2}, {1, 2, 3}, {0, 3}, {2, 2, 1}};
+  corpus::Corpus corpus_ref = CorpusFromDocs(4, docs);
+  std::shared_ptr<const IndexSnapshot> snapshot;
+  std::vector<ScoredDoc> before;
+  IndexStats stats_before;
+  auto live = std::make_unique<LiveIndex>();
+  live->EnsureTermSpace(4);
+  std::vector<StableId> ids = live->Ingest(docs);
+  live->Delete(ids[1]);
+  snapshot = live->Refresh();
+  LiveSearchEngine engine(corpus_ref, *live, search::MakeBm25Scorer());
+  before = engine.EvaluateOn(*snapshot, {0, 1, 2, 3}, 4);
+  stats_before = snapshot->ComputeStats();
+  ASSERT_FALSE(before.empty());
+
+  live.reset();  // the index dies; the snapshot must not care
+
+  EXPECT_EQ(snapshot->num_documents(), 3u);
+  ExpectStatsEqual(snapshot->ComputeStats(), stats_before);
+  std::vector<ScoredDoc> after = engine.EvaluateOn(*snapshot, {0, 1, 2, 3}, 4);
+  ExpectBitIdentical(after, before, "snapshot-outlives-index");
+  for (const ScoredDoc& sd : after) {
+    EXPECT_LT(snapshot->ToStableId(sd.doc), 4u);
+    EXPECT_GT(snapshot->DocLength(sd.doc), 0u);
+  }
+}
+
 // ------------------------------------------------------- mixed workload --
 
 // Concurrent ingest + delete + merge + query: the race surface the
@@ -701,6 +806,61 @@ TEST(LiveIndexConcurrencyTest, ConcurrentIngestQueryMergeIsSafeAndConverges) {
 
   ExpectLiveMatchesStatic(live, final_docs, vocab, WorldQueries(10), 10,
                           "concurrent-converged");
+}
+
+// Regression for the snapshot-publication refactor: Acquire() takes only
+// the snapshot pointer lock, so readers must keep making progress while
+// Refresh() runs its O(segments × terms) aggregation off the writer mutex.
+// Readers hammer Acquire in a tight loop and assert the generations they
+// observe never move backwards — the publish-race invariant — while a
+// writer publishes after every tiny batch to maximize rebuild pressure.
+// The TSan job turns any mutex-discipline slip in this path into a report.
+TEST(LiveIndexConcurrencyTest, AcquireDuringRefreshMakesProgressAndIsOrdered) {
+  const std::vector<Doc> docs = WorldDocs();
+  const size_t vocab = World().corpus.vocabulary_size();
+  util::ThreadPool merge_pool(2);
+  LiveIndexOptions options;
+  options.max_writer_docs = 8;  // many segments → expensive publishes
+  options.merge_factor = 2;
+  options.merge_pool = &merge_pool;
+  LiveIndex live(options);
+  live.EnsureTermSpace(vocab);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> acquires{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_generation = 0;
+      uint64_t local = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const IndexSnapshot> snap = live.Acquire();
+        // Published snapshots are monotone: a reader can never observe
+        // the generation clock running backwards, no matter which of two
+        // racing publishers wins.
+        EXPECT_GE(snap->generation(), last_generation);
+        last_generation = snap->generation();
+        ++local;
+      }
+      acquires.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  for (size_t begin = 0; begin < docs.size(); begin += 4) {
+    const size_t end = std::min(docs.size(), begin + 4);
+    live.Ingest(std::vector<Doc>(docs.begin() + begin, docs.begin() + end));
+    live.Refresh();  // publish per tiny batch: maximal rebuild churn
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  live.WaitForMerges();
+
+  // Rough progress floor: with Acquire reduced to a pointer copy, readers
+  // lap the writer's publishes by orders of magnitude; a deadlock or a
+  // reader serialized behind every rebuild would land far below this.
+  EXPECT_GT(acquires.load(), docs.size());
+  ExpectLiveMatchesStatic(live, docs, vocab, WorldQueries(10), 10,
+                          "acquire-hammer");
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/crc32.h"
+#include "util/filesystem.h"
 #include "util/io.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -598,6 +600,162 @@ TEST(JsonWriterTest, DoubleRoundTripsPrecision) {
   w.EndArray();
   // %.17g keeps the exact bits recoverable.
   EXPECT_EQ(w.str(), "[0.10000000000000001,1.0000000000000001e+300]");
+}
+
+// ---------------------------------------------------------------- Crc32 ---
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC32C check value (RFC 3720 appendix / iSCSI).
+  EXPECT_EQ(Crc32::Compute("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32::Compute(""), 0u); }
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  uint32_t state = Crc32::kInit;
+  state = Crc32::Extend(state, a.data(), a.size());
+  state = Crc32::Extend(state, b.data(), b.size());
+  EXPECT_EQ(state ^ Crc32::kInit, Crc32::Compute(a + b));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string s = "payload bytes under test";
+  const uint32_t base = Crc32::Compute(s);
+  for (size_t i = 0; i < s.size(); ++i) {
+    std::string flipped = s;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x40);
+    EXPECT_NE(Crc32::Compute(flipped), base) << "byte " << i;
+  }
+}
+
+// ----------------------------------------------------- fault file system ---
+
+TEST(FaultFsTest, AppendSyncReadRoundTrip) {
+  FaultInjectingFileSystem fs;
+  ASSERT_TRUE(fs.MakeDirs("d").ok());
+  auto file = fs.OpenForAppend("d/log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  ASSERT_TRUE((*file)->Append("def").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto bytes = fs.Read("d/log");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "abcdef");
+  EXPECT_TRUE(fs.Exists("d/log"));
+  EXPECT_FALSE(fs.Exists("d/other"));
+}
+
+TEST(FaultFsTest, PowerCutDropsUnsyncedSuffixOnly) {
+  FaultInjectingFileSystem fs;
+  auto file = fs.OpenForAppend("log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());
+  fs.PowerCut();
+  EXPECT_EQ(fs.FileBytes("log"), "durable");
+  // Metadata is journaled: the file itself survives even if never synced.
+  auto other = fs.OpenForAppend("meta-only");
+  ASSERT_TRUE(other.ok());
+  fs.PowerCut();
+  EXPECT_TRUE(fs.Exists("meta-only"));
+}
+
+TEST(FaultFsTest, NthOpFaultFiresExactlyOnce) {
+  FaultInjectingFileSystem fs;
+  auto file = fs.OpenForAppend("log");  // op 0
+  ASSERT_TRUE(file.ok());
+  fs.ArmFault(1, FaultInjectingFileSystem::FaultMode::kFailOp);
+  EXPECT_TRUE((*file)->Append("a").ok());   // op 1: survives
+  EXPECT_FALSE((*file)->Append("b").ok());  // op 2: injected failure
+  EXPECT_TRUE(fs.fault_fired());
+  EXPECT_TRUE((*file)->Append("c").ok());  // one-shot: works again
+  EXPECT_EQ(fs.FileBytes("log"), "ac");
+}
+
+TEST(FaultFsTest, ShortWriteKeepsPrefix) {
+  FaultInjectingFileSystem fs;
+  auto file = fs.OpenForAppend("log");
+  ASSERT_TRUE(file.ok());
+  fs.ArmFault(0, FaultInjectingFileSystem::FaultMode::kShortWrite);
+  EXPECT_FALSE((*file)->Append("0123456789").ok());
+  EXPECT_EQ(fs.FileBytes("log"), "01234");  // half the append landed
+  // The torn bytes were never synced, so a power cut erases them.
+  fs.PowerCut();
+  EXPECT_EQ(fs.FileBytes("log"), "");
+}
+
+TEST(FaultFsTest, FailedSyncDoesNotAdvanceWatermark) {
+  FaultInjectingFileSystem fs;
+  auto file = fs.OpenForAppend("log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  fs.ArmFault(0, FaultInjectingFileSystem::FaultMode::kFailOp);
+  EXPECT_FALSE((*file)->Sync().ok());
+  fs.PowerCut();
+  EXPECT_EQ(fs.FileBytes("log"), "");
+}
+
+TEST(FaultFsTest, RenameReplacesAtomically) {
+  FaultInjectingFileSystem fs;
+  fs.SetFileBytes("a.tmp", "new");
+  fs.SetFileBytes("a", "old");
+  ASSERT_TRUE(fs.Rename("a.tmp", "a").ok());
+  EXPECT_EQ(fs.FileBytes("a"), "new");
+  EXPECT_FALSE(fs.Exists("a.tmp"));
+  EXPECT_FALSE(fs.Rename("missing", "x").ok());
+}
+
+TEST(FaultFsTest, ListReturnsDirectChildrenSorted) {
+  FaultInjectingFileSystem fs;
+  fs.SetFileBytes("d/b", "");
+  fs.SetFileBytes("d/a", "");
+  fs.SetFileBytes("d/sub/c", "");
+  fs.SetFileBytes("other", "");
+  auto names = fs.List("d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FaultFsTest, CloneIsIndependent) {
+  FaultInjectingFileSystem fs;
+  fs.SetFileBytes("f", "base");
+  auto copy = fs.Clone();
+  fs.SetFileBytes("f", "changed");
+  EXPECT_EQ(copy->FileBytes("f"), "base");
+  copy->CorruptByte("f", 0, 0xff);
+  EXPECT_NE(copy->FileBytes("f")[0], 'b');
+  EXPECT_EQ(fs.FileBytes("f"), "changed");
+}
+
+TEST(RealFsTest, AppendRenameListRoundTrip) {
+  FileSystem* fs = GetRealFileSystem();
+  const std::string dir = "/tmp/toppriv_fs_test";
+  ASSERT_TRUE(fs->MakeDirs(dir).ok());
+  // Clean slate from any previous run.
+  auto stale = fs->List(dir);
+  if (stale.ok()) {
+    for (const auto& name : *stale) (void)fs->Remove(dir + "/" + name);
+  }
+  auto file = fs->OpenForAppend(dir + "/wal.tmp");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("disk").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(fs->Rename(dir + "/wal.tmp", dir + "/wal").ok());
+  EXPECT_TRUE(fs->Exists(dir + "/wal"));
+  EXPECT_FALSE(fs->Exists(dir + "/wal.tmp"));
+  auto bytes = fs->Read(dir + "/wal");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "hello disk");
+  auto names = fs->List(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"wal"}));
+  ASSERT_TRUE(fs->Remove(dir + "/wal").ok());
+  EXPECT_FALSE(fs->Remove(dir + "/wal").ok());
 }
 
 }  // namespace
