@@ -1,0 +1,30 @@
+// Standalone replay driver for toolchains without libFuzzer (GCC builds):
+// runs every file named on the command line through the harness entry
+// point. This is regression mode only — no mutation, no coverage feedback;
+// the CI fuzz job links the real libFuzzer runtime instead (Clang
+// -fsanitize=fuzzer drops this file and provides its own main).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++ran;
+  }
+  std::printf("replayed %d input(s)\n", ran);
+  return 0;
+}

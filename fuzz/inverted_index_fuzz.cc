@@ -1,0 +1,19 @@
+// Hostile-input fuzzing of InvertedIndex::Deserialize. An accepted blob
+// must also round-trip: Serialize() of the decoded index re-parses and
+// re-serializes byte-identically (the format is canonical).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "index/inverted_index.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string buf(reinterpret_cast<const char*>(data), size);
+  auto index = toppriv::index::InvertedIndex::Deserialize(buf);
+  if (!index.ok()) return 0;
+
+  const std::string canonical = index->Serialize();
+  auto again = toppriv::index::InvertedIndex::Deserialize(canonical);
+  if (!again.ok() || again->Serialize() != canonical) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Hostile-input fuzzing of LdaModel::Deserialize (the experiment-cache
+// format: dims + hyperparameters + raw float phi/theta). The dimension
+// product is where a hostile header historically could demand gigabytes
+// (see the PR 2 overflow fix); the decoder must reject rather than
+// allocate. Accepted blobs must round-trip byte-identically.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "topicmodel/lda_model.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string buf(reinterpret_cast<const char*>(data), size);
+  auto model = toppriv::topicmodel::LdaModel::Deserialize(buf);
+  if (!model.ok()) return 0;
+
+  const std::string canonical = model->Serialize();
+  auto again = toppriv::topicmodel::LdaModel::Deserialize(canonical);
+  if (!again.ok() || again->Serialize() != canonical) __builtin_trap();
+  return 0;
+}

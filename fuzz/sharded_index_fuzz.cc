@@ -1,0 +1,20 @@
+// Hostile-input fuzzing of the sharded-index manifest + shard blobs
+// (ShardedIndex::Deserialize): truncation, inverted/overlapping ranges,
+// shard payloads contradicting the manifest, trailing bytes. Accepted
+// blobs must round-trip canonically.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "index/sharded_index.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string buf(reinterpret_cast<const char*>(data), size);
+  auto index = toppriv::index::ShardedIndex::Deserialize(buf);
+  if (!index.ok()) return 0;
+
+  const std::string canonical = index->Serialize();
+  auto again = toppriv::index::ShardedIndex::Deserialize(canonical);
+  if (!again.ok() || again->Serialize() != canonical) __builtin_trap();
+  return 0;
+}

@@ -97,19 +97,19 @@ IndexStats IndexSnapshot::ComputeStats() const {
 LiveIndex::LiveIndex(LiveIndexOptions options) : options_(options) {
   if (options_.max_writer_docs == 0) options_.max_writer_docs = 1;
   if (options_.merge_factor < 2) options_.merge_factor = 2;
-  std::unique_lock<std::mutex> lock(mu_);
-  PublishLocked(lock);  // the empty snapshot, so Acquire is never null
+  util::MutexLock lock(&mu_);
+  PublishLocked();  // the empty snapshot, so Acquire is never null
 }
 
 LiveIndex::~LiveIndex() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   closing_ = true;
-  WaitForMergesLocked(lock);
+  WaitForMergesLocked();
 }
 
 std::vector<StableId> LiveIndex::Ingest(
     const std::vector<std::vector<text::TermId>>& docs) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (fs_ != nullptr) {
     // WAL-first: the batch is logged (and synced, per policy) before a
     // single document lands in the writer, so recovery can never be
@@ -123,7 +123,7 @@ std::vector<StableId> LiveIndex::Ingest(
   ids.reserve(docs.size());
   for (const std::vector<text::TermId>& tokens : docs) {
     ids.push_back(writer_.Add(tokens));
-    if (writer_.num_docs() >= options_.max_writer_docs) FlushLocked(lock);
+    if (writer_.num_docs() >= options_.max_writer_docs) FlushLocked();
   }
   num_terms_ = std::max(num_terms_, writer_.num_terms());
   MarkDirtyLocked();
@@ -131,7 +131,7 @@ std::vector<StableId> LiveIndex::Ingest(
 }
 
 bool LiveIndex::Delete(StableId stable) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (fs_ != nullptr) {
     // Logged even when it will turn out to be a no-op (unknown id,
     // already deleted): replay re-runs the same deterministic checks, and
@@ -144,7 +144,7 @@ bool LiveIndex::Delete(StableId stable) {
   if (stable >= writer_.next_stable()) return false;
   if (!writer_.empty() && stable >= writer_.stable_begin()) {
     // The doc is still buffered; seal so the tombstone has a segment.
-    FlushLocked(lock);
+    FlushLocked();
   }
   if (entries_.empty()) return false;
   auto it = std::upper_bound(
@@ -168,12 +168,12 @@ bool LiveIndex::Delete(StableId stable) {
   e.deleted_before.reset();
   e.live_locals.reset();
   MarkDirtyLocked();
-  MaybeScheduleMergeLocked(lock);
+  MaybeScheduleMergeLocked();
   return true;
 }
 
 void LiveIndex::EnsureTermSpace(size_t num_terms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (fs_ != nullptr) {
     WalRecord record;
     record.type = WalRecordType::kTermSpace;
@@ -187,7 +187,7 @@ void LiveIndex::EnsureTermSpace(size_t num_terms) {
 }
 
 void LiveIndex::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // Seal records are best-effort: a seal changes only the physical
   // segmentation, never the logical collection, so an unhealthy WAL must
   // not strand acknowledged (already-logged) writer docs un-queryable.
@@ -196,41 +196,44 @@ void LiveIndex::Flush() {
     record.type = WalRecordType::kSeal;
     LogMutationLocked(std::move(record));
   }
-  FlushLocked(lock);
+  FlushLocked();
 }
 
 std::shared_ptr<const IndexSnapshot> LiveIndex::Refresh() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (fs_ != nullptr) {
     WalRecord record;
     record.type = WalRecordType::kSeal;
     LogMutationLocked(std::move(record));  // best-effort, as in Flush()
   }
-  FlushLocked(lock);
+  FlushLocked();
   if (fs_ != nullptr && wal_error_.ok() &&
       options_.durability == DurabilityPolicy::kPerRefresh) {
     // The published snapshot must never show state a crash could lose.
     util::Status s = wal_->Sync();
     if (!s.ok()) wal_error_ = s;
   }
-  if (dirty_) return PublishLocked(lock);
-  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  if (dirty_) return PublishLocked();
+  util::MutexLock snap_lock(&snapshot_mu_);
   return current_;
 }
 
 std::shared_ptr<const IndexSnapshot> LiveIndex::Acquire() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(&snapshot_mu_);
   return current_;
 }
 
 void LiveIndex::ForceMerge() {
-  std::unique_lock<std::mutex> lock(mu_);
-  FlushLocked(lock);
-  WaitForMergesLocked(lock);
+  // Explicit Lock/Unlock instead of a scoped MutexLock: the build phase
+  // runs with the mutex dropped, and CommitMerge retakes it internally.
+  mu_.Lock();
+  FlushLocked();
+  WaitForMergesLocked();
   bool needed = entries_.size() > 1;
   for (const Entry& e : entries_) needed = needed || e.num_deleted > 0;
   if (!needed) {
-    if (dirty_) PublishLocked(lock);
+    if (dirty_) PublishLocked();
+    mu_.Unlock();
     return;
   }
   std::vector<MergeInput> inputs;
@@ -240,36 +243,37 @@ void LiveIndex::ForceMerge() {
     inputs.push_back(MergeInput{e.segment, e.deleted});
   }
   ++merges_in_flight_;
-  lock.unlock();
+  mu_.Unlock();
   std::shared_ptr<const Segment> merged = BuildMerged(inputs);
   CommitMerge(inputs, std::move(merged));
-  lock.lock();
-  if (dirty_) PublishLocked(lock);
+  mu_.Lock();
+  if (dirty_) PublishLocked();
+  mu_.Unlock();
 }
 
 void LiveIndex::WaitForMerges() {
-  std::unique_lock<std::mutex> lock(mu_);
-  WaitForMergesLocked(lock);
+  util::MutexLock lock(&mu_);
+  WaitForMergesLocked();
 }
 
 size_t LiveIndex::num_segments() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return entries_.size();
 }
 
 StableId LiveIndex::next_stable_id() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return writer_.next_stable();
 }
 
-void LiveIndex::FlushLocked(std::unique_lock<std::mutex>& lock) {
+void LiveIndex::FlushLocked() {
   if (writer_.empty()) return;
   num_terms_ = std::max(num_terms_, writer_.num_terms());
   Entry e;
   e.segment = writer_.Seal();
   entries_.push_back(std::move(e));
   MarkDirtyLocked();
-  MaybeScheduleMergeLocked(lock);
+  MaybeScheduleMergeLocked();
 }
 
 void LiveIndex::MarkDirtyLocked() {
@@ -308,8 +312,7 @@ void LiveIndex::ComputeEntryCaches(Entry& e) {
   e.live_locals = std::move(locals);
 }
 
-std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked(
-    std::unique_lock<std::mutex>& lock) {
+std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked() {
   // Capture a consistent cut under mu_: shared_ptr copies of every entry
   // plus the mutation clock. The heavy O(segments × terms) aggregation
   // then runs with NO lock held — all inputs are immutable objects the
@@ -317,7 +320,7 @@ std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked(
   const uint64_t plan_seq = mutation_seq_;
   const size_t plan_terms = num_terms_;
   std::vector<Entry> plan(entries_);
-  lock.unlock();
+  mu_.Unlock();
 
   for (Entry& e : plan) {
     if (e.num_deleted > 0) ComputeEntryCaches(e);
@@ -359,7 +362,7 @@ std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked(
                                     : static_cast<double>(tokens) /
                                           static_cast<double>(base);
 
-  lock.lock();
+  mu_.Lock();
   // Donate freshly computed remap caches back to entries still keyed by
   // the same (segment, bitmap) identity, so later publishes and deletes
   // reuse instead of recompute. An entry whose bitmap moved on gets
@@ -381,19 +384,19 @@ std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked(
     snap->generation_ = ++generation_;
     std::shared_ptr<const IndexSnapshot> published = std::move(snap);
     {
-      std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+      util::MutexLock snap_lock(&snapshot_mu_);
       current_ = published;
     }
     return published;
   }
   // A concurrent publisher built from a NEWER cut and already installed
   // its snapshot; installing ours would move readers backwards.
-  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  util::MutexLock snap_lock(&snapshot_mu_);
   return current_;
 }
 
-void LiveIndex::WaitForMergesLocked(std::unique_lock<std::mutex>& lock) {
-  merges_done_.wait(lock, [this] { return merges_in_flight_ == 0; });
+void LiveIndex::WaitForMergesLocked() {
+  while (merges_in_flight_ != 0) merges_done_.Wait();
 }
 
 size_t LiveIndex::TierOf(uint64_t live_docs) const {
@@ -406,7 +409,7 @@ size_t LiveIndex::TierOf(uint64_t live_docs) const {
   return tier;
 }
 
-void LiveIndex::MaybeScheduleMergeLocked(std::unique_lock<std::mutex>& lock) {
+void LiveIndex::MaybeScheduleMergeLocked() {
   if (closing_) return;
   // Bounded re-scan loop: every iteration either schedules a disjoint
   // candidate (pool mode), fully executes one (inline mode, where the
@@ -473,10 +476,10 @@ void LiveIndex::MaybeScheduleMergeLocked(std::unique_lock<std::mutex>& lock) {
       });
       continue;  // look for further disjoint candidates
     }
-    lock.unlock();
+    mu_.Unlock();
     std::shared_ptr<const Segment> merged = BuildMerged(inputs);
     CommitMerge(inputs, std::move(merged));
-    lock.lock();
+    mu_.Lock();
   }
 }
 
@@ -549,7 +552,7 @@ std::shared_ptr<const Segment> LiveIndex::BuildMerged(
 
 void LiveIndex::CommitMerge(const std::vector<MergeInput>& inputs,
                             std::shared_ptr<const Segment> merged) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // Locate the input run by identity. It is still contiguous: other
   // merges skip `merging` entries, ingest only appends, deletes only swap
   // bitmap pointers in place.
@@ -604,23 +607,23 @@ void LiveIndex::CommitMerge(const std::vector<MergeInput>& inputs,
   // the aggregation; the surgery above already completed under one hold,
   // and merges_in_flight_ stays elevated until after the publish, so
   // WaitForMerges callers still observe fully committed state.
-  PublishLocked(lock);
+  PublishLocked();
   --merges_in_flight_;
-  merges_done_.notify_all();
-  if (!closing_) MaybeScheduleMergeLocked(lock);  // cascade up the tiers
+  merges_done_.SignalAll();
+  if (!closing_) MaybeScheduleMergeLocked();  // cascade up the tiers
 }
 
 // -------------------------------------------------------- serialization --
 
 std::string LiveIndex::Serialize() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (fs_ != nullptr) {
     WalRecord record;
     record.type = WalRecordType::kSeal;
     LogMutationLocked(std::move(record));  // best-effort, as in Flush()
   }
-  FlushLocked(lock);
-  WaitForMergesLocked(lock);
+  FlushLocked();
+  WaitForMergesLocked();
   return SerializeLocked();
 }
 
@@ -685,6 +688,10 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Deserialize(
   }
 
   auto live = std::make_unique<LiveIndex>(options);
+  // `live` is private to this call, but its members are guarded by its
+  // mutex; hold it (uncontended) for the fill so the capability analysis
+  // can verify the accesses, and for the MarkDirty/Publish at the end.
+  util::MutexLock lock(&live->mu_);
   live->num_terms_ = num_terms;
   StableId prev_end = 0;
   for (uint64_t s = 0; s < num_segments; ++s) {
@@ -780,11 +787,8 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Deserialize(
     return util::Status::DataLoss("trailing bytes after live index");
   }
   live->writer_ = SegmentWriter(next_stable);
-  {
-    std::unique_lock<std::mutex> lock(live->mu_);
-    live->MarkDirtyLocked();
-    live->PublishLocked(lock);
-  }
+  live->MarkDirtyLocked();
+  live->PublishLocked();
   return live;
 }
 
@@ -808,18 +812,18 @@ bool LiveIndex::LogMutationLocked(WalRecord&& record) {
 }
 
 util::Status LiveIndex::Checkpoint() {
-  std::unique_lock<std::mutex> lock(mu_);
-  return CheckpointLocked(lock);
+  util::MutexLock lock(&mu_);
+  return CheckpointLocked();
 }
 
-util::Status LiveIndex::CheckpointLocked(std::unique_lock<std::mutex>& lock) {
+util::Status LiveIndex::CheckpointLocked() {
   if (fs_ == nullptr) {
     return util::Status::FailedPrecondition(
         "Checkpoint() on an in-memory LiveIndex");
   }
   if (!wal_error_.ok()) return wal_error_;
-  FlushLocked(lock);
-  WaitForMergesLocked(lock);
+  FlushLocked();
+  WaitForMergesLocked();
   const std::string blob = SerializeLocked();
   const uint64_t next_gen = wal_generation_ + 1;
   // Each step below is individually atomic-or-ignorable: until CURRENT
@@ -827,29 +831,7 @@ util::Status LiveIndex::CheckpointLocked(std::unique_lock<std::mutex>& lock) {
   // never touches); after the flip, the new manifest + empty WAL are
   // already fully synced. Stray files from a crash in between are inert
   // and swept by the next successful checkpoint.
-  util::Status s = [&]() -> util::Status {
-    const std::string manifest_path = dir_ + "/" + ManifestFileName(next_gen);
-    const std::string tmp_path = manifest_path + ".tmp";
-    // A stray tmp or wal from a checkpoint that crashed here would be
-    // APPENDED to; clear them first.
-    if (fs_->Exists(tmp_path)) TOPPRIV_RETURN_IF_ERROR(fs_->Remove(tmp_path));
-    auto file = fs_->OpenForAppend(tmp_path);
-    TOPPRIV_RETURN_IF_ERROR(file.status());
-    TOPPRIV_RETURN_IF_ERROR(
-        (*file)->Append(EncodeManifestFile(next_gen, wal_seq_, blob)));
-    TOPPRIV_RETURN_IF_ERROR((*file)->Sync());
-    TOPPRIV_RETURN_IF_ERROR((*file)->Close());
-    TOPPRIV_RETURN_IF_ERROR(fs_->Rename(tmp_path, manifest_path));
-    const std::string wal_path = dir_ + "/" + WalFileName(next_gen);
-    if (fs_->Exists(wal_path)) TOPPRIV_RETURN_IF_ERROR(fs_->Remove(wal_path));
-    auto writer = WalWriter::Create(fs_, wal_path, next_gen, wal_seq_);
-    TOPPRIV_RETURN_IF_ERROR(writer.status());
-    // The commit point: everything the new generation needs is durable.
-    TOPPRIV_RETURN_IF_ERROR(WriteCurrentFile(fs_, dir_, next_gen));
-    wal_ = std::move(*writer);
-    wal_generation_ = next_gen;
-    return util::Status::Ok();
-  }();
+  util::Status s = CommitGenerationLocked(next_gen, blob);
   if (!s.ok()) {
     wal_error_ = s;
     return s;
@@ -872,8 +854,33 @@ util::Status LiveIndex::CheckpointLocked(std::unique_lock<std::mutex>& lock) {
   return util::Status::Ok();
 }
 
+util::Status LiveIndex::CommitGenerationLocked(uint64_t next_gen,
+                                               const std::string& blob) {
+  const std::string manifest_path = dir_ + "/" + ManifestFileName(next_gen);
+  const std::string tmp_path = manifest_path + ".tmp";
+  // A stray tmp or wal from a checkpoint that crashed here would be
+  // APPENDED to; clear them first.
+  if (fs_->Exists(tmp_path)) TOPPRIV_RETURN_IF_ERROR(fs_->Remove(tmp_path));
+  auto file = fs_->OpenForAppend(tmp_path);
+  TOPPRIV_RETURN_IF_ERROR(file.status());
+  TOPPRIV_RETURN_IF_ERROR(
+      (*file)->Append(EncodeManifestFile(next_gen, wal_seq_, blob)));
+  TOPPRIV_RETURN_IF_ERROR((*file)->Sync());
+  TOPPRIV_RETURN_IF_ERROR((*file)->Close());
+  TOPPRIV_RETURN_IF_ERROR(fs_->Rename(tmp_path, manifest_path));
+  const std::string wal_path = dir_ + "/" + WalFileName(next_gen);
+  if (fs_->Exists(wal_path)) TOPPRIV_RETURN_IF_ERROR(fs_->Remove(wal_path));
+  auto writer = WalWriter::Create(fs_, wal_path, next_gen, wal_seq_);
+  TOPPRIV_RETURN_IF_ERROR(writer.status());
+  // The commit point: everything the new generation needs is durable.
+  TOPPRIV_RETURN_IF_ERROR(WriteCurrentFile(fs_, dir_, next_gen));
+  wal_ = std::move(*writer);
+  wal_generation_ = next_gen;
+  return util::Status::Ok();
+}
+
 util::Status LiveIndex::SyncWal() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (fs_ == nullptr) return util::Status::Ok();
   if (!wal_error_.ok()) return wal_error_;
   util::Status s = wal_->Sync();
@@ -882,27 +889,27 @@ util::Status LiveIndex::SyncWal() {
 }
 
 bool LiveIndex::durable() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return fs_ != nullptr;
 }
 
 bool LiveIndex::healthy() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return wal_error_.ok();
 }
 
 util::Status LiveIndex::wal_status() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return wal_error_;
 }
 
 uint64_t LiveIndex::wal_sequence() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return wal_seq_;
 }
 
 uint64_t LiveIndex::wal_generation() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return wal_generation_;
 }
 
@@ -974,11 +981,17 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Recover(
     }
     found.replayed_records = replay->records.size();
     found.wal_tail_lost = replay->tail_lost;
+    util::MutexLock lock(&live->mu_);
     live->wal_seq_ = replay->next_seq;
   }
-  live->fs_ = fs;
-  live->dir_ = dir;
-  live->wal_generation_ = found.manifest_generation;
+  {
+    // Attach durability state under the (still-private) index's mutex so
+    // the guarded writes are machine-checked like every other mutation.
+    util::MutexLock lock(&live->mu_);
+    live->fs_ = fs;
+    live->dir_ = dir;
+    live->wal_generation_ = found.manifest_generation;
+  }
   // Commit the recovered state as a fresh generation immediately: this
   // collapses any torn WAL tail into a clean manifest and sidesteps
   // append-after-reopen entirely.

@@ -36,25 +36,30 @@
 //     (score desc, dense id asc) total order.
 //
 // Thread-safety: all mutations (Ingest, Delete, Flush, Refresh, merge
-// commits) serialize on one writer mutex. Acquire() is a shared_ptr copy
-// under the same mutex; everything a snapshot points at is immutable, so
-// readers never block each other and never observe a half-applied change.
+// commits) serialize on one writer mutex; readers touch only snapshot_mu_.
+// The discipline is MACHINE-checked: both mutexes are util::Mutex
+// capabilities, every guarded member carries GUARDED_BY, every *Locked
+// helper REQUIRES(mu_), and the Clang -Wthread-safety -Werror CI job fails
+// on any unlocked access (see util/thread_annotations.h and the lock map
+// in docs/ARCHITECTURE.md). Everything a snapshot points at is immutable,
+// so readers never block each other and never observe a half-applied
+// change.
 // Background merges read only immutable inputs and commit under the mutex;
 // deletes that land on a segment while it is being merged are re-applied
 // to the merged segment at commit (bitmaps only ever gain bits).
 #ifndef TOPPRIV_INDEX_LIVE_LIVE_INDEX_H_
 #define TOPPRIV_INDEX_LIVE_LIVE_INDEX_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "index/inverted_index.h"
 #include "index/live/segment.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace toppriv::util {
@@ -186,7 +191,7 @@ class LiveIndex {
  public:
   explicit LiveIndex(LiveIndexOptions options = LiveIndexOptions());
   /// Blocks until in-flight background merges drain.
-  ~LiveIndex();
+  ~LiveIndex() EXCLUDES(mu_);
 
   LiveIndex(const LiveIndex&) = delete;
   LiveIndex& operator=(const LiveIndex&) = delete;
@@ -195,20 +200,20 @@ class LiveIndex {
   /// visible to NEW snapshots at the next Refresh (auto-sealed segments
   /// included); existing snapshots are never perturbed.
   std::vector<StableId> Ingest(
-      const std::vector<std::vector<text::TermId>>& docs);
+      const std::vector<std::vector<text::TermId>>& docs) EXCLUDES(mu_);
 
   /// Tombstones one document. Returns false if the id was never assigned,
   /// was already deleted, or was deleted and since compacted away.
-  bool Delete(StableId stable);
+  bool Delete(StableId stable) EXCLUDES(mu_);
 
   /// Grows the term space (snapshot num_terms / df table width) to at
   /// least `num_terms` — callers ingesting from a corpus sync this with
   /// the corpus vocabulary so stats match a static build even when tail
   /// vocabulary terms never occur in any document.
-  void EnsureTermSpace(size_t num_terms);
+  void EnsureTermSpace(size_t num_terms) EXCLUDES(mu_);
 
   /// Seals any buffered writer documents into a segment.
-  void Flush();
+  void Flush() EXCLUDES(mu_);
 
   /// Publishes all committed mutations: seals the writer, rebuilds the
   /// current snapshot if anything changed, and returns it. A rebuild is
@@ -217,24 +222,24 @@ class LiveIndex {
   /// writer mutex — batch ingest and publish per batch, not per doc
   /// (micro_bench's LiveIngest kernel charts the amortization; ROADMAP
   /// records incremental df maintenance as the next step).
-  std::shared_ptr<const IndexSnapshot> Refresh();
+  std::shared_ptr<const IndexSnapshot> Refresh() EXCLUDES(mu_, snapshot_mu_);
 
   /// The current published snapshot (cheap: one shared_ptr copy under the
   /// writer mutex; never null — an empty index has an empty snapshot).
-  std::shared_ptr<const IndexSnapshot> Acquire() const;
+  std::shared_ptr<const IndexSnapshot> Acquire() const EXCLUDES(snapshot_mu_);
 
   /// Synchronously merges ALL segments (and compacts every tombstone)
   /// into one; flushes first and waits for background merges. The classic
   /// force-merge used by tests and the merge bench.
-  void ForceMerge();
+  void ForceMerge() EXCLUDES(mu_);
 
   /// Blocks until no background merge is in flight.
-  void WaitForMerges();
+  void WaitForMerges() EXCLUDES(mu_);
 
   /// Sealed segment count (diagnostics; excludes the writer).
-  size_t num_segments() const;
+  size_t num_segments() const EXCLUDES(mu_);
   /// Next stable id to be assigned (== total documents ever ingested).
-  StableId next_stable_id() const;
+  StableId next_stable_id() const EXCLUDES(mu_);
 
   /// Manifest serialization: header (term space, next stable id, segment
   /// count), then per segment its stable-id list (delta-coded), tombstone
@@ -245,7 +250,7 @@ class LiveIndex {
   /// non-ascending local ids, counts exceeding the segment), segment blobs
   /// contradicting the manifest, and trailing bytes — with clean DataLoss
   /// statuses.
-  std::string Serialize();
+  std::string Serialize() EXCLUDES(mu_);
   static util::StatusOr<std::unique_ptr<LiveIndex>> Deserialize(
       const std::string& bytes, LiveIndexOptions options = LiveIndexOptions());
 
@@ -280,23 +285,23 @@ class LiveIndex {
   /// Writes a manifest generation (tmp + fsync + rename), starts a fresh
   /// WAL, flips CURRENT, and deletes the previous generation's files.
   /// After OK, recovery no longer needs any pre-checkpoint WAL record.
-  util::Status Checkpoint();
+  util::Status Checkpoint() EXCLUDES(mu_);
 
   /// Syncs buffered WAL appends (the kManual policy's durability point).
-  util::Status SyncWal();
+  util::Status SyncWal() EXCLUDES(mu_);
 
   /// True when this index was opened with Recover().
-  bool durable() const;
+  bool durable() const EXCLUDES(mu_);
   /// False after a WAL/checkpoint I/O failure: the index refuses further
   /// mutations (queries still work) so memory can never run ahead of what
   /// recovery could reconstruct. wal_status() carries the fatal error.
-  bool healthy() const;
-  util::Status wal_status() const;
+  bool healthy() const EXCLUDES(mu_);
+  util::Status wal_status() const EXCLUDES(mu_);
   /// Logical mutation clock: sequence number the NEXT logged mutation
   /// would carry == total mutations ever logged (0 for in-memory indexes).
-  uint64_t wal_sequence() const;
+  uint64_t wal_sequence() const EXCLUDES(mu_);
   /// Current manifest/WAL generation (0 for in-memory indexes).
-  uint64_t wal_generation() const;
+  uint64_t wal_generation() const EXCLUDES(mu_);
 
  private:
   /// One sealed segment plus its mutable bookkeeping. `deleted` is
@@ -319,26 +324,27 @@ class LiveIndex {
     std::shared_ptr<const std::vector<char>> deleted;
   };
 
-  void FlushLocked(std::unique_lock<std::mutex>& lock);
+  void FlushLocked() REQUIRES(mu_);
   /// Bumps the mutation clock; every state change under mu_ goes through
   /// here so snapshot publication can detect staleness.
-  void MarkDirtyLocked();
+  void MarkDirtyLocked() REQUIRES(mu_);
   /// Publishes a snapshot of the current state: captures a plan (cheap
   /// shared_ptr copies) under mu_, UNLOCKS for the heavy O(segments ×
   /// terms) aggregation, relocks, and installs the result if no newer
-  /// snapshot won the race. Readers (Acquire) only ever contend on
-  /// snapshot_mu_, held for a pointer swap.
-  std::shared_ptr<const IndexSnapshot> PublishLocked(
-      std::unique_lock<std::mutex>& lock);
+  /// snapshot won the race (mu_ is held again when this returns — the
+  /// analysis tracks the drop/retake through the body). Readers (Acquire)
+  /// only ever contend on snapshot_mu_, held for a pointer swap.
+  std::shared_ptr<const IndexSnapshot> PublishLocked()
+      REQUIRES(mu_) EXCLUDES(snapshot_mu_);
   /// Fills e's derived caches (live_df / deleted_before / live_locals)
   /// from its segment and bitmap — pure function of immutable inputs, so
   /// callable with or without mu_ held.
   static void ComputeEntryCaches(Entry& e);
-  void WaitForMergesLocked(std::unique_lock<std::mutex>& lock);
+  void WaitForMergesLocked() REQUIRES(mu_);
   /// Scans for merge candidates (tombstone compactions first, then tiered
   /// runs) and either submits them to the pool or executes them inline
   /// (dropping the lock while building).
-  void MaybeScheduleMergeLocked(std::unique_lock<std::mutex>& lock);
+  void MaybeScheduleMergeLocked() REQUIRES(mu_);
   size_t TierOf(uint64_t live_docs) const;
   /// Builds the merged segment from immutable inputs (lock-free). Null
   /// when every input document is tombstoned.
@@ -346,47 +352,57 @@ class LiveIndex {
       const std::vector<MergeInput>& inputs);
   /// Swaps `inputs` for `merged` in the entry list, re-applying deletes
   /// that landed during the build; rebuilds the snapshot and cascades the
-  /// merge policy.
+  /// merge policy. Runs on merge-pool workers, so it takes mu_ itself.
   void CommitMerge(const std::vector<MergeInput>& inputs,
-                   std::shared_ptr<const Segment> merged);
+                   std::shared_ptr<const Segment> merged) EXCLUDES(mu_);
 
   /// Appends one WAL record for a mutation about to be applied, syncing
   /// per policy. False = the mutation must NOT proceed (in-memory index:
   /// trivially true; unhealthy or failed I/O: false, tragic error
   /// recorded). WAL-first: nothing changes in memory until this returns.
-  bool LogMutationLocked(WalRecord&& record);
+  bool LogMutationLocked(WalRecord&& record) REQUIRES(mu_);
   /// Serialization body shared by Serialize and Checkpoint; the writer
   /// must already be sealed and merges drained.
-  std::string SerializeLocked() const;
-  util::Status CheckpointLocked(std::unique_lock<std::mutex>& lock);
+  std::string SerializeLocked() const REQUIRES(mu_);
+  util::Status CheckpointLocked() REQUIRES(mu_);
+  /// The checkpoint commit sequence (manifest tmp+rename, fresh WAL,
+  /// CURRENT flip). A named member rather than a lambda so the capability
+  /// analysis can see it runs under mu_ (the analysis does not propagate
+  /// held locks into lambda bodies).
+  util::Status CommitGenerationLocked(uint64_t next_gen,
+                                      const std::string& blob) REQUIRES(mu_);
 
   LiveIndexOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable merges_done_;
-  size_t merges_in_flight_ = 0;
-  bool closing_ = false;
-  std::vector<Entry> entries_;
-  SegmentWriter writer_{0};
-  size_t num_terms_ = 0;
-  uint64_t generation_ = 0;
-  bool dirty_ = false;
+  /// The writer mutex: every mutation serializes on it. Lock order: mu_
+  /// strictly before snapshot_mu_ (PublishLocked); never the reverse.
+  mutable util::Mutex mu_ ACQUIRED_BEFORE(snapshot_mu_);
+  util::CondVar merges_done_{&mu_};
+  size_t merges_in_flight_ GUARDED_BY(mu_) = 0;
+  bool closing_ GUARDED_BY(mu_) = false;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
+  SegmentWriter writer_ GUARDED_BY(mu_){0};
+  size_t num_terms_ GUARDED_BY(mu_) = 0;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool dirty_ GUARDED_BY(mu_) = false;
   /// Bumped on every state change (MarkDirtyLocked); a snapshot plan
   /// captures its value to detect concurrent mutations and lose publish
   /// races to newer plans.
-  uint64_t mutation_seq_ = 1;
-  uint64_t published_seq_ = 0;
+  uint64_t mutation_seq_ GUARDED_BY(mu_) = 1;
+  uint64_t published_seq_ GUARDED_BY(mu_) = 0;
   /// Guards ONLY current_, so Acquire never waits behind snapshot
   /// construction or merge commits. Lock order: mu_ before snapshot_mu_.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const IndexSnapshot> current_;
+  mutable util::Mutex snapshot_mu_;
+  std::shared_ptr<const IndexSnapshot> current_ GUARDED_BY(snapshot_mu_);
 
-  // Durability state (fs_ == nullptr means in-memory only).
-  util::FileSystem* fs_ = nullptr;
-  std::string dir_;
-  std::unique_ptr<WalWriter> wal_;
-  uint64_t wal_generation_ = 0;
-  uint64_t wal_seq_ = 0;
-  util::Status wal_error_;
+  // Durability state (fs_ == nullptr means in-memory only). All of it is
+  // written under mu_ (Recover locks while attaching) and consulted by the
+  // WAL-first mutation path, which already holds mu_.
+  util::FileSystem* fs_ GUARDED_BY(mu_) = nullptr;
+  std::string dir_ GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_);
+  uint64_t wal_generation_ GUARDED_BY(mu_) = 0;
+  uint64_t wal_seq_ GUARDED_BY(mu_) = 0;
+  util::Status wal_error_ GUARDED_BY(mu_);
 };
 
 /// Streams corpus documents [begin, end) into `live` in `batch_size`-doc

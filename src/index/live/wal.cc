@@ -280,6 +280,9 @@ bool ParseGenerationFileName(const std::string& name, std::string* kind,
   if (dash == std::string::npos || dash + 1 == name.size()) return false;
   const std::string head = name.substr(0, dash);
   if (head != "wal" && head != "manifest") return false;
+  // 19 digits keeps g below 10^19 < 2^64; longer names are strangers, not
+  // generations (and would wrap the accumulator).
+  if (name.size() - (dash + 1) > 19) return false;
   uint64_t g = 0;
   for (size_t i = dash + 1; i < name.size(); ++i) {
     const char c = name[i];

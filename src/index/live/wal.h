@@ -96,6 +96,14 @@ util::StatusOr<WalReplay> ParseWal(const std::string& bytes);
 /// Appends records to a WAL file through a FileSystem. Create() writes and
 /// syncs the header, so an empty-but-valid log exists on disk (or the
 /// creation fails cleanly) before any mutation is acknowledged.
+///
+/// Thread-compatibility contract (capability-checked at the OWNER): a
+/// WalWriter has no internal lock — it is owned by exactly one LiveIndex,
+/// whose `wal_` member is GUARDED_BY(mu_), so every Append/Sync call is
+/// already serialized under the writer mutex. The Clang thread-safety
+/// analysis enforces this at the owning layer (an unlocked `wal_->...`
+/// fails the -Wthread-safety CI job); adding a second mutex here would
+/// only hide lock-order mistakes behind a redundant acquire.
 class WalWriter {
  public:
   static util::StatusOr<std::unique_ptr<WalWriter>> Create(

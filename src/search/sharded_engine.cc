@@ -23,17 +23,21 @@ ShardedSearchEngine::ShardedSearchEngine(const corpus::Corpus& corpus,
 }
 
 void ShardedSearchEngine::set_eval_strategy(EvalStrategy strategy) {
+  util::MutexLock lock(&strategy_mu_);
   strategy_ = strategy;
-  if (strategy == EvalStrategy::kMaxScore && shard_term_bounds_.empty()) {
+  if (strategy == EvalStrategy::kMaxScore && shard_term_bounds_ == nullptr) {
     // One impact-bound table per shard, each priced with the GLOBAL
     // document frequencies — a shard-local df would loosen nothing but a
     // wrong df would produce bounds below real contributions and break
-    // the pruning-safety argument.
-    shard_term_bounds_.reserve(index_.num_shards());
+    // the pruning-safety argument. Built under strategy_mu_ so exactly one
+    // caller pays for it; the table is immutable once the pointer lands.
+    auto bounds = std::make_shared<std::vector<std::vector<double>>>();
+    bounds->reserve(index_.num_shards());
     for (size_t s = 0; s < index_.num_shards(); ++s) {
-      shard_term_bounds_.push_back(ComputeTermImpactBounds(
+      bounds->push_back(ComputeTermImpactBounds(
           index_.shard(s), stats_, *scorer_, &index_.manifest().global_df));
     }
+    shard_term_bounds_ = std::move(bounds);
   }
 }
 
@@ -46,6 +50,17 @@ std::vector<ScoredDoc> ShardedSearchEngine::Search(
 std::vector<ScoredDoc> ShardedSearchEngine::Evaluate(
     const std::vector<text::TermId>& terms, size_t k) const {
   if (terms.empty() || k == 0) return {};
+
+  // Snapshot the strategy knob: the enum by value, the bound tables by
+  // shared_ptr (immutable pointee), so a concurrent set_eval_strategy can
+  // never be observed mid-query.
+  EvalStrategy strategy;
+  std::shared_ptr<const std::vector<std::vector<double>>> bounds;
+  {
+    util::MutexLock lock(&strategy_mu_);
+    strategy = strategy_;
+    bounds = shard_term_bounds_;
+  }
 
   // One canonical query plan for every shard: same term order, same GLOBAL
   // document frequencies. A shard evaluating with its local df would score
@@ -67,8 +82,8 @@ std::vector<ScoredDoc> ShardedSearchEngine::Evaluate(
     // Evaluate calls share the pool.
     static thread_local EvalScratch scratch;
     per_shard[s] = EvaluateTopK(
-        strategy_, index_.shard(s), stats_, *scorer_, query, dfs, k, &scratch,
-        shard_term_bounds_.empty() ? nullptr : &shard_term_bounds_[s]);
+        strategy, index_.shard(s), stats_, *scorer_, query, dfs, k, &scratch,
+        bounds == nullptr ? nullptr : &(*bounds)[s]);
     const corpus::DocId base = index_.manifest().ranges[s].begin;
     for (ScoredDoc& sd : per_shard[s]) sd.doc += base;
   };

@@ -27,6 +27,8 @@
 #include "search/engine.h"
 #include "search/scorer.h"
 #include "search/topk.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace toppriv::search {
@@ -48,11 +50,15 @@ class ShardedSearchEngine : public QueryEngine {
   ShardedSearchEngine(const ShardedSearchEngine&) = delete;
   ShardedSearchEngine& operator=(const ShardedSearchEngine&) = delete;
 
+  /// Logs the query, then evaluates. The query log is deliberately
+  /// unsynchronized (single-session client API): concurrent callers must
+  /// use the const Evaluate path, as the serving fleet does.
   std::vector<ScoredDoc> Search(const std::vector<text::TermId>& terms,
                                 size_t k, uint64_t cycle_id = 0) override;
 
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
-                                  size_t k) const override;
+                                  size_t k) const override
+      EXCLUDES(strategy_mu_);
 
   const QueryLog& query_log() const override { return log_; }
   QueryLog& mutable_query_log() override { return log_; }
@@ -64,14 +70,19 @@ class ShardedSearchEngine : public QueryEngine {
   /// Shard-evaluation threads (1 = sequential scatter).
   size_t num_threads() const { return pool_ ? pool_->num_threads() : 1; }
 
-  EvalStrategy eval_strategy() const override { return strategy_; }
+  EvalStrategy eval_strategy() const override EXCLUDES(strategy_mu_) {
+    util::MutexLock lock(&strategy_mu_);
+    return strategy_;
+  }
   /// Per-shard evaluation strategy; the parity contract makes strategies
   /// indistinguishable result-wise. Selecting MaxScore builds the
   /// per-shard impact-bound tables on first selection — with the GLOBAL
-  /// document frequencies, like every other scoring input here. NOT
-  /// thread-safe: call before sharing the engine with concurrent
-  /// Evaluate callers (a serving fleet), never while they run.
-  void set_eval_strategy(EvalStrategy strategy);
+  /// document frequencies, like every other scoring input here.
+  /// Thread-safe: the strategy and its bound tables live behind
+  /// strategy_mu_ (PR 7 — this used to be a caller-beware prose contract;
+  /// the capability analysis now enforces it). In-flight Evaluate calls
+  /// finish under the strategy they started with.
+  void set_eval_strategy(EvalStrategy strategy) EXCLUDES(strategy_mu_);
 
  private:
   const corpus::Corpus& corpus_;
@@ -80,10 +91,16 @@ class ShardedSearchEngine : public QueryEngine {
   /// Global collection statistics from the manifest; every shard scores
   /// against these.
   CollectionStats stats_;
-  EvalStrategy strategy_ = EvalStrategy::kTAAT;
-  /// Per-shard ComputeTermImpactBounds tables (global df); non-empty iff
-  /// MaxScore was ever selected. Immutable once built.
-  std::vector<std::vector<double>> shard_term_bounds_;
+  /// Guards the evaluation-strategy switch (the one mutable knob shared
+  /// with concurrent Evaluate callers). Held only for pointer/enum reads
+  /// and the one-time bound-table build — never across shard evaluation.
+  mutable util::Mutex strategy_mu_;
+  EvalStrategy strategy_ GUARDED_BY(strategy_mu_) = EvalStrategy::kTAAT;
+  /// Per-shard ComputeTermImpactBounds tables (global df); non-null iff
+  /// MaxScore was ever selected. The pointee is immutable — Evaluate
+  /// snapshots the shared_ptr under strategy_mu_ and reads it lock-free.
+  std::shared_ptr<const std::vector<std::vector<double>>> shard_term_bounds_
+      GUARDED_BY(strategy_mu_);
   /// Private fan-out pool; null in sequential mode. Owned by the engine so
   /// it can never be one of the caller's own worker pools (a caller
   /// blocking inside its own pool would deadlock).

@@ -50,6 +50,9 @@ SessionDriver::SessionDriver(const topicmodel::LdaModel& model,
                                  ? util::ThreadPool::HardwareConcurrency()
                                  : options_.num_threads;
   if (num_threads > 1) {
+    // No concurrent caller can exist yet; the lock satisfies the
+    // capability analysis for the guarded pool_ write.
+    util::MutexLock lock(&run_mu_);
     pool_ = std::make_unique<util::ThreadPool>(num_threads);
   }
 }
@@ -92,6 +95,9 @@ SessionStats SessionDriver::RunSession(uint64_t session_id,
 }
 
 ServingReport SessionDriver::Run(const std::vector<SessionWorkload>& sessions) {
+  // Single-flight: a second Run waits here until the first one's fleet
+  // drains (see run_mu_'s comment in the header).
+  util::MutexLock lock(&run_mu_);
   ServingReport report;
   report.sessions.resize(sessions.size());
   util::WallTimer timer;

@@ -30,6 +30,8 @@
 #include "topicmodel/lda_model.h"
 #include "toppriv/privacy_spec.h"
 #include "toppriv/session.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace toppriv::serving {
@@ -99,9 +101,12 @@ class SessionDriver {
   /// Protects and executes every session's queries. Safe to call
   /// repeatedly — the worker pool (and with it each worker's thread-local
   /// evaluation/inference scratch) lives for the driver's lifetime, so
-  /// repeated calls do not re-pay thread spawn or scratch growth. Not
-  /// reentrant: one Run at a time per driver.
-  ServingReport Run(const std::vector<SessionWorkload>& sessions);
+  /// repeated calls do not re-pay thread spawn or scratch growth.
+  /// One Run at a time per driver: concurrent callers serialize on
+  /// run_mu_ (PR 7 — this used to be a prose-only "not reentrant" rule; a
+  /// second caller now waits instead of corrupting the first one's fleet).
+  ServingReport Run(const std::vector<SessionWorkload>& sessions)
+      EXCLUDES(run_mu_);
 
   const DriverOptions& options() const { return options_; }
 
@@ -118,9 +123,15 @@ class SessionDriver {
   /// copy. Absent under the incoherent-ghosts ablation, which samples
   /// uniformly.
   std::optional<core::TopicCdfTable> topic_cdfs_;
+  /// Serializes Run calls: the worker pool and the per-run report slots
+  /// are a single-flight resource (ThreadPool::ParallelFor itself is
+  /// concurrency-safe, but interleaved runs would interleave their wall
+  /// clocks and defeat the per-run determinism digests).
+  mutable util::Mutex run_mu_;
   /// Worker pool, kept across Run calls; null when the resolved thread
   /// count is 1 (sessions then run inline on the caller's thread).
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// Created in the constructor, used only by the (serialized) Run.
+  std::unique_ptr<util::ThreadPool> pool_ GUARDED_BY(run_mu_);
 };
 
 /// Deals `queries` round-robin into `num_sessions` session workloads

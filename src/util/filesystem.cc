@@ -163,8 +163,7 @@ class FaultInjectingWritableFile : public WritableFile {
   std::string path_;
 };
 
-Status FaultInjectingFileSystem::CountOp(std::unique_lock<std::mutex>& lock) {
-  (void)lock;  // documents that callers hold mu_
+Status FaultInjectingFileSystem::CountOp() {
   const uint64_t idx = op_count_++;
   if (fault_at_ >= 0 && !fault_fired_ &&
       idx == static_cast<uint64_t>(fault_at_)) {
@@ -175,8 +174,8 @@ Status FaultInjectingFileSystem::CountOp(std::unique_lock<std::mutex>& lock) {
 }
 
 Status FaultInjectingWritableFile::Append(const std::string& data) {
-  std::unique_lock<std::mutex> lock(fs_->mu_);
-  Status fault = fs_->CountOp(lock);
+  MutexLock lock(&fs_->mu_);
+  Status fault = fs_->CountOp();
   FaultInjectingFileSystem::FileState& f = fs_->files_[path_];
   if (!fault.ok()) {
     if (fs_->fault_mode_ == FaultInjectingFileSystem::FaultMode::kShortWrite) {
@@ -190,8 +189,8 @@ Status FaultInjectingWritableFile::Append(const std::string& data) {
 }
 
 Status FaultInjectingWritableFile::Sync() {
-  std::unique_lock<std::mutex> lock(fs_->mu_);
-  Status fault = fs_->CountOp(lock);
+  MutexLock lock(&fs_->mu_);
+  Status fault = fs_->CountOp();
   if (!fault.ok()) return fault;  // watermark NOT advanced
   FaultInjectingFileSystem::FileState& f = fs_->files_[path_];
   f.synced = f.data.size();
@@ -200,8 +199,8 @@ Status FaultInjectingWritableFile::Sync() {
 
 StatusOr<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::OpenForAppend(
     const std::string& path) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Status fault = CountOp(lock);
+  MutexLock lock(&mu_);
+  Status fault = CountOp();
   if (!fault.ok()) return fault;
   files_[path];  // creates (empty, unsynced-data-free) if missing
   return std::unique_ptr<WritableFile>(
@@ -209,7 +208,7 @@ StatusOr<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::OpenForAppend(
 }
 
 StatusOr<std::string> FaultInjectingFileSystem::Read(const std::string& path) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("cannot open: " + path);
   return it->second.data;
@@ -217,8 +216,8 @@ StatusOr<std::string> FaultInjectingFileSystem::Read(const std::string& path) {
 
 Status FaultInjectingFileSystem::Rename(const std::string& from,
                                         const std::string& to) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Status fault = CountOp(lock);
+  MutexLock lock(&mu_);
+  Status fault = CountOp();
   if (!fault.ok()) return fault;
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("rename source: " + from);
@@ -228,8 +227,8 @@ Status FaultInjectingFileSystem::Rename(const std::string& from,
 }
 
 Status FaultInjectingFileSystem::Remove(const std::string& path) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Status fault = CountOp(lock);
+  MutexLock lock(&mu_);
+  Status fault = CountOp();
   if (!fault.ok()) return fault;
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("remove: " + path);
@@ -239,7 +238,7 @@ Status FaultInjectingFileSystem::Remove(const std::string& path) {
 
 StatusOr<std::vector<std::string>> FaultInjectingFileSystem::List(
     const std::string& dir) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
   std::vector<std::string> names;
   for (const auto& [path, state] : files_) {
@@ -253,63 +252,63 @@ StatusOr<std::vector<std::string>> FaultInjectingFileSystem::List(
 }
 
 bool FaultInjectingFileSystem::Exists(const std::string& path) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.find(path) != files_.end();
 }
 
 Status FaultInjectingFileSystem::MakeDirs(const std::string& dir) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Status fault = CountOp(lock);
+  MutexLock lock(&mu_);
+  Status fault = CountOp();
   if (!fault.ok()) return fault;
   dirs_[dir] = true;
   return Status::Ok();
 }
 
 void FaultInjectingFileSystem::ArmFault(uint64_t after_ops, FaultMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fault_at_ = static_cast<int64_t>(op_count_ + after_ops);
   fault_mode_ = mode;
   fault_fired_ = false;
 }
 
 void FaultInjectingFileSystem::DisarmFault() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fault_at_ = -1;
 }
 
 bool FaultInjectingFileSystem::fault_fired() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_fired_;
 }
 
 uint64_t FaultInjectingFileSystem::op_count() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return op_count_;
 }
 
 void FaultInjectingFileSystem::PowerCut() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [path, state] : files_) {
     if (state.data.size() > state.synced) state.data.resize(state.synced);
   }
 }
 
 std::string FaultInjectingFileSystem::FileBytes(const std::string& path) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? std::string() : it->second.data;
 }
 
 void FaultInjectingFileSystem::SetFileBytes(const std::string& path,
                                             const std::string& bytes) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FileState& f = files_[path];
   f.data = bytes;
   f.synced = bytes.size();
 }
 
 void FaultInjectingFileSystem::Truncate(const std::string& path, size_t n) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return;
   FileState& f = it->second;
@@ -319,7 +318,7 @@ void FaultInjectingFileSystem::Truncate(const std::string& path, size_t n) {
 
 void FaultInjectingFileSystem::CorruptByte(const std::string& path,
                                            size_t offset, uint8_t mask) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end() || offset >= it->second.data.size()) return;
   it->second.data[offset] =
@@ -328,8 +327,11 @@ void FaultInjectingFileSystem::CorruptByte(const std::string& path,
 
 std::unique_ptr<FaultInjectingFileSystem> FaultInjectingFileSystem::Clone()
     const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto copy = std::make_unique<FaultInjectingFileSystem>();
+  // The copy is private to this call, but its members are guarded, so take
+  // its (trivially uncontended) mutex to satisfy the capability analysis.
+  MutexLock copy_lock(&copy->mu_);
   copy->files_ = files_;
   copy->dirs_ = dirs_;
   return copy;

@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace toppriv::util {
 
@@ -95,42 +96,46 @@ class FaultInjectingFileSystem : public FileSystem {
   FaultInjectingFileSystem() = default;
 
   StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
-      const std::string& path) override;
-  StatusOr<std::string> Read(const std::string& path) override;
-  Status Rename(const std::string& from, const std::string& to) override;
-  Status Remove(const std::string& path) override;
-  StatusOr<std::vector<std::string>> List(const std::string& dir) override;
-  bool Exists(const std::string& path) override;
-  Status MakeDirs(const std::string& dir) override;
+      const std::string& path) override EXCLUDES(mu_);
+  StatusOr<std::string> Read(const std::string& path) override EXCLUDES(mu_);
+  Status Rename(const std::string& from, const std::string& to) override
+      EXCLUDES(mu_);
+  Status Remove(const std::string& path) override EXCLUDES(mu_);
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override
+      EXCLUDES(mu_);
+  bool Exists(const std::string& path) override EXCLUDES(mu_);
+  Status MakeDirs(const std::string& dir) override EXCLUDES(mu_);
 
   // ------------------------------------------------ fault orchestration --
 
   /// Arms a one-shot fault on the `after_ops`-th mutating operation from
   /// now (0 = the next one).
-  void ArmFault(uint64_t after_ops, FaultMode mode);
-  void DisarmFault();
+  void ArmFault(uint64_t after_ops, FaultMode mode) EXCLUDES(mu_);
+  void DisarmFault() EXCLUDES(mu_);
   /// True once an armed fault has fired.
-  bool fault_fired() const;
+  bool fault_fired() const EXCLUDES(mu_);
   /// Mutating operations performed so far (the fault counter's clock).
-  uint64_t op_count() const;
+  uint64_t op_count() const EXCLUDES(mu_);
 
   /// Drops every byte appended after each file's last successful Sync.
-  void PowerCut();
+  void PowerCut() EXCLUDES(mu_);
 
   // ------------------------------------------------- state manipulation --
   // Test utilities for building hostile on-disk states.
 
   /// Full byte content of `path` (empty if missing).
-  std::string FileBytes(const std::string& path) const;
+  std::string FileBytes(const std::string& path) const EXCLUDES(mu_);
   /// Replaces `path`'s content (marks it fully synced).
-  void SetFileBytes(const std::string& path, const std::string& bytes);
+  void SetFileBytes(const std::string& path, const std::string& bytes)
+      EXCLUDES(mu_);
   /// Truncates `path` to `n` bytes (no-op if already shorter).
-  void Truncate(const std::string& path, size_t n);
+  void Truncate(const std::string& path, size_t n) EXCLUDES(mu_);
   /// XORs one byte of `path` with `mask`.
-  void CorruptByte(const std::string& path, size_t offset, uint8_t mask);
+  void CorruptByte(const std::string& path, size_t offset, uint8_t mask)
+      EXCLUDES(mu_);
   /// Deep copy of the current files (fault plan not copied) — lets a test
   /// recover many times from one captured crash image.
-  std::unique_ptr<FaultInjectingFileSystem> Clone() const;
+  std::unique_ptr<FaultInjectingFileSystem> Clone() const EXCLUDES(mu_);
 
  private:
   friend class FaultInjectingWritableFile;
@@ -141,15 +146,16 @@ class FaultInjectingFileSystem : public FileSystem {
   };
 
   /// Counts one mutating op; returns non-OK if the armed fault fires.
-  Status CountOp(std::unique_lock<std::mutex>& lock);
+  Status CountOp() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, FileState> files_;
-  std::map<std::string, bool> dirs_;
-  uint64_t op_count_ = 0;
-  int64_t fault_at_ = -1;  // op index the fault fires at; -1 = disarmed
-  FaultMode fault_mode_ = FaultMode::kFailOp;
-  bool fault_fired_ = false;
+  mutable Mutex mu_;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
+  std::map<std::string, bool> dirs_ GUARDED_BY(mu_);
+  uint64_t op_count_ GUARDED_BY(mu_) = 0;
+  /// Op index the fault fires at; -1 = disarmed.
+  int64_t fault_at_ GUARDED_BY(mu_) = -1;
+  FaultMode fault_mode_ GUARDED_BY(mu_) = FaultMode::kFailOp;
+  bool fault_fired_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace toppriv::util

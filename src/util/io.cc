@@ -46,8 +46,12 @@ void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
 
 void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
   WriteVarint(v.size());
-  const char* raw = reinterpret_cast<const char*>(v.data());
-  buf_.append(raw, v.size() * sizeof(float));
+  // data() may be null for an empty vector; append requires a valid pointer
+  // even for zero counts.
+  if (!v.empty()) {
+    buf_.append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(float));
+  }
 }
 
 void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
@@ -136,8 +140,12 @@ Status BinaryReader::ReadFloatVector(std::vector<float>* v) {
     return Status::DataLoss("float vector count exceeds payload");
   }
   v->resize(n);
-  std::memcpy(v->data(), buf_.data() + pos_, n * sizeof(float));
-  pos_ += n * sizeof(float);
+  // n == 0 leaves data() null on a fresh vector, and memcpy's pointer
+  // arguments are declared nonnull even for zero sizes (UBSan enforces it).
+  if (n != 0) {
+    std::memcpy(v->data(), buf_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
   return Status::Ok();
 }
 
@@ -181,7 +189,12 @@ bool DecodeVarint(const std::string& buf, size_t* pos, uint64_t* v) {
   size_t p = *pos;
   while (p < buf.size() && shift < 64) {
     uint8_t byte = static_cast<uint8_t>(buf[p++]);
-    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    const uint64_t bits = byte & 0x7f;
+    // The 10th byte holds bit 63 alone; larger values would shift payload
+    // bits off the top — reject rather than silently truncate (also keeps
+    // hostile inputs out of -fsanitize=integer's unsigned-shift checks).
+    if (shift == 63 && bits > 1) return false;
+    result |= bits << shift;
     if ((byte & 0x80) == 0) {
       *pos = p;
       *v = result;

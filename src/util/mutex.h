@@ -1,0 +1,99 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// std::mutex cannot carry Clang capability attributes, so the concurrent
+// layers lock through these thin wrappers instead (zero overhead: every
+// method is an inline forward to the std primitive). The shapes mirror
+// LevelDB's port::Mutex/port::CondVar so the annotation patterns match the
+// ones Clang's documentation is written against:
+//
+//   Mutex mu_;                           // a capability
+//   int x_ GUARDED_BY(mu_);              // data it protects
+//   void Foo() EXCLUDES(mu_) {           // public entry point
+//     MutexLock lock(&mu_);              // scoped acquire
+//     BarLocked();                       // internal helper
+//   }
+//   void BarLocked() REQUIRES(mu_);      // caller must hold mu_
+//
+// Functions that drop and retake the lock mid-body (e.g. snapshot
+// publication's heavy off-lock aggregation) call mu_.Unlock()/mu_.Lock()
+// directly inside a REQUIRES(mu_) function — the analysis tracks the
+// capability linearly through the body and still enforces held-at-exit.
+//
+// CondVar is bound to its Mutex at construction. Wait() atomically
+// releases and reacquires it; callers loop on their predicate as usual:
+//   while (!done_) cv_.Wait();    // inside REQUIRES(mu_)
+// Wait itself is deliberately unannotated (as in LevelDB): the analysis
+// cannot prove the CondVar's stored pointer aliases the caller's mutex, so
+// an annotation would misfire at every call site. The caller holds the
+// mutex before and after the call, which is exactly what the analysis
+// assumes; the release inside Wait is invisible to it and safe.
+#ifndef TOPPRIV_UTIL_MUTEX_H_
+#define TOPPRIV_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace toppriv::util {
+
+class CondVar;
+
+/// An exclusive lock annotated as a Clang capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  /// Tells the analysis this thread holds the mutex when the fact cannot
+  /// be proven structurally (no runtime check; document each use).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII acquire/release of a Mutex for one scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to one Mutex for its whole lifetime.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the mutex, blocks, and reacquires it before
+  /// returning. Spurious wakeups happen; callers loop on their predicate.
+  /// The CALLER must hold the bound mutex (unannotated — see file comment).
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the (reacquired) mutex
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace toppriv::util
+
+#endif  // TOPPRIV_UTIL_MUTEX_H_

@@ -15,24 +15,24 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.SignalAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && active_ == 0)) all_idle_.Wait();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -44,25 +44,28 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // must only block on their own iterations.
   struct CallState {
     std::atomic<size_t> cursor{0};
-    std::mutex mu;
-    std::condition_variable done;
-    size_t pending = 0;
+    Mutex mu;
+    CondVar done{&mu};
+    size_t pending GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<CallState>();
   const size_t num_workers = std::min(n, threads_.size());
-  state->pending = num_workers;
+  {
+    MutexLock lock(&state->mu);
+    state->pending = num_workers;
+  }
   for (size_t w = 0; w < num_workers; ++w) {
     Submit([state, n, &fn] {
       for (size_t i = state->cursor.fetch_add(1); i < n;
            i = state->cursor.fetch_add(1)) {
         fn(i);
       }
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (--state->pending == 0) state->done.notify_all();
+      MutexLock lock(&state->mu);
+      if (--state->pending == 0) state->done.SignalAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] { return state->pending == 0; });
+  MutexLock lock(&state->mu);
+  while (state->pending != 0) state->done.Wait();
 }
 
 size_t ThreadPool::HardwareConcurrency() {
@@ -74,9 +77,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_available_.Wait();
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -84,9 +86,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) all_idle_.SignalAll();
     }
   }
 }

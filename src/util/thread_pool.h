@@ -9,13 +9,14 @@
 #ifndef TOPPRIV_UTIL_THREAD_POOL_H_
 #define TOPPRIV_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace toppriv::util {
 
@@ -26,16 +27,16 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads);
 
   /// Joins all workers; pending tasks are completed first.
-  ~ThreadPool();
+  ~ThreadPool() EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs fn(0) .. fn(n-1), distributing iterations over the workers via a
   /// shared counter (self-balancing: cheap iterations do not hold up
@@ -44,7 +45,8 @@ class ThreadPool {
   /// and do not wait on each other's tasks. Must not be called from one of
   /// this pool's own workers (the blocked worker could starve the queue).
   /// `fn` must tolerate concurrent invocation with distinct arguments.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -53,15 +55,17 @@ class ThreadPool {
   static size_t HardwareConcurrency();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
+  /// Set only in the constructor, before any worker can observe it; read
+  /// lock-free afterwards (num_threads, ParallelFor sizing).
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  size_t active_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_available_{&mu_};
+  CondVar all_idle_{&mu_};
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace toppriv::util

@@ -1,0 +1,25 @@
+// Positive control for the thread-safety negative-compile check: correctly
+// locked access to a GUARDED_BY member. If THIS stops compiling under
+// -Werror=thread-safety-analysis, the macros or the Mutex wrapper broke —
+// and the paired rejection of unlocked_access.cc would be meaningless.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  toppriv::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  int Read() EXCLUDES(mu) {
+    toppriv::util::MutexLock lock(&mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Read();
+}

@@ -1,0 +1,24 @@
+// Negative-compile probe: reads a GUARDED_BY member without holding its
+// mutex. Under Clang with -Werror=thread-safety-analysis this translation
+// unit MUST FAIL to compile; the configure-time check in
+// tests/CMakeLists.txt raises FATAL_ERROR if it ever succeeds, because
+// that would mean the capability macros rotted into no-ops and every
+// annotation in the tree stopped being machine-checked.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  toppriv::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  int ReadUnlocked() { return value; }  // the violation under test
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.ReadUnlocked();
+}
