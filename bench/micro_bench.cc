@@ -12,9 +12,13 @@
 // runs in CI smoke, and the kernels cannot bit-rot behind a missing
 // dependency.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/generator.h"
@@ -162,6 +166,70 @@ uint64_t KernelWalAppend(size_t sync_every) {
   return (*writer)->next_seq();
 }
 
+uint64_t KernelIdleRefresh(size_t live_docs) {
+  // Regression guard for the idle-Refresh WAL leak: a durable index with
+  // `live_docs` single-doc segments takes 256 Refresh() calls with an
+  // empty writer. Post-fix these log nothing and sync nothing (the
+  // checksum folds in the file-system op delta, which must be zero), so
+  // the time is ~flat in `live_docs`; pre-fix every call appended a seal
+  // record and paid an fsync, growing the WAL without bound.
+  util::FaultInjectingFileSystem fs;
+  const auto& world = World();
+  index::live::LiveIndexOptions options;
+  options.max_writer_docs = 1;  // every doc seals its own segment
+  options.merge_factor = 1000;  // keep them all: many-segment publishes
+  options.durability = index::live::DurabilityPolicy::kPerRefresh;
+  auto live = index::live::LiveIndex::Recover(&fs, "bench-live", options);
+  if (!live.ok()) return 0;
+  (*live)->EnsureTermSpace(world.corpus.vocabulary_size());
+  std::vector<std::vector<text::TermId>> batch;
+  for (size_t d = 0; d < live_docs; ++d) {
+    batch.push_back(
+        world.corpus.documents()[d % world.corpus.num_documents()].tokens);
+  }
+  (*live)->Ingest(batch);
+  (*live)->Refresh();
+  const uint64_t ops_before = fs.op_count();
+  for (size_t i = 0; i < 256; ++i) (*live)->Refresh();
+  return (*live)->Acquire()->num_documents() + (fs.op_count() - ops_before);
+}
+
+uint64_t KernelWalGroupCommit(size_t num_threads) {
+  // Group-commit throughput: `num_threads` writers each ingest 64
+  // single-doc batches under kPerBatch (every ack requires the record
+  // durable before Ingest returns). Leader/follower syncing lets
+  // concurrent writers share one fsync, so acked writes/s scales with the
+  // writer count instead of serializing on the sync.
+  constexpr size_t kWritesPerThread = 64;
+  util::FaultInjectingFileSystem fs;
+  const auto& world = World();
+  index::live::LiveIndexOptions options;
+  options.max_writer_docs = 8;
+  options.merge_factor = 1000;
+  options.durability = index::live::DurabilityPolicy::kPerBatch;
+  auto live = index::live::LiveIndex::Recover(&fs, "bench-live", options);
+  if (!live.ok()) return 0;
+  (*live)->EnsureTermSpace(world.corpus.vocabulary_size());
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < num_threads; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = 0; i < kWritesPerThread; ++i) {
+        const auto& doc =
+            world.corpus
+                .documents()[(w * kWritesPerThread + i) %
+                             world.corpus.num_documents()]
+                .tokens;
+        acked.fetch_add((*live)->Ingest({doc}).size(),
+                        std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  (*live)->Refresh();
+  return acked.load() + (*live)->Acquire()->num_documents();
+}
+
 uint64_t KernelQueryEvaluation(search::SearchEngine& engine, size_t* qi) {
   const auto& world = World();
   const auto& q = world.workload[*qi % world.workload.size()];
@@ -259,6 +327,28 @@ BENCHMARK(BM_WalAppend)
     ->Arg(0)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_LiveRefresh(benchmark::State& state) {
+  // Arg: live single-doc segments under the 256 idle Refresh calls. The
+  // idle-Refresh fix makes this ~flat across args and across history;
+  // items/s is idle refreshes per second.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KernelIdleRefresh(static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_LiveRefresh)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_WalGroupCommit(benchmark::State& state) {
+  // Arg: concurrent kPerBatch writers; items/s is acked durable writes/s.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KernelWalGroupCommit(static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_WalGroupCommit)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_QueryEvaluation(benchmark::State& state) {
   // Arg 0: 0 = TAAT, 1 = MaxScore — the strategy comparison in one chart.
   const auto& world = World();
@@ -336,7 +426,21 @@ BENCHMARK_MAIN();
 
 #else  // !TOPPRIV_HAVE_BENCHMARK
 
+#include "util/io.h"
+#include "util/json.h"
+
 namespace {
+
+struct KernelResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  size_t iters = 0;
+};
+
+std::vector<KernelResult>& Results() {
+  static std::vector<KernelResult>* results = new std::vector<KernelResult>();
+  return *results;
+}
 
 /// Poor-man's harness: runs `fn` `iters` times, prints mean ns/op. No
 /// statistics, no warmup sophistication — enough to smoke the kernels and
@@ -351,11 +455,49 @@ void RunKernel(const char* name, size_t iters, Fn&& fn) {
   double ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
   std::printf("%-28s %10.0f ns/op   (iters=%zu, sink=%llu)\n", name, ns,
               iters, static_cast<unsigned long long>(sink));
+  Results().push_back({name, ns, iters});
+}
+
+// Writes the run in Google Benchmark's --benchmark_out=json shape (a
+// "benchmarks" array of {name, real_time, time_unit} objects) so
+// tools/bench_compare.py reads either harness's sidecar identically.
+void WriteJson(const std::string& path) {
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("context");
+  w.BeginObject();
+  w.Field("harness", "fallback");
+  w.EndObject();
+  w.Key("benchmarks");
+  w.BeginArray();
+  for (const KernelResult& r : Results()) {
+    w.BeginObject();
+    w.Field("name", r.name);
+    w.Field("run_type", "iteration");
+    w.Field("iterations", static_cast<uint64_t>(r.iters));
+    w.Field("real_time", r.ns_per_op);
+    w.Field("cpu_time", r.ns_per_op);
+    w.Field("time_unit", "ns");
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  util::Status status = util::WriteFile(path, w.str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "micro_bench: writing %s failed: %s\n", path.c_str(),
+                 status.ToString().c_str());
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::printf(
       "micro_bench fallback harness (Google Benchmark not found at build "
       "time)\n\n");
@@ -373,6 +515,12 @@ int main() {
   RunKernel("WalAppend/sync1", 50, [] { return KernelWalAppend(1); });
   RunKernel("WalAppend/sync16", 50, [] { return KernelWalAppend(16); });
   RunKernel("WalAppend/syncEnd", 50, [] { return KernelWalAppend(0); });
+  RunKernel("LiveRefresh/idle64", 10, [] { return KernelIdleRefresh(64); });
+  RunKernel("LiveRefresh/idle256", 5, [] { return KernelIdleRefresh(256); });
+  RunKernel("WalGroupCommit/threads1", 10,
+            [] { return KernelWalGroupCommit(1); });
+  RunKernel("WalGroupCommit/threads4", 10,
+            [] { return KernelWalGroupCommit(4); });
 
   {
     search::SearchEngine engine(world.corpus, world.index,
@@ -395,6 +543,7 @@ int main() {
     RunKernel("LdaInference", 200,
               [&] { return KernelLdaInference(inferencer, &qi); });
   }
+  if (!json_path.empty()) WriteJson(json_path);
   return 0;
 }
 

@@ -93,6 +93,7 @@ struct RetrievalCell {
 struct LiveCell {
   search::EvalStrategy strategy;
   size_t threads = 0;
+  size_t eval_threads = 1;
   size_t upfront_docs = 0;
   size_t streamed_docs = 0;
   double ingest_wall_seconds = 0.0;
@@ -279,6 +280,8 @@ int main(int argc, char** argv) {
     }
     return uint64_t{0};
   };
+  size_t live_eval_threads = fixture.config().live_eval_threads;
+  if (live_eval_threads == 0) live_eval_threads = hw;
   for (search::EvalStrategy strategy : kStrategies) {
     const uint64_t want_digest = static_replay_digest(strategy);
     for (size_t threads : {size_t{1}, size_t{4}}) {
@@ -288,12 +291,24 @@ int main(int argc, char** argv) {
       live_options.merge_pool = &merge_pool;
       std::unique_ptr<index::live::LiveIndex> live =
           fixture.MakeLiveIndex(upfront_fraction, live_options);
+      // The engine's per-query segment fan-out needs its own pool: driver
+      // workers BLOCK inside ParallelFor, so handing them the driver's (or
+      // merge) pool would deadlock. Declared before the engine so it
+      // outlives it. Parity is unaffected — the fan-out is bit-identical
+      // to the sequential scatter by the determinism argument in
+      // live_engine.h, and the convergence digest below proves it per run.
+      std::unique_ptr<util::ThreadPool> eval_pool;
+      if (live_eval_threads > 1) {
+        eval_pool = std::make_unique<util::ThreadPool>(live_eval_threads);
+      }
       search::LiveSearchEngine engine(fixture.corpus(), *live,
-                                      search::MakeBm25Scorer(), strategy);
+                                      search::MakeBm25Scorer(), strategy,
+                                      eval_pool.get());
 
       LiveCell cell;
       cell.strategy = strategy;
       cell.threads = threads;
+      cell.eval_threads = live_eval_threads;
       cell.upfront_docs = live->Acquire()->num_documents();
       cell.streamed_docs = corpus_docs - cell.upfront_docs;
 
@@ -386,12 +401,13 @@ int main(int argc, char** argv) {
              "x"});
   }
 
-  util::TablePrinter live_table({"strategy", "threads", "upfront", "streamed",
-                                 "ingest_docs/s", "cycles/s", "queries/s",
-                                 "segments", "parity"});
+  util::TablePrinter live_table({"strategy", "threads", "eval_thr", "upfront",
+                                 "streamed", "ingest_docs/s", "cycles/s",
+                                 "queries/s", "segments", "parity"});
   for (const LiveCell& cell : live_cells) {
     live_table.AddRow(
         {search::EvalStrategyName(cell.strategy), std::to_string(cell.threads),
+         std::to_string(cell.eval_threads),
          std::to_string(cell.upfront_docs), std::to_string(cell.streamed_docs),
          util::FormatDouble(cell.ingest_docs_per_second, 1),
          util::FormatDouble(cell.report.cycles_per_second, 1),
@@ -486,6 +502,7 @@ int main(int argc, char** argv) {
       json.BeginObject();
       json.Field("strategy", search::EvalStrategyName(cell.strategy));
       json.Field("threads", static_cast<uint64_t>(cell.threads));
+      json.Field("eval_threads", static_cast<uint64_t>(cell.eval_threads));
       json.Field("upfront_docs", static_cast<uint64_t>(cell.upfront_docs));
       json.Field("streamed_docs", static_cast<uint64_t>(cell.streamed_docs));
       json.Field("ingest_wall_seconds", cell.ingest_wall_seconds);

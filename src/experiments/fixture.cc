@@ -73,6 +73,7 @@ FixtureConfig FixtureConfig::FromEnv() {
   config.shard_threads = EnvSize("TOPPRIV_SHARD_THREADS", 1);
   config.eval_strategy = search::EvalStrategyFromEnv();
   config.live_ingest_upfront = EnvFraction("TOPPRIV_LIVE_INGEST", 0.5);
+  config.live_eval_threads = EnvSize("TOPPRIV_LIVE_EVAL_THREADS", 1);
   config.durability = EnvDurability("TOPPRIV_DURABILITY");
   return config;
 }

@@ -16,6 +16,9 @@
 //   TOPPRIV_LIVE_INGEST fraction of the corpus ingested up-front into a
 //                          MakeLiveIndex live index (default 0.5); the
 //                          rest streams in during the serving run
+//   TOPPRIV_LIVE_EVAL_THREADS  per-query segment fan-out threads for the
+//                          live serving phase (default 1 = sequential;
+//                          0 = hardware concurrency)
 //   TOPPRIV_DURABILITY  WAL mode for MakeLiveIndex indexes: off (default,
 //                          in-memory), batch, refresh or manual. When on,
 //                          the index is opened with LiveIndex::Recover()
@@ -62,6 +65,12 @@ struct FixtureConfig {
   /// (TOPPRIV_LIVE_INGEST, clamped to [0, 1]); the remainder is streamed
   /// during the serving run's mixed read/write phase.
   double live_ingest_upfront = 0.5;
+  /// Per-query segment fan-out threads for live-serving benches
+  /// (TOPPRIV_LIVE_EVAL_THREADS; 1 = sequential scatter on the caller's
+  /// thread, 0 = hardware concurrency). Consumers size the dedicated
+  /// LiveSearchEngine eval pool from this — the pool must be distinct
+  /// from any pool whose workers issue the queries.
+  size_t live_eval_threads = 1;
   /// WAL sync discipline for MakeLiveIndex indexes (TOPPRIV_DURABILITY:
   /// off | batch | refresh | manual). Unset = in-memory, as before; set,
   /// MakeLiveIndex opens the index durably under <cache_dir>/live_wal so

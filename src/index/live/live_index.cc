@@ -109,38 +109,62 @@ LiveIndex::~LiveIndex() {
 
 std::vector<StableId> LiveIndex::Ingest(
     const std::vector<std::vector<text::TermId>>& docs) {
-  util::MutexLock lock(&mu_);
-  if (fs_ != nullptr) {
-    // WAL-first: the batch is logged (and synced, per policy) before a
-    // single document lands in the writer, so recovery can never be
-    // behind what this call acknowledged.
-    WalRecord record;
-    record.type = WalRecordType::kIngest;
-    record.docs = docs;
-    if (!LogMutationLocked(std::move(record))) return {};
-  }
+  uint64_t ack_seq = 0;
+  bool need_ack = false;
   std::vector<StableId> ids;
-  ids.reserve(docs.size());
-  for (const std::vector<text::TermId>& tokens : docs) {
-    ids.push_back(writer_.Add(tokens));
-    if (writer_.num_docs() >= options_.max_writer_docs) FlushLocked();
+  {
+    util::MutexLock lock(&mu_);
+    if (fs_ != nullptr) {
+      // WAL-first: the batch is logged before a single document lands in
+      // the writer, so recovery can never be behind what this call
+      // acknowledges. Under kPerBatch the fsync happens AFTER the apply,
+      // via the group-commit ack below — the memory apply order always
+      // matches the WAL sequence order because both happen in this one
+      // critical section.
+      WalRecord record;
+      record.type = WalRecordType::kIngest;
+      record.docs = docs;
+      if (!LogMutationLocked(std::move(record))) return {};
+      ack_seq = wal_seq_;
+      need_ack = options_.durability == DurabilityPolicy::kPerBatch;
+    }
+    ids.reserve(docs.size());
+    for (const std::vector<text::TermId>& tokens : docs) {
+      ids.push_back(writer_.Add(tokens));
+      if (writer_.num_docs() >= options_.max_writer_docs) FlushLocked();
+    }
+    num_terms_ = std::max(num_terms_, writer_.num_terms());
+    MarkDirtyLocked();
   }
-  num_terms_ = std::max(num_terms_, writer_.num_terms());
-  MarkDirtyLocked();
+  if (need_ack && !AckDurableThrough(ack_seq)) return {};
   return ids;
 }
 
 bool LiveIndex::Delete(StableId stable) {
-  util::MutexLock lock(&mu_);
-  if (fs_ != nullptr) {
-    // Logged even when it will turn out to be a no-op (unknown id,
-    // already deleted): replay re-runs the same deterministic checks, and
-    // logging first keeps the one-call-one-sequence-number mapping exact.
-    WalRecord record;
-    record.type = WalRecordType::kDelete;
-    record.stable = stable;
-    if (!LogMutationLocked(std::move(record))) return false;
+  uint64_t ack_seq = 0;
+  bool need_ack = false;
+  bool applied = false;
+  {
+    util::MutexLock lock(&mu_);
+    if (fs_ != nullptr) {
+      // Logged even when it will turn out to be a no-op (unknown id,
+      // already deleted): replay re-runs the same deterministic checks,
+      // and logging first keeps the one-call-one-sequence-number mapping
+      // exact.
+      WalRecord record;
+      record.type = WalRecordType::kDelete;
+      record.stable = stable;
+      if (!LogMutationLocked(std::move(record))) return false;
+      ack_seq = wal_seq_;
+      need_ack = options_.durability == DurabilityPolicy::kPerBatch;
+    }
+    applied = DeleteLocked(stable);
   }
+  if (need_ack && !AckDurableThrough(ack_seq)) return false;
+  return applied;
+}
+
+bool LiveIndex::DeleteLocked(StableId stable) {
   if (stable >= writer_.next_stable()) return false;
   if (!writer_.empty() && stable >= writer_.stable_begin()) {
     // The doc is still buffered; seal so the tombstone has a segment.
@@ -164,30 +188,51 @@ bool LiveIndex::Delete(StableId stable) {
   e.deleted = std::move(bitmap);
   ++e.num_deleted;
   e.deleted_tokens += e.segment->index().DocLength(local);
-  e.live_df.reset();
   e.deleted_before.reset();
   e.live_locals.reset();
+  // Incremental global-df: the segment's forward map lists the doc's
+  // distinct terms, so the decrement is O(|doc terms|).
+  for (const text::TermId* p = e.segment->DocTermsBegin(local);
+       p != e.segment->DocTermsEnd(local); ++p) {
+    --running_df_[*p];
+  }
+  --running_live_docs_;
+  running_live_tokens_ -= e.segment->index().DocLength(local);
+  ++df_version_;
   MarkDirtyLocked();
   MaybeScheduleMergeLocked();
   return true;
 }
 
 void LiveIndex::EnsureTermSpace(size_t num_terms) {
-  util::MutexLock lock(&mu_);
-  if (fs_ != nullptr) {
-    WalRecord record;
-    record.type = WalRecordType::kTermSpace;
-    record.num_terms = num_terms;
-    if (!LogMutationLocked(std::move(record))) return;
+  uint64_t ack_seq = 0;
+  bool need_ack = false;
+  {
+    util::MutexLock lock(&mu_);
+    if (fs_ != nullptr) {
+      WalRecord record;
+      record.type = WalRecordType::kTermSpace;
+      record.num_terms = num_terms;
+      if (!LogMutationLocked(std::move(record))) return;
+      ack_seq = wal_seq_;
+      need_ack = options_.durability == DurabilityPolicy::kPerBatch;
+    }
+    if (num_terms > num_terms_) {
+      num_terms_ = num_terms;
+      running_df_.resize(num_terms_, 0);
+      ++df_version_;  // the published df table widens
+      MarkDirtyLocked();
+    }
   }
-  if (num_terms > num_terms_) {
-    num_terms_ = num_terms;
-    MarkDirtyLocked();
-  }
+  if (need_ack) AckDurableThrough(ack_seq);
 }
 
 void LiveIndex::Flush() {
   util::MutexLock lock(&mu_);
+  // An empty writer means there is nothing to seal: appending a kSeal
+  // record anyway (the pre-fix behavior) grew the WAL without bound under
+  // an idle flush/refresh loop and paid an fsync per call under kPerBatch.
+  if (writer_.empty()) return;
   // Seal records are best-effort: a seal changes only the physical
   // segmentation, never the logical collection, so an unhealthy WAL must
   // not strand acknowledged (already-logged) writer docs un-queryable.
@@ -197,21 +242,28 @@ void LiveIndex::Flush() {
     LogMutationLocked(std::move(record));
   }
   FlushLocked();
+  if (fs_ != nullptr && options_.durability == DurabilityPolicy::kPerBatch) {
+    SyncWalLocked();  // best-effort, like the seal append itself
+  }
 }
 
 std::shared_ptr<const IndexSnapshot> LiveIndex::Refresh() {
   util::MutexLock lock(&mu_);
-  if (fs_ != nullptr) {
+  if (fs_ != nullptr && !writer_.empty()) {
+    // Only a non-empty writer seals; an idle Refresh leaves the WAL
+    // byte-for-byte unchanged (the headline bugfix).
     WalRecord record;
     record.type = WalRecordType::kSeal;
     LogMutationLocked(std::move(record));  // best-effort, as in Flush()
   }
   FlushLocked();
   if (fs_ != nullptr && wal_error_.ok() &&
-      options_.durability == DurabilityPolicy::kPerRefresh) {
+      options_.durability != DurabilityPolicy::kManual &&
+      wal_synced_seq_ < wal_seq_) {
     // The published snapshot must never show state a crash could lose.
-    util::Status s = wal_->Sync();
-    if (!s.ok()) wal_error_ = s;
+    // The synced-sequence watermark makes this a no-op when every append
+    // (including in-flight group-committed writers') is already durable.
+    SyncWalLocked();
   }
   if (dirty_) return PublishLocked();
   util::MutexLock snap_lock(&snapshot_mu_);
@@ -271,9 +323,21 @@ void LiveIndex::FlushLocked() {
   num_terms_ = std::max(num_terms_, writer_.num_terms());
   Entry e;
   e.segment = writer_.Seal();
+  AddSegmentStatsLocked(*e.segment);
   entries_.push_back(std::move(e));
   MarkDirtyLocked();
   MaybeScheduleMergeLocked();
+}
+
+void LiveIndex::AddSegmentStatsLocked(const Segment& segment) {
+  if (running_df_.size() < num_terms_) running_df_.resize(num_terms_, 0);
+  const InvertedIndex& idx = segment.index();
+  for (size_t t = 0; t < idx.num_terms(); ++t) {
+    running_df_[t] += idx.DocFreq(static_cast<text::TermId>(t));
+  }
+  running_live_docs_ += idx.num_documents();
+  running_live_tokens_ += idx.total_tokens();
+  ++df_version_;
 }
 
 void LiveIndex::MarkDirtyLocked() {
@@ -282,18 +346,9 @@ void LiveIndex::MarkDirtyLocked() {
 }
 
 void LiveIndex::ComputeEntryCaches(Entry& e) {
-  if (e.live_df != nullptr) return;  // caches match the current bitmap
+  if (e.deleted_before != nullptr) return;  // caches match the current bitmap
   const InvertedIndex& idx = e.segment->index();
   const std::vector<char>& del = *e.deleted;
-  auto df = std::make_shared<std::vector<uint32_t>>(idx.num_terms(), 0);
-  for (size_t t = 0; t < idx.num_terms(); ++t) {
-    const PostingList& list = idx.Postings(static_cast<text::TermId>(t));
-    uint32_t n = 0;
-    for (auto it = list.begin(); it.Valid(); it.Next()) {
-      if (!del[it.Get().doc]) ++n;
-    }
-    (*df)[t] = n;
-  }
   const size_t docs = idx.num_documents();
   auto before = std::make_shared<std::vector<uint32_t>>(docs, 0);
   auto locals = std::make_shared<std::vector<corpus::DocId>>();
@@ -307,18 +362,24 @@ void LiveIndex::ComputeEntryCaches(Entry& e) {
       locals->push_back(static_cast<corpus::DocId>(l));
     }
   }
-  e.live_df = std::move(df);
   e.deleted_before = std::move(before);
   e.live_locals = std::move(locals);
 }
 
 std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked() {
-  // Capture a consistent cut under mu_: shared_ptr copies of every entry
-  // plus the mutation clock. The heavy O(segments × terms) aggregation
-  // then runs with NO lock held — all inputs are immutable objects the
-  // plan pins — so concurrent Acquire/Ingest/Delete never stall behind it.
+  // Capture a consistent cut under mu_: shared_ptr copies of every entry,
+  // the mutation clock, and an O(terms) copy of the RUNNING global-df and
+  // collection aggregates (maintained incrementally at seal/delete/
+  // term-space time — publication no longer re-walks any posting list).
+  // The remaining remap-cache fills run with NO lock held — all inputs are
+  // immutable objects the plan pins — so concurrent Acquire/Ingest/Delete
+  // never stall behind them.
   const uint64_t plan_seq = mutation_seq_;
   const size_t plan_terms = num_terms_;
+  const uint64_t plan_df_version = df_version_;
+  const uint64_t plan_docs = running_live_docs_;
+  const uint64_t plan_tokens = running_live_tokens_;
+  std::vector<uint32_t> plan_df(running_df_);
   std::vector<Entry> plan(entries_);
   mu_.Unlock();
 
@@ -327,14 +388,14 @@ std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked() {
   }
   auto snap = std::make_shared<IndexSnapshot>();
   snap->num_terms_ = plan_terms;
-  snap->global_df_.assign(plan_terms, 0);
+  snap->global_df_ = std::move(plan_df);
+  snap->global_df_.resize(plan_terms, 0);
+  snap->df_version_ = plan_df_version;
   corpus::DocId base = 0;
-  uint64_t tokens = 0;
   for (const Entry& e : plan) {
     const InvertedIndex& idx = e.segment->index();
     const uint32_t live =
         static_cast<uint32_t>(idx.num_documents()) - e.num_deleted;
-    tokens += idx.total_tokens() - e.deleted_tokens;
     if (live == 0) continue;  // fully tombstoned; compaction will drop it
     SnapshotSegment ss;
     ss.segment = e.segment;
@@ -344,22 +405,19 @@ std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked() {
       ss.deleted = e.deleted;
       ss.deleted_before = e.deleted_before;
       ss.live_locals = e.live_locals;
-      const std::vector<uint32_t>& df = *e.live_df;
-      for (size_t t = 0; t < df.size(); ++t) snap->global_df_[t] += df[t];
-    } else {
-      for (size_t t = 0; t < idx.num_terms(); ++t) {
-        snap->global_df_[t] += idx.DocFreq(static_cast<text::TermId>(t));
-      }
     }
     base += live;
     snap->segments_.push_back(std::move(ss));
   }
+  // One compare per publish: cheap insurance that the incremental doc
+  // count still matches the entry walk.
+  TOPPRIV_CHECK(static_cast<uint64_t>(base) == plan_docs);
   snap->num_documents_ = base;
-  snap->total_tokens_ = tokens;
+  snap->total_tokens_ = plan_tokens;
   // The same double division Build performs, so avg bits match a static
   // rebuild of the live collection exactly.
   snap->avg_doc_length_ = base == 0 ? 0.0
-                                    : static_cast<double>(tokens) /
+                                    : static_cast<double>(plan_tokens) /
                                           static_cast<double>(base);
 
   mu_.Lock();
@@ -368,10 +426,11 @@ std::shared_ptr<const IndexSnapshot> LiveIndex::PublishLocked() {
   // reuse instead of recompute. An entry whose bitmap moved on gets
   // nothing — its caches would be stale.
   for (Entry& live_entry : entries_) {
-    if (live_entry.num_deleted == 0 || live_entry.live_df != nullptr) continue;
+    if (live_entry.num_deleted == 0 || live_entry.deleted_before != nullptr) {
+      continue;
+    }
     for (const Entry& p : plan) {
       if (p.segment == live_entry.segment && p.deleted == live_entry.deleted) {
-        live_entry.live_df = p.live_df;
         live_entry.deleted_before = p.deleted_before;
         live_entry.live_locals = p.live_locals;
         break;
@@ -617,7 +676,7 @@ void LiveIndex::CommitMerge(const std::vector<MergeInput>& inputs,
 
 std::string LiveIndex::Serialize() {
   util::MutexLock lock(&mu_);
-  if (fs_ != nullptr) {
+  if (fs_ != nullptr && !writer_.empty()) {
     WalRecord record;
     record.type = WalRecordType::kSeal;
     LogMutationLocked(std::move(record));  // best-effort, as in Flush()
@@ -787,6 +846,31 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Deserialize(
     return util::Status::DataLoss("trailing bytes after live index");
   }
   live->writer_ = SegmentWriter(next_stable);
+  // Rebuild the running aggregates from the restored segments — the one
+  // place they are recomputed rather than maintained incrementally. Each
+  // segment contributes its full df; tombstoned docs subtract theirs via
+  // the forward map, so the cost is O(postings + deleted doc terms).
+  live->running_df_.assign(num_terms, 0);
+  live->running_live_docs_ = 0;
+  live->running_live_tokens_ = 0;
+  for (const Entry& e : live->entries_) {
+    const InvertedIndex& idx = e.segment->index();
+    for (size_t t = 0; t < idx.num_terms(); ++t) {
+      live->running_df_[t] += idx.DocFreq(static_cast<text::TermId>(t));
+    }
+    live->running_live_docs_ += idx.num_documents() - e.num_deleted;
+    live->running_live_tokens_ += idx.total_tokens() - e.deleted_tokens;
+    if (e.deleted == nullptr) continue;
+    for (size_t l = 0; l < e.deleted->size(); ++l) {
+      if (!(*e.deleted)[l]) continue;
+      const corpus::DocId local = static_cast<corpus::DocId>(l);
+      for (const text::TermId* p = e.segment->DocTermsBegin(local);
+           p != e.segment->DocTermsEnd(local); ++p) {
+        --live->running_df_[*p];
+      }
+    }
+  }
+  ++live->df_version_;
   live->MarkDirtyLocked();
   live->PublishLocked();
   return live;
@@ -798,17 +882,35 @@ bool LiveIndex::LogMutationLocked(WalRecord&& record) {
   if (fs_ == nullptr) return true;
   if (!wal_error_.ok()) return false;
   util::Status s = wal_->Append(&record);
-  if (s.ok()) {
-    wal_seq_ = wal_->next_seq();
-    if (options_.durability == DurabilityPolicy::kPerBatch) s = wal_->Sync();
-  }
   if (!s.ok()) {
     // The tragic event: the log can no longer promise to be ahead of
     // memory, so all future mutations are refused (queries still serve).
     wal_error_ = s;
     return false;
   }
+  wal_seq_ = wal_->next_seq();
   return true;
+}
+
+util::Status LiveIndex::SyncWalLocked() {
+  if (!wal_error_.ok()) return wal_error_;
+  if (wal_synced_seq_ >= wal_seq_) return util::Status::Ok();
+  util::Status s = wal_->Sync();
+  if (!s.ok()) {
+    wal_error_ = s;
+    return s;
+  }
+  // Everything appended so far (wal_seq_ cannot move while mu_ is held)
+  // is now durable — concurrent group-commit followers free-ride on this.
+  wal_synced_seq_ = wal_seq_;
+  return s;
+}
+
+bool LiveIndex::AckDurableThrough(uint64_t ack_seq) {
+  util::MutexLock lock(&mu_);
+  if (!wal_error_.ok()) return false;
+  if (wal_synced_seq_ >= ack_seq) return true;  // follower: leader paid
+  return SyncWalLocked().ok();                  // leader: one fsync for all
 }
 
 util::Status LiveIndex::Checkpoint() {
@@ -876,16 +978,16 @@ util::Status LiveIndex::CommitGenerationLocked(uint64_t next_gen,
   TOPPRIV_RETURN_IF_ERROR(WriteCurrentFile(fs_, dir_, next_gen));
   wal_ = std::move(*writer);
   wal_generation_ = next_gen;
+  // The fresh WAL holds no records; everything through wal_seq_ is covered
+  // by the just-committed manifest, so the group-commit watermark advances.
+  wal_synced_seq_ = wal_seq_;
   return util::Status::Ok();
 }
 
 util::Status LiveIndex::SyncWal() {
   util::MutexLock lock(&mu_);
   if (fs_ == nullptr) return util::Status::Ok();
-  if (!wal_error_.ok()) return wal_error_;
-  util::Status s = wal_->Sync();
-  if (!s.ok()) wal_error_ = s;
-  return s;
+  return SyncWalLocked();
 }
 
 bool LiveIndex::durable() const {
@@ -983,6 +1085,7 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Recover(
     found.wal_tail_lost = replay->tail_lost;
     util::MutexLock lock(&live->mu_);
     live->wal_seq_ = replay->next_seq;
+    live->wal_synced_seq_ = replay->next_seq;  // it was read back from disk
   }
   {
     // Attach durability state under the (still-private) index's mutex so

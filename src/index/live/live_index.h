@@ -136,6 +136,14 @@ class IndexSnapshot {
   /// Monotonic snapshot sequence number (diagnostics).
   uint64_t generation() const { return generation_; }
 
+  /// Version of the global df / collection statistics this snapshot was
+  /// built from. Bumped by every df-changing mutation (seal, delete,
+  /// term-space growth), NOT by df-neutral ones (merge commits). Consumers
+  /// caching anything derived from the stats — e.g. LiveSearchEngine's
+  /// per-segment impact-bound tables — key the cache on this and discard
+  /// when it moves.
+  uint64_t df_version() const { return df_version_; }
+
  private:
   friend class LiveIndex;
   /// Segment owning dense id `dense` (index into segments_).
@@ -148,12 +156,17 @@ class IndexSnapshot {
   uint64_t total_tokens_ = 0;
   double avg_doc_length_ = 0.0;
   uint64_t generation_ = 0;
+  uint64_t df_version_ = 0;
 };
 
 /// When the WAL is fsync'd relative to acknowledging a mutation. "Acked
 /// implies durable" holds at different points:
 ///   kPerBatch   every mutation call syncs before returning — a returned
-///               Ingest/Delete survives any crash (slowest, strongest);
+///               Ingest/Delete survives any crash (slowest, strongest).
+///               Syncs GROUP-COMMIT across concurrent callers: each call
+///               acks against a synced-sequence watermark, and a caller
+///               whose sequence a concurrent leader already made durable
+///               returns without issuing its own fsync;
 ///   kPerRefresh appends are buffered, Refresh() syncs before publishing —
 ///               a snapshot never shows state a crash could lose;
 ///   kManual     nothing syncs until SyncWal()/Checkpoint() — fastest,
@@ -215,13 +228,16 @@ class LiveIndex {
   /// Seals any buffered writer documents into a segment.
   void Flush() EXCLUDES(mu_);
 
-  /// Publishes all committed mutations: seals the writer, rebuilds the
-  /// current snapshot if anything changed, and returns it. A rebuild is
-  /// O(segments × terms) df aggregation (plus one posting walk for each
-  /// segment whose tombstones changed since its last publish) under the
-  /// writer mutex — batch ingest and publish per batch, not per doc
-  /// (micro_bench's LiveIngest kernel charts the amortization; ROADMAP
-  /// records incremental df maintenance as the next step).
+  /// Publishes all committed mutations: seals the writer (iff it holds
+  /// documents — an idle Refresh appends nothing to the WAL and pays no
+  /// fsync), rebuilds the current snapshot if anything changed, and
+  /// returns it. Publication copies the RUNNING global-df vector
+  /// (maintained incrementally at seal/delete/term-space time), so a
+  /// rebuild is O(terms + segments), not O(segments × terms); the only
+  /// remaining per-publish walk is the O(docs) local→dense remap for
+  /// segments whose tombstones changed since their last publish
+  /// (micro_bench's LiveRefresh kernel charts the flatness vs segment
+  /// count).
   std::shared_ptr<const IndexSnapshot> Refresh() EXCLUDES(mu_, snapshot_mu_);
 
   /// The current published snapshot (cheap: one shared_ptr copy under the
@@ -306,15 +322,16 @@ class LiveIndex {
  private:
   /// One sealed segment plus its mutable bookkeeping. `deleted` is
   /// copy-on-write: Delete() replaces the pointer with an augmented copy,
-  /// so snapshots holding the old pointer are isolated. The three caches
-  /// are derived from `deleted` and invalidated on every delete.
+  /// so snapshots holding the old pointer are isolated. The two remap
+  /// caches are derived from `deleted` and invalidated on every delete;
+  /// per-term live df is no longer cached per entry — the index maintains
+  /// one RUNNING global-df vector instead (see running_df_).
   struct Entry {
     std::shared_ptr<const Segment> segment;
     std::shared_ptr<const std::vector<char>> deleted;
     uint32_t num_deleted = 0;
     uint64_t deleted_tokens = 0;
     bool merging = false;
-    std::shared_ptr<const std::vector<uint32_t>> live_df;
     std::shared_ptr<const std::vector<uint32_t>> deleted_before;
     std::shared_ptr<const std::vector<corpus::DocId>> live_locals;
   };
@@ -325,19 +342,24 @@ class LiveIndex {
   };
 
   void FlushLocked() REQUIRES(mu_);
+  /// Delete's post-logging body: tombstones the doc and maintains the
+  /// running aggregates. Split out so Delete can ack durability (group
+  /// commit) after releasing mu_.
+  bool DeleteLocked(StableId stable) REQUIRES(mu_);
   /// Bumps the mutation clock; every state change under mu_ goes through
   /// here so snapshot publication can detect staleness.
   void MarkDirtyLocked() REQUIRES(mu_);
   /// Publishes a snapshot of the current state: captures a plan (cheap
-  /// shared_ptr copies) under mu_, UNLOCKS for the heavy O(segments ×
-  /// terms) aggregation, relocks, and installs the result if no newer
-  /// snapshot won the race (mu_ is held again when this returns — the
-  /// analysis tracks the drop/retake through the body). Readers (Acquire)
-  /// only ever contend on snapshot_mu_, held for a pointer swap.
+  /// shared_ptr copies plus an O(terms) copy of the running df vector)
+  /// under mu_, UNLOCKS for the remap-cache fills, relocks, and installs
+  /// the result if no newer snapshot won the race (mu_ is held again when
+  /// this returns — the analysis tracks the drop/retake through the
+  /// body). Readers (Acquire) only ever contend on snapshot_mu_, held for
+  /// a pointer swap.
   std::shared_ptr<const IndexSnapshot> PublishLocked()
       REQUIRES(mu_) EXCLUDES(snapshot_mu_);
-  /// Fills e's derived caches (live_df / deleted_before / live_locals)
-  /// from its segment and bitmap — pure function of immutable inputs, so
+  /// Fills e's derived remap caches (deleted_before / live_locals) from
+  /// its segment and bitmap — pure function of immutable inputs, so
   /// callable with or without mu_ held.
   static void ComputeEntryCaches(Entry& e);
   void WaitForMergesLocked() REQUIRES(mu_);
@@ -356,11 +378,26 @@ class LiveIndex {
   void CommitMerge(const std::vector<MergeInput>& inputs,
                    std::shared_ptr<const Segment> merged) EXCLUDES(mu_);
 
-  /// Appends one WAL record for a mutation about to be applied, syncing
-  /// per policy. False = the mutation must NOT proceed (in-memory index:
-  /// trivially true; unhealthy or failed I/O: false, tragic error
-  /// recorded). WAL-first: nothing changes in memory until this returns.
+  /// Appends one WAL record for a mutation about to be applied. False =
+  /// the mutation must NOT proceed (in-memory index: trivially true;
+  /// unhealthy or failed I/O: false, tragic error recorded). WAL-first:
+  /// nothing changes in memory until this returns. Does NOT sync — under
+  /// kPerBatch the caller acks through AckDurableThrough after applying,
+  /// so concurrent callers' syncs batch (group commit).
   bool LogMutationLocked(WalRecord&& record) REQUIRES(mu_);
+  /// Syncs the WAL through the current append sequence if any appended
+  /// record is not yet known durable, advancing wal_synced_seq_. On
+  /// failure records wal_error_ (the index turns unhealthy).
+  util::Status SyncWalLocked() REQUIRES(mu_);
+  /// Group-commit ack point: true iff `ack_seq` is durable and the index
+  /// healthy. A follower whose sequence a concurrent leader (or a
+  /// checkpoint) already synced returns without touching the file; the
+  /// first caller past the watermark becomes the leader and fsyncs once
+  /// for everything appended so far.
+  bool AckDurableThrough(uint64_t ack_seq) EXCLUDES(mu_);
+  /// Folds a freshly sealed segment's postings into the running global-df
+  /// and doc/token aggregates, bumping df_version_.
+  void AddSegmentStatsLocked(const Segment& segment) REQUIRES(mu_);
   /// Serialization body shared by Serialize and Checkpoint; the writer
   /// must already be sealed and merges drained.
   std::string SerializeLocked() const REQUIRES(mu_);
@@ -389,6 +426,19 @@ class LiveIndex {
   /// races to newer plans.
   uint64_t mutation_seq_ GUARDED_BY(mu_) = 1;
   uint64_t published_seq_ GUARDED_BY(mu_) = 0;
+  /// Running live-collection aggregates, maintained incrementally: seal
+  /// adds the sealed segment's stats, Delete subtracts the doc's (via the
+  /// segment's doc→terms forward map), merge commits are df-neutral (the
+  /// live doc set is identical across the swap). Invariant: equal to
+  /// re-aggregating entries_ from scratch; IndexSnapshot::ComputeStats's
+  /// per-term length cross-check validates it in every parity test.
+  std::vector<uint32_t> running_df_ GUARDED_BY(mu_);
+  uint64_t running_live_docs_ GUARDED_BY(mu_) = 0;
+  uint64_t running_live_tokens_ GUARDED_BY(mu_) = 0;
+  /// Bumped on every mutation that changes the published global df or
+  /// collection stats (seal, delete, term-space growth, deserialize).
+  /// Snapshots carry it so downstream caches can invalidate.
+  uint64_t df_version_ GUARDED_BY(mu_) = 0;
   /// Guards ONLY current_, so Acquire never waits behind snapshot
   /// construction or merge commits. Lock order: mu_ before snapshot_mu_.
   mutable util::Mutex snapshot_mu_;
@@ -402,6 +452,11 @@ class LiveIndex {
   std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_);
   uint64_t wal_generation_ GUARDED_BY(mu_) = 0;
   uint64_t wal_seq_ GUARDED_BY(mu_) = 0;
+  /// Group-commit watermark: sequences <= this are known crash-durable
+  /// (covered by an fsync of the current WAL or by a committed manifest
+  /// generation). kPerBatch acks compare against it to free-ride on a
+  /// concurrent leader's sync.
+  uint64_t wal_synced_seq_ GUARDED_BY(mu_) = 0;
   util::Status wal_error_ GUARDED_BY(mu_);
 };
 

@@ -18,6 +18,28 @@ Segment::Segment(InvertedIndex index, StableId stable_begin,
     TOPPRIV_CHECK_LT(stable_ids_[i - 1], stable_ids_[i]);
   }
   stable_end_ = stable_ids_.back() + 1;
+  // Invert the postings into the CSR doc→distinct-terms map. Terms are
+  // visited ascending, so each doc's term span comes out ascending too.
+  const size_t docs = index_.num_documents();
+  doc_term_offsets_.assign(docs + 1, 0);
+  for (size_t t = 0; t < index_.num_terms(); ++t) {
+    const PostingList& list = index_.Postings(static_cast<text::TermId>(t));
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      ++doc_term_offsets_[it.Get().doc + 1];
+    }
+  }
+  for (size_t d = 0; d < docs; ++d) {
+    doc_term_offsets_[d + 1] += doc_term_offsets_[d];
+  }
+  doc_terms_.resize(doc_term_offsets_[docs]);
+  std::vector<uint32_t> cursor(doc_term_offsets_.begin(),
+                               doc_term_offsets_.end() - 1);
+  for (size_t t = 0; t < index_.num_terms(); ++t) {
+    const PostingList& list = index_.Postings(static_cast<text::TermId>(t));
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      doc_terms_[cursor[it.Get().doc]++] = static_cast<text::TermId>(t);
+    }
+  }
 }
 
 bool Segment::FindLocal(StableId stable, corpus::DocId* local) const {

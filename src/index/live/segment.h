@@ -58,11 +58,25 @@ class Segment {
   /// doc was compacted away by a merge.
   bool FindLocal(StableId stable, corpus::DocId* local) const;
 
+  /// The distinct terms of local doc `local`, ascending — the forward view
+  /// of the postings, built once at construction (O(total postings)). This
+  /// is what lets LiveIndex::Delete decrement its running global-df in
+  /// O(|doc terms|) instead of re-walking every posting list at publish.
+  const text::TermId* DocTermsBegin(corpus::DocId local) const {
+    return doc_terms_.data() + doc_term_offsets_[local];
+  }
+  const text::TermId* DocTermsEnd(corpus::DocId local) const {
+    return doc_terms_.data() + doc_term_offsets_[local + 1];
+  }
+
  private:
   InvertedIndex index_;
   StableId stable_begin_ = 0;
   StableId stable_end_ = 0;
   std::vector<StableId> stable_ids_;
+  /// CSR doc→distinct-terms map over index_'s postings.
+  std::vector<uint32_t> doc_term_offsets_;  // num_docs + 1 entries
+  std::vector<text::TermId> doc_terms_;
 };
 
 /// The mutable in-memory writer. Not thread-safe; the owning LiveIndex

@@ -512,9 +512,11 @@ SearchEngine::SearchEngine(const corpus::Corpus& corpus,
 }
 
 void SearchEngine::set_eval_strategy(EvalStrategy strategy) {
+  util::MutexLock lock(&strategy_mu_);
   strategy_ = strategy;
-  if (strategy == EvalStrategy::kMaxScore && term_bounds_.empty()) {
-    term_bounds_ = ComputeTermImpactBounds(index_, stats_, *scorer_);
+  if (strategy == EvalStrategy::kMaxScore && term_bounds_ == nullptr) {
+    term_bounds_ = std::make_shared<const std::vector<double>>(
+        ComputeTermImpactBounds(index_, stats_, *scorer_));
   }
 }
 
@@ -534,13 +536,23 @@ std::vector<ScoredDoc> SearchEngine::Evaluate(
     const std::vector<text::TermId>& terms, size_t k,
     EvalScratch* scratch) const {
   if (terms.empty() || k == 0) return {};
+  // Snapshot the strategy knob and its (immutable) bound table under the
+  // lock; evaluation itself runs lock-free on the snapshot, so a
+  // concurrent set_eval_strategy can never expose a half-written pair.
+  EvalStrategy strategy;
+  std::shared_ptr<const std::vector<double>> bounds;
+  {
+    util::MutexLock lock(&strategy_mu_);
+    strategy = strategy_;
+    bounds = term_bounds_;
+  }
   std::vector<QueryTerm> query = CollapseQuery(terms);
   std::vector<uint32_t> dfs(query.size());
   for (size_t qi = 0; qi < query.size(); ++qi) {
     dfs[qi] = index_.DocFreq(query[qi].term);
   }
-  return EvaluateTopK(strategy_, index_, stats_, *scorer_, query, dfs, k,
-                      scratch, term_bounds_.empty() ? nullptr : &term_bounds_);
+  return EvaluateTopK(strategy, index_, stats_, *scorer_, query, dfs, k,
+                      scratch, bounds == nullptr ? nullptr : bounds.get());
 }
 
 }  // namespace toppriv::search

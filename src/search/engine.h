@@ -13,6 +13,8 @@
 #include "search/scorer.h"
 #include "search/topk.h"
 #include "text/vocabulary.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace toppriv::search {
 
@@ -293,11 +295,13 @@ class SearchEngine : public QueryEngine {
                                 size_t k, uint64_t cycle_id = 0) override;
 
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
-                                  size_t k) const override;
+                                  size_t k) const override
+      EXCLUDES(strategy_mu_);
 
   /// Same, accumulating into the caller's scratch (identical results).
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
-                                  size_t k, EvalScratch* scratch) const;
+                                  size_t k, EvalScratch* scratch) const
+      EXCLUDES(strategy_mu_);
 
   const QueryLog& query_log() const override { return log_; }
   QueryLog& mutable_query_log() override { return log_; }
@@ -306,23 +310,35 @@ class SearchEngine : public QueryEngine {
   const index::InvertedIndex& index() const { return index_; }
   const Scorer& scorer() const override { return *scorer_; }
 
-  EvalStrategy eval_strategy() const override { return strategy_; }
+  EvalStrategy eval_strategy() const override EXCLUDES(strategy_mu_) {
+    util::MutexLock lock(&strategy_mu_);
+    return strategy_;
+  }
   /// Strategies are interchangeable between queries (results are
   /// bit-identical by the parity contract). Selecting MaxScore (here or
   /// at construction) builds the per-term impact-bound table on first
-  /// selection. NOT thread-safe: call before sharing the engine with
-  /// concurrent Evaluate callers (a serving fleet), never while they run.
-  void set_eval_strategy(EvalStrategy strategy);
+  /// selection. Thread-safe: the strategy and its bound table live behind
+  /// strategy_mu_, exactly like ShardedSearchEngine's (this engine kept
+  /// the pre-PR-7 caller-beware contract until now — the last unguarded
+  /// strategy flip in the tree). In-flight Evaluate calls finish under the
+  /// strategy they started with.
+  void set_eval_strategy(EvalStrategy strategy) EXCLUDES(strategy_mu_);
 
  private:
   const corpus::Corpus& corpus_;
   const index::InvertedIndex& index_;
   std::unique_ptr<Scorer> scorer_;
   CollectionStats stats_;
-  EvalStrategy strategy_ = EvalStrategy::kTAAT;
-  /// ComputeTermImpactBounds table; non-empty iff MaxScore was ever
-  /// selected. Immutable once built (safe for concurrent Evaluate).
-  std::vector<double> term_bounds_;
+  /// Guards the evaluation-strategy switch (the one mutable knob shared
+  /// with concurrent Evaluate callers). Held only for enum/pointer reads
+  /// and the one-time bound-table build — never across evaluation.
+  mutable util::Mutex strategy_mu_;
+  EvalStrategy strategy_ GUARDED_BY(strategy_mu_) = EvalStrategy::kTAAT;
+  /// ComputeTermImpactBounds table; non-null iff MaxScore was ever
+  /// selected. The pointee is immutable — Evaluate snapshots the
+  /// shared_ptr under strategy_mu_ and reads it lock-free.
+  std::shared_ptr<const std::vector<double>> term_bounds_
+      GUARDED_BY(strategy_mu_);
   QueryLog log_;
 };
 

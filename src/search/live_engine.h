@@ -17,17 +17,42 @@
 //      build's assignment) and merge through TopK's (score desc, doc asc)
 //      total order, so ties break identically.
 //
-// Unlike the static engines, MaxScore here uses the analytic per-query
-// Scorer::UpperBound (term_bounds = nullptr): an exact impact table is a
-// function of the global df and collection stats, which change with every
-// ingest/delete, so a cached table would go stale — and a stale (smaller-N
-// or larger-df) bound can fall BELOW a real contribution and break
-// prune-safety. The analytic bound is computed from the acquired
-// snapshot's own stats, so it is always current; pruning is merely looser.
+// Two serving accelerations ride on the parity contract, both invisible in
+// the results:
+//
+// PARALLEL FAN-OUT. Construction may borrow a util::ThreadPool; each
+// Evaluate then fans the per-segment evaluations out over its workers.
+// Determinism: every iteration writes only its own pre-allocated result
+// slot with its own thread-local scratch, each segment's arithmetic is
+// untouched (same core, same inputs), and the final merge walks the slots
+// in segment order on the calling thread — so the pooled path is
+// bit-identical to the sequential one regardless of completion order. The
+// pool must not be one the caller itself blocks inside (ParallelFor from a
+// worker of the same pool deadlocks), so the serving bench gives the
+// engine a pool distinct from the session driver's.
+//
+// CACHED IMPACT BOUNDS. MaxScore here used to run with the analytic
+// per-query Scorer::UpperBound only (term_bounds = nullptr): an exact
+// impact table is a function of the global df and collection stats, which
+// change with every ingest/delete, so an UNVERSIONED cached table would go
+// stale — and a stale bound can fall below a real contribution and break
+// prune-safety. The fix is the df-version protocol: LiveIndex bumps a
+// counter on every df-changing mutation and stamps it on each snapshot;
+// the engine caches per-segment ComputeTermImpactBounds tables keyed by
+// (segment identity, df-version) and discards the cache wholesale the
+// moment a snapshot carries a newer version. A matching version implies
+// the global df and collection stats the tables were computed from are
+// EXACTLY the snapshot's (merges do not bump the version — they preserve
+// the live doc set — so their fresh segments just compute their tables on
+// first use). Tighter-vs-analytic bounds never change results, only
+// pruning work: MaxScore re-accumulates every surviving candidate's
+// contributions in canonical order, which the parity suite locks down
+// across {analytic, cached} × {sequential, pooled}.
 #ifndef TOPPRIV_SEARCH_LIVE_ENGINE_H_
 #define TOPPRIV_SEARCH_LIVE_ENGINE_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "corpus/corpus.h"
@@ -35,6 +60,9 @@
 #include "search/engine.h"
 #include "search/scorer.h"
 #include "search/topk.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace toppriv::search {
 
@@ -44,9 +72,13 @@ class LiveSearchEngine : public QueryEngine {
   /// Borrows the corpus (for corpus() consumers) and the live index; both
   /// must outlive the engine. Each Evaluate acquires the index's current
   /// snapshot, so concurrent ingest/merge/delete never races a query.
+  /// `eval_pool`, when non-null, is a borrowed pool the per-segment
+  /// evaluations fan out on (see file comment for the determinism and
+  /// no-self-pool rules); null evaluates segments sequentially.
   LiveSearchEngine(const corpus::Corpus& corpus, index::live::LiveIndex& live,
                    std::unique_ptr<Scorer> scorer,
-                   EvalStrategy strategy = EvalStrategy::kTAAT);
+                   EvalStrategy strategy = EvalStrategy::kTAAT,
+                   util::ThreadPool* eval_pool = nullptr);
 
   LiveSearchEngine(const LiveSearchEngine&) = delete;
   LiveSearchEngine& operator=(const LiveSearchEngine&) = delete;
@@ -55,14 +87,16 @@ class LiveSearchEngine : public QueryEngine {
                                 size_t k, uint64_t cycle_id = 0) override;
 
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
-                                  size_t k) const override;
+                                  size_t k) const override
+      EXCLUDES(strategy_mu_, bounds_mu_);
 
   /// Evaluation pinned to a caller-held snapshot (what Evaluate does with
   /// the current one). Exposed so tests can prove snapshot isolation:
   /// results against an old snapshot must not move while the index churns.
   std::vector<ScoredDoc> EvaluateOn(const index::live::IndexSnapshot& snapshot,
                                     const std::vector<text::TermId>& terms,
-                                    size_t k) const;
+                                    size_t k) const
+      EXCLUDES(strategy_mu_, bounds_mu_);
 
   const QueryLog& query_log() const override { return log_; }
   QueryLog& mutable_query_log() override { return log_; }
@@ -71,15 +105,55 @@ class LiveSearchEngine : public QueryEngine {
   const index::live::LiveIndex& live_index() const { return live_; }
   const Scorer& scorer() const override { return *scorer_; }
 
-  EvalStrategy eval_strategy() const override { return strategy_; }
-  /// NOT thread-safe: set before sharing with concurrent Evaluate callers.
-  void set_eval_strategy(EvalStrategy strategy) { strategy_ = strategy; }
+  /// Segment-evaluation threads (1 = sequential scatter).
+  size_t num_threads() const {
+    return eval_pool_ != nullptr ? eval_pool_->num_threads() : 1;
+  }
+
+  EvalStrategy eval_strategy() const override EXCLUDES(strategy_mu_) {
+    util::MutexLock lock(&strategy_mu_);
+    return strategy_;
+  }
+  /// Thread-safe (same discipline as the other engines): the strategy
+  /// lives behind strategy_mu_; in-flight Evaluate calls finish under the
+  /// strategy they started with. No eager bound build here — live bounds
+  /// are per-snapshot and build lazily on the first MaxScore evaluation.
+  void set_eval_strategy(EvalStrategy strategy) EXCLUDES(strategy_mu_) {
+    util::MutexLock lock(&strategy_mu_);
+    strategy_ = strategy;
+  }
 
  private:
+  /// One immutable generation of cached bound tables: the df-version the
+  /// global stats were read at, plus (segment identity → table) pairs.
+  /// Shared out under bounds_mu_ as a const snapshot — the PR 7 rule: no
+  /// lazy unguarded init, readers clone the pointer and go lock-free.
+  struct BoundsCache {
+    uint64_t df_version = 0;
+    std::vector<std::pair<std::shared_ptr<const index::live::Segment>,
+                          std::shared_ptr<const std::vector<double>>>>
+        tables;
+  };
+
+  /// Returns per-segment bound tables for `snapshot` (parallel to its
+  /// segment list), serving hits from the cache when the df-version
+  /// matches and computing + re-caching the rest.
+  std::vector<std::shared_ptr<const std::vector<double>>> SegmentBounds(
+      const index::live::IndexSnapshot& snapshot,
+      const CollectionStats& stats) const EXCLUDES(bounds_mu_);
+
   const corpus::Corpus& corpus_;
   index::live::LiveIndex& live_;
   std::unique_ptr<Scorer> scorer_;
-  EvalStrategy strategy_;
+  /// Borrowed fan-out pool; null = sequential. Never Submit/ParallelFor
+  /// targets of the caller's own blocking pool (constructor contract).
+  util::ThreadPool* eval_pool_;
+  mutable util::Mutex strategy_mu_;
+  EvalStrategy strategy_ GUARDED_BY(strategy_mu_);
+  /// Guards only the cache pointer swap; table computation runs outside.
+  mutable util::Mutex bounds_mu_;
+  mutable std::shared_ptr<const BoundsCache> bounds_cache_
+      GUARDED_BY(bounds_mu_);
   QueryLog log_;
 };
 

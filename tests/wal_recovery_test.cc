@@ -11,8 +11,10 @@
 // clean DataLoss statuses or recovered to the last committed point. All
 // fault injection flows through util::FaultInjectingFileSystem — the
 // production code has no test-only branches.
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -77,10 +79,12 @@ corpus::Corpus CorpusFromDocs(size_t vocab_size, const std::vector<Doc>& docs) {
 // ------------------------------------------------------------ op scripts --
 // A recovery test is: run a SCRIPT of logical operations against a durable
 // index, crash it somewhere, recover, and compare against an in-test model
-// replayed over the prefix the WAL proves. One script op maps to exactly
-// one WAL record (the invariant LogMutationLocked keeps — even no-op
-// deletes and empty batches are logged), so the recovered index's
-// wal_sequence() IS the op-prefix length.
+// replayed over the prefix the WAL proves. Ingests (even empty batches),
+// deletes (even no-ops) and term-space declarations each map to exactly one
+// WAL record; a SEAL only emits a record when the writer actually holds
+// documents (the idle-refresh WAL-leak fix), so the op↔record mapping is
+// computed by ScriptTrace — a test-side simulation of the writer's fill
+// level — rather than assumed 1:1.
 
 struct Op {
   enum Kind { kIngest, kDelete, kSeal, kTermSpace } kind;
@@ -111,6 +115,90 @@ Op TermSpaceOp(size_t n) {
   op.kind = Op::kTermSpace;
   op.num_terms = n;
   return op;
+}
+
+/// Mirrors the writer's fill level across a script to predict which ops
+/// append WAL records. The rules are exactly LiveIndex's: each ingested
+/// doc bumps the writer and an auto-seal at max_writer_docs empties it
+/// (unlogged — it is part of the ingest's own record); deleting a doc
+/// still buffered in the writer seals it first (also unlogged); an
+/// explicit Seal appends a record ONLY when the writer is non-empty; and
+/// ForceMerge/Checkpoint seal the writer with no record at all
+/// (NoteUnloggedSeal). From the per-op emission list the trace answers the
+/// two questions every sweep needs: how many records the first N ops
+/// produced, and which op prefix a recovered record prefix proves.
+class ScriptTrace {
+ public:
+  explicit ScriptTrace(const LiveIndexOptions& options)
+      : max_writer_docs_(std::max<size_t>(1, options.max_writer_docs)) {}
+
+  /// Feeds the next op; returns true when it appends a WAL record.
+  bool Feed(const Op& op) {
+    bool emits = true;
+    switch (op.kind) {
+      case Op::kIngest:
+        for (size_t d = 0; d < op.docs.size(); ++d) {
+          ++next_stable_;
+          ++writer_docs_;
+          if (writer_docs_ >= max_writer_docs_) writer_docs_ = 0;
+        }
+        break;
+      case Op::kDelete:
+        if (op.stable < next_stable_ && writer_docs_ > 0 &&
+            op.stable >= next_stable_ - writer_docs_) {
+          writer_docs_ = 0;  // the delete seals the writer first, unlogged
+        }
+        break;
+      case Op::kSeal:
+        emits = writer_docs_ > 0;
+        writer_docs_ = 0;
+        break;
+      case Op::kTermSpace:
+        break;
+    }
+    if (emits) record_op_.push_back(op_index_);
+    ++op_index_;
+    return emits;
+  }
+
+  /// Models an unlogged writer seal (ForceMerge, Checkpoint).
+  void NoteUnloggedSeal() { writer_docs_ = 0; }
+
+  /// Total records the fed ops appended.
+  size_t total_records() const { return record_op_.size(); }
+
+  /// Records appended by the first `op_count` ops.
+  size_t RecordsBefore(size_t op_count) const {
+    size_t n = 0;
+    while (n < record_op_.size() && record_op_[n] < op_count) ++n;
+    return n;
+  }
+
+  /// Op prefix a recovered prefix of `record_count` records proves: every
+  /// op through the emitter of the last record. Ops past it that emitted
+  /// nothing are record-less seals — logical no-ops either way.
+  size_t OpsCovered(size_t record_count) const {
+    if (record_count == 0) return 0;
+    return record_op_[record_count - 1] + 1;
+  }
+
+  /// Whether the writer currently buffers documents (i.e. whether the NEXT
+  /// explicit seal — including the one inside Refresh() — would log).
+  bool writer_nonempty() const { return writer_docs_ > 0; }
+
+ private:
+  size_t max_writer_docs_;
+  StableId next_stable_ = 0;
+  size_t writer_docs_ = 0;
+  size_t op_index_ = 0;
+  std::vector<size_t> record_op_;
+};
+
+ScriptTrace TraceOf(const std::vector<Op>& ops,
+                    const LiveIndexOptions& options) {
+  ScriptTrace trace(options);
+  for (const Op& op : ops) trace.Feed(op);
+  return trace;
 }
 
 /// Applies ops [begin, end) through the public API (the same calls WAL
@@ -222,18 +310,20 @@ void ExpectLiveMatchesStatic(LiveIndex& live, const std::vector<Doc>& final_docs
 }
 
 /// Recovers from `fs` and asserts full parity against the model replay of
-/// the recovered prefix. Returns the recovered prefix length.
+/// the op prefix the recovered RECORD prefix proves (via `trace`). Returns
+/// the recovered record-prefix length.
 size_t RecoverAndCheck(util::FileSystem* fs, const LiveIndexOptions& options,
-                       const std::vector<Op>& ops, size_t vocab,
-                       const std::vector<Doc>& queries, const char* context) {
+                       const std::vector<Op>& ops, const ScriptTrace& trace,
+                       size_t vocab, const std::vector<Doc>& queries,
+                       const char* context) {
   LiveIndex::RecoveryStats stats;
   auto recovered = LiveIndex::Recover(fs, kDir, options, &stats);
   EXPECT_TRUE(recovered.ok()) << context << ": " << recovered.status().message();
   if (!recovered.ok()) return 0;
   const size_t prefix = static_cast<size_t>((*recovered)->wal_sequence());
-  EXPECT_LE(prefix, ops.size()) << context;
-  ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, prefix), vocab, queries,
-                          5, context);
+  EXPECT_LE(prefix, trace.total_records()) << context;
+  ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, trace.OpsCovered(prefix)),
+                          vocab, queries, 5, context);
   return prefix;
 }
 
@@ -265,7 +355,13 @@ std::vector<Op> SmallScript(size_t vocab) {
     for (size_t i = 0; i < n; ++i) docs.push_back(SynthDoc(rng, vocab));
     next += docs.size();
     ops.push_back(IngestOp(std::move(docs)));
-    if (batch == 2 || batch == 5) ops.push_back(SealOp());
+    if (batch == 2 || batch == 5) {
+      ops.push_back(SealOp());
+      // A back-to-back seal finds the writer empty and must append NO
+      // record (the idle-refresh fix) — a mid-script record-less op that
+      // every sweep's op↔record mapping has to get right.
+      if (batch == 5) ops.push_back(SealOp());
+    }
     if (batch >= 1) {
       ops.push_back(DeleteOp(rng.UniformInt(next)));  // usually live
     }
@@ -273,6 +369,7 @@ std::vector<Op> SmallScript(size_t vocab) {
   ops.push_back(DeleteOp(next + 1000));  // never-assigned id: no-op
   ops.push_back(IngestOp({}));           // empty batch: no-op, still logged
   ops.push_back(SealOp());
+  ops.push_back(SealOp());  // trailing record-less seal
   return ops;
 }
 
@@ -298,13 +395,16 @@ TEST(WalRecoveryTest, EveryByteBoundaryTruncationRecoversWithParity) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kPerBatch);
+  const ScriptTrace trace = TraceOf(ops, options);
+  // The script must exercise the seal-skip: fewer records than ops.
+  ASSERT_LT(trace.total_records(), ops.size());
 
   // Run the whole script durably, then crash at EVERY byte of the WAL.
   FaultInjectingFileSystem fs;
   auto live = LiveIndex::Recover(&fs, kDir, options);
   ASSERT_TRUE(live.ok()) << live.status().message();
   ASSERT_EQ(ApplyOps(**live, ops, ops.size()), ops.size());
-  ASSERT_EQ((*live)->wal_sequence(), ops.size());
+  ASSERT_EQ((*live)->wal_sequence(), trace.total_records());
   const uint64_t generation = (*live)->wal_generation();
   const std::string wal_path = std::string(kDir) + "/" + WalFileName(generation);
   const std::string wal_bytes = fs.FileBytes(wal_path);
@@ -326,15 +426,16 @@ TEST(WalRecoveryTest, EveryByteBoundaryTruncationRecoversWithParity) {
       EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss) << context;
       continue;
     }
-    const size_t prefix = RecoverAndCheck(crash.get(), options, ops, vocab,
-                                          queries, context.c_str());
+    const size_t prefix = RecoverAndCheck(crash.get(), options, ops, trace,
+                                          vocab, queries, context.c_str());
     // More surviving bytes can only ever reveal MORE committed ops.
     EXPECT_GE(prefix, prev_prefix) << context;
     if (prefix > prev_prefix) ++distinct_prefixes;
     prev_prefix = prefix;
   }
-  EXPECT_EQ(prev_prefix, ops.size());        // the full WAL replays fully
-  EXPECT_EQ(distinct_prefixes, ops.size());  // every record boundary was hit
+  // The full WAL replays fully, and every record boundary was hit.
+  EXPECT_EQ(prev_prefix, trace.total_records());
+  EXPECT_EQ(distinct_prefixes, trace.total_records());
 }
 
 // --------------------------------------------------------- fault sweeps --
@@ -344,6 +445,7 @@ void FaultSweep(FaultMode mode) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kPerBatch);
+  const ScriptTrace trace = TraceOf(ops, options);
 
   for (uint64_t fault_at = 0;; ++fault_at) {
     ASSERT_LT(fault_at, 10000u) << "fault sweep failed to terminate";
@@ -364,15 +466,16 @@ void FaultSweep(FaultMode mode) {
     const std::string context =
         std::string(mode == FaultMode::kFailOp ? "fail" : "short") + "-at-" +
         std::to_string(fault_at) + " acked=" + std::to_string(acked);
-    const size_t prefix =
-        RecoverAndCheck(&fs, options, ops, vocab, queries, context.c_str());
-    // Durability floor: under kPerBatch every acknowledged op was synced
-    // before its call returned, so recovery may never come back short.
-    EXPECT_GE(prefix, acked) << context;
+    const size_t prefix = RecoverAndCheck(&fs, options, ops, trace, vocab,
+                                          queries, context.c_str());
+    // Durability floor: under kPerBatch every acknowledged op's records
+    // (record-less seals ack without one) were synced before its call
+    // returned, so recovery may never come back short of them.
+    EXPECT_GE(prefix, trace.RecordsBefore(acked)) << context;
     if (!fired) {
       // The fault index outran the script's total I/O: sweep complete.
       EXPECT_EQ(acked, ops.size());
-      EXPECT_EQ(prefix, ops.size());
+      EXPECT_EQ(prefix, trace.total_records());
       break;
     }
   }
@@ -416,6 +519,7 @@ TEST(WalRecoveryTest, PerBatchPolicyLosesNothingAtPowerCut) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kPerBatch);
+  const ScriptTrace trace = TraceOf(ops, options);
   FaultInjectingFileSystem fs;
   {
     auto live = LiveIndex::Recover(&fs, kDir, options);
@@ -423,8 +527,9 @@ TEST(WalRecoveryTest, PerBatchPolicyLosesNothingAtPowerCut) {
     ASSERT_EQ(ApplyOps(**live, ops, ops.size()), ops.size());
   }
   fs.PowerCut();
-  EXPECT_EQ(RecoverAndCheck(&fs, options, ops, vocab, queries, "per-batch"),
-            ops.size());
+  EXPECT_EQ(RecoverAndCheck(&fs, options, ops, trace, vocab, queries,
+                            "per-batch"),
+            trace.total_records());
 }
 
 TEST(WalRecoveryTest, PerRefreshPolicyKeepsExactlyTheRefreshedPrefix) {
@@ -437,12 +542,18 @@ TEST(WalRecoveryTest, PerRefreshPolicyKeepsExactlyTheRefreshedPrefix) {
   // unsynced suffix records die with the page cache — even though the
   // index acknowledged them in memory).
   for (size_t refresh_after : {size_t{3}, size_t{9}, ops.size()}) {
+    ScriptTrace partial(options);
+    for (size_t i = 0; i < refresh_after; ++i) partial.Feed(ops[i]);
+    // Refresh appends one more seal record only when the writer holds
+    // documents at the boundary; either way it syncs every appended record.
+    const size_t refreshed =
+        partial.total_records() + (partial.writer_nonempty() ? 1 : 0);
     FaultInjectingFileSystem fs;
     {
       auto live = LiveIndex::Recover(&fs, kDir, options);
       ASSERT_TRUE(live.ok());
       ASSERT_EQ(ApplyOps(**live, ops, refresh_after), refresh_after);
-      (*live)->Refresh();  // logs one seal record, then syncs
+      (*live)->Refresh();
       ApplyOpsRange(**live, ops, refresh_after, ops.size());  // never synced
     }
     fs.PowerCut();
@@ -450,8 +561,7 @@ TEST(WalRecoveryTest, PerRefreshPolicyKeepsExactlyTheRefreshedPrefix) {
         "per-refresh boundary=" + std::to_string(refresh_after);
     auto recovered = LiveIndex::Recover(&fs, kDir, options);
     ASSERT_TRUE(recovered.ok()) << context;
-    // The refresh itself is one extra logged seal on top of the prefix.
-    EXPECT_EQ((*recovered)->wal_sequence(), refresh_after + 1) << context;
+    EXPECT_EQ((*recovered)->wal_sequence(), refreshed) << context;
     // The model ignores seals, so parity over the raw prefix holds.
     ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, refresh_after), vocab,
                             queries, 5, context.c_str());
@@ -463,6 +573,7 @@ TEST(WalRecoveryTest, ManualPolicyLosesEverythingPastTheLastSync) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kManual);
+  const ScriptTrace trace = TraceOf(ops, options);
   for (size_t sync_after : {size_t{0}, size_t{5}, ops.size()}) {
     FaultInjectingFileSystem fs;
     {
@@ -476,9 +587,107 @@ TEST(WalRecoveryTest, ManualPolicyLosesEverythingPastTheLastSync) {
     const std::string context = "manual sync=" + std::to_string(sync_after);
     auto recovered = LiveIndex::Recover(&fs, kDir, options);
     ASSERT_TRUE(recovered.ok()) << context;
-    EXPECT_EQ((*recovered)->wal_sequence(), sync_after) << context;
+    EXPECT_EQ((*recovered)->wal_sequence(), trace.RecordsBefore(sync_after))
+        << context;
     ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, sync_after), vocab,
                             queries, 5, context.c_str());
+  }
+}
+
+// ------------------------------------------- idle churn + group commit --
+
+TEST(WalRecoveryTest, IdleRefreshLeavesTheWalByteForByteUnchanged) {
+  // THE headline bugfix. Flush()/Refresh()/Serialize() used to append a
+  // kSeal record even with an empty writer, so a serving loop that calls
+  // Refresh() on a timer grew the WAL without bound while ingest was idle
+  // — and under kPerBatch paid an fsync per call. Now an idle cycle leaves
+  // the log byte-for-byte unchanged and issues zero filesystem ops.
+  for (DurabilityPolicy policy :
+       {DurabilityPolicy::kPerBatch, DurabilityPolicy::kPerRefresh,
+        DurabilityPolicy::kManual}) {
+    FaultInjectingFileSystem fs;
+    const LiveIndexOptions options = SmallOptions(policy);
+    auto live = LiveIndex::Recover(&fs, kDir, options);
+    ASSERT_TRUE(live.ok()) << live.status().message();
+    (*live)->EnsureTermSpace(8);
+    (*live)->Ingest({{0, 1, 2}, {1, 2}});
+    (*live)->Refresh();  // seals + (non-manual) syncs the real work
+    if (policy == DurabilityPolicy::kManual) {
+      ASSERT_TRUE((*live)->SyncWal().ok());
+    }
+    const std::string wal_path =
+        std::string(kDir) + "/" + WalFileName((*live)->wal_generation());
+    const std::string bytes_before = fs.FileBytes(wal_path);
+    const uint64_t seq_before = (*live)->wal_sequence();
+    const uint64_t io_before = fs.op_count();
+    for (int i = 0; i < 200; ++i) {
+      (*live)->Refresh();
+      (*live)->Flush();
+      (void)(*live)->Serialize();
+    }
+    // Not one byte appended, not one record logged, not one I/O issued.
+    EXPECT_EQ(fs.FileBytes(wal_path), bytes_before);
+    EXPECT_EQ((*live)->wal_sequence(), seq_before);
+    EXPECT_EQ(fs.op_count(), io_before);
+    live->reset();
+    // The idle-churned log recovers exactly the pre-churn state.
+    fs.PowerCut();
+    auto recovered = LiveIndex::Recover(&fs, kDir, options);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ((*recovered)->wal_sequence(), seq_before);
+    ExpectLiveMatchesStatic(**recovered, {{0, 1, 2}, {1, 2}}, 8,
+                            {{1}, {0, 2}}, 5, "idle-churn");
+  }
+}
+
+TEST(WalRecoveryTest, GroupCommitConcurrentWritersLoseNoAcknowledgedWrite) {
+  // kPerBatch's group commit: concurrent writers share fsyncs through the
+  // synced-sequence watermark (a follower whose record a leader's fsync
+  // already covered acks for free). The loss bound must be exactly the
+  // sequential one: every acknowledged call survives a power cut, one
+  // record per call, in WAL sequence order.
+  constexpr size_t kThreads = 4;
+  constexpr size_t kDocsPerThread = 32;
+  const size_t vocab = kThreads * kDocsPerThread;
+  LiveIndexOptions options;
+  options.durability = DurabilityPolicy::kPerBatch;
+  options.max_writer_docs = 8;
+  options.merge_factor = 2;
+  FaultInjectingFileSystem fs;
+  {
+    auto live = LiveIndex::Recover(&fs, kDir, options);
+    ASSERT_TRUE(live.ok()) << live.status().message();
+    (*live)->EnsureTermSpace(vocab);
+    std::vector<std::thread> writers;
+    std::vector<size_t> acked(kThreads, 0);
+    for (size_t w = 0; w < kThreads; ++w) {
+      writers.emplace_back([&live, &acked, w] {
+        for (size_t i = 0; i < kDocsPerThread; ++i) {
+          // One single-term doc per call, the term unique to (writer, i),
+          // so the recovered image proves every call independently.
+          const text::TermId term =
+              static_cast<text::TermId>(w * kDocsPerThread + i);
+          if (!(*live)->Ingest({{term, term}}).empty()) ++acked[w];
+        }
+      });
+    }
+    for (std::thread& t : writers) t.join();
+    for (size_t w = 0; w < kThreads; ++w) {
+      ASSERT_EQ(acked[w], kDocsPerThread) << "writer " << w;
+    }
+    // One record per ingest plus the term-space declaration; auto-seals
+    // ride inside the ingest records.
+    EXPECT_EQ((*live)->wal_sequence(), 1 + kThreads * kDocsPerThread);
+  }
+  fs.PowerCut();  // acknowledged ⇒ fsynced: nothing may be lost
+  auto recovered = LiveIndex::Recover(&fs, kDir, options);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->wal_sequence(), 1 + kThreads * kDocsPerThread);
+  auto snapshot = (*recovered)->Refresh();
+  ASSERT_EQ(snapshot->num_documents(), kThreads * kDocsPerThread);
+  for (size_t t = 0; t < vocab; ++t) {
+    EXPECT_EQ(snapshot->DocFreq(static_cast<text::TermId>(t)), 1u)
+        << "term " << t;
   }
 }
 
@@ -489,6 +698,7 @@ TEST(WalRecoveryTest, CheckpointCollapsesTheWalAndSurvivesPowerCut) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kManual);
+  const ScriptTrace trace = TraceOf(ops, options);
   FaultInjectingFileSystem fs;
   uint64_t generation = 0;
   {
@@ -512,7 +722,7 @@ TEST(WalRecoveryTest, CheckpointCollapsesTheWalAndSurvivesPowerCut) {
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(stats.manifest_generation, generation);
   EXPECT_EQ(stats.replayed_records, 0u);
-  EXPECT_EQ((*recovered)->wal_sequence(), 6u);
+  EXPECT_EQ((*recovered)->wal_sequence(), trace.RecordsBefore(6));
   ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, 6), vocab, queries, 5,
                           "post-checkpoint");
 }
@@ -522,6 +732,7 @@ TEST(WalRecoveryTest, RecoverIsIdempotent) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kPerBatch);
+  const ScriptTrace trace = TraceOf(ops, options);
   FaultInjectingFileSystem fs;
   {
     auto live = LiveIndex::Recover(&fs, kDir, options);
@@ -533,9 +744,12 @@ TEST(WalRecoveryTest, RecoverIsIdempotent) {
   for (size_t round = 0; round < 3; ++round) {
     auto recovered = LiveIndex::Recover(&fs, kDir, options);
     ASSERT_TRUE(recovered.ok()) << "round " << round;
-    // Each earlier round's Serialize() logged one seal record, which the
-    // next recovery replays — the logical clock grows by exactly that.
-    EXPECT_EQ((*recovered)->wal_sequence(), ops.size() + round)
+    // Recovery checkpoints (sealing any replayed writer tail with no
+    // record), so Serialize() finds an empty writer and appends NOTHING:
+    // the logical clock is a fixed point across rounds. Before the seal-
+    // skip fix it grew by one per round — each round's Serialize logged a
+    // gratuitous empty seal for the next recovery to replay.
+    EXPECT_EQ((*recovered)->wal_sequence(), trace.total_records())
         << "round " << round;
     const std::string blob = (*recovered)->Serialize();
     if (round == 0) {
@@ -598,6 +812,7 @@ TEST(WalRecoveryTest, WalBitFlipsNeverCrashAndNeverFabricateState) {
   const std::vector<Op> ops = SmallScript(vocab);
   const std::vector<Doc> queries = SmallQueries(vocab);
   const LiveIndexOptions options = SmallOptions(DurabilityPolicy::kPerBatch);
+  const ScriptTrace trace = TraceOf(ops, options);
   std::string wal_path;
   uint64_t generation = 0;
   auto image = BuildCommittedImage(ops, options, &wal_path, &generation);
@@ -620,9 +835,9 @@ TEST(WalRecoveryTest, WalBitFlipsNeverCrashAndNeverFabricateState) {
     // Record damage: replay stops at the flip, never past it, and the
     // recovered prefix is internally consistent (full parity).
     const size_t prefix = static_cast<size_t>((*recovered)->wal_sequence());
-    EXPECT_LE(prefix, ops.size()) << context;
-    ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, prefix), vocab,
-                            queries, 5, context.c_str());
+    EXPECT_LE(prefix, trace.total_records()) << context;
+    ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, trace.OpsCovered(prefix)),
+                            vocab, queries, 5, context.c_str());
   }
 }
 
@@ -643,7 +858,7 @@ TEST(WalRecoveryTest, TrailingGarbageIsDiscardedNotFatal) {
   auto recovered = LiveIndex::Recover(image.get(), kDir, options, &stats);
   ASSERT_TRUE(recovered.ok());
   EXPECT_TRUE(stats.wal_tail_lost);
-  EXPECT_EQ((*recovered)->wal_sequence(), ops.size());
+  EXPECT_EQ((*recovered)->wal_sequence(), TraceOf(ops, options).total_records());
   ExpectLiveMatchesStatic(**recovered, ModelDocs(ops, ops.size()), vocab,
                           queries, 5, "trailing-garbage");
 }
@@ -755,6 +970,13 @@ TEST(WalRecoveryTest, RandomSixteenStreamSchedulesSurviveRandomCrashes) {
 
   LiveIndexOptions options = SmallOptions(DurabilityPolicy::kPerBatch);
   options.max_writer_docs = 16;
+  // The trace must mirror the run below exactly — including ForceMerge's
+  // unlogged writer seals, which change whether LATER explicit seals log.
+  ScriptTrace trace(options);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    trace.Feed(ops[i]);
+    if (i % 37 == 36) trace.NoteUnloggedSeal();
+  }
   FaultInjectingFileSystem fs;
   uint64_t generation = 0;
   {
@@ -765,7 +987,7 @@ TEST(WalRecoveryTest, RandomSixteenStreamSchedulesSurviveRandomCrashes) {
       if (i % 37 == 36) (*live)->ForceMerge();  // unlogged physical churn
     }
     ASSERT_TRUE((*live)->healthy());
-    ASSERT_EQ((*live)->wal_sequence(), ops.size());
+    ASSERT_EQ((*live)->wal_sequence(), trace.total_records());
     generation = (*live)->wal_generation();
   }
   const std::string wal_path = std::string(kDir) + "/" + WalFileName(generation);
@@ -787,12 +1009,12 @@ TEST(WalRecoveryTest, RandomSixteenStreamSchedulesSurviveRandomCrashes) {
       EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss) << context;
       continue;
     }
-    const size_t prefix = RecoverAndCheck(crash.get(), options, ops, vocab,
-                                          queries, context.c_str());
+    const size_t prefix = RecoverAndCheck(crash.get(), options, ops, trace,
+                                          vocab, queries, context.c_str());
     EXPECT_GE(prefix, prev_prefix) << context;
     prev_prefix = prefix;
   }
-  EXPECT_EQ(prev_prefix, ops.size());
+  EXPECT_EQ(prev_prefix, trace.total_records());
 }
 
 // ------------------------------------------------------ wire-format unit --

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON sidecar against its committed baseline.
+
+Two formats, auto-detected:
+
+  * serving  -- serving_throughput --json output: serving_cells /
+    retrieval_cells / live_cells arrays whose throughput metrics
+    (queries_per_second, cycles_per_second, ingest_docs_per_second) are
+    higher-is-better.
+  * micro    -- Google Benchmark --benchmark_out=json output (the fallback
+    harness emits the same shape): benchmarks[].real_time in time_unit,
+    lower-is-better.
+
+A cell present in both files whose metric regressed by more than
+--threshold (default 10%) fails the run with exit code 1 and a per-cell
+report. Cells only in the baseline are warned about (a renamed or removed
+bench should update the baseline in the same PR); cells only in the
+current run are new and pass silently. Use --update to overwrite the
+baseline with the current run instead of comparing (how the committed
+JSONs are refreshed when a PR intentionally moves the numbers).
+"""
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def serving_cells(doc):
+    """(name -> (metric, higher_is_better)) for a serving_throughput run."""
+    cells = {}
+    for c in doc.get("serving_cells", []):
+        key = "serving/{}/shards{}/threads{}".format(
+            c["strategy"], c["shards"], c["threads"])
+        cells[key + "/qps"] = c["queries_per_second"]
+        cells[key + "/cps"] = c["cycles_per_second"]
+    for c in doc.get("retrieval_cells", []):
+        key = "retrieval/{}/shards{}".format(c["strategy"], c["shards"])
+        cells[key + "/qps"] = c["queries_per_second"]
+    for c in doc.get("live_cells", []):
+        key = "live/{}/threads{}/eval{}".format(
+            c["strategy"], c["threads"], c.get("eval_threads", 1))
+        cells[key + "/qps"] = c["queries_per_second"]
+        cells[key + "/ingest_dps"] = c["ingest_docs_per_second"]
+    return cells, True
+
+
+def micro_cells(doc):
+    """(name -> ns) for a Google Benchmark (or fallback-harness) run."""
+    cells = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = _TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        cells[b["name"]] = b["real_time"] * unit
+    return cells, False
+
+
+def extract(doc):
+    if "benchmarks" in doc:
+        return micro_cells(doc)
+    return serving_cells(doc)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional regression that fails (default 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite baseline with current and exit 0")
+    args = parser.parse_args()
+
+    if args.update:
+        with open(args.current) as src, open(args.baseline, "w") as dst:
+            dst.write(src.read())
+        print("bench_compare: baseline %s updated from %s" %
+              (args.baseline, args.current))
+        return 0
+
+    base_doc, cur_doc = load(args.baseline), load(args.current)
+    base, base_higher = extract(base_doc)
+    cur, cur_higher = extract(cur_doc)
+    if base_higher != cur_higher:
+        print("bench_compare: baseline and current are different formats",
+              file=sys.stderr)
+        return 2
+    higher_is_better = base_higher
+
+    regressions, compared = [], 0
+    for name in sorted(base):
+        if name not in cur:
+            print("bench_compare: WARNING: %s in baseline only "
+                  "(refresh the baseline if it was renamed/removed)" % name)
+            continue
+        b, c = base[name], cur[name]
+        if b <= 0:
+            continue
+        compared += 1
+        # Regression fraction, positive = worse.
+        delta = (b - c) / b if higher_is_better else (c - b) / b
+        marker = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            marker = "  <-- REGRESSION"
+        print("%-52s base=%12.2f cur=%12.2f  %+6.1f%%%s" %
+              (name, b, c, -delta * 100.0 if higher_is_better
+               else delta * 100.0, marker))
+    for name in sorted(set(cur) - set(base)):
+        print("%-52s (new; no baseline)" % name)
+
+    if compared == 0:
+        print("bench_compare: WARNING: no overlapping cells; nothing gated")
+    if regressions:
+        print("\nbench_compare: FAIL — %d cell(s) regressed more than %.0f%%:"
+              % (len(regressions), args.threshold * 100.0), file=sys.stderr)
+        for name, delta in regressions:
+            print("  %s: %.1f%% worse" % (name, delta * 100.0),
+                  file=sys.stderr)
+        return 1
+    print("bench_compare: OK (%d cells within %.0f%%)" %
+          (compared, args.threshold * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
