@@ -103,6 +103,14 @@ struct LiveCell {
   bool parity_with_static = false;
 };
 
+struct OpenLoopCell {
+  search::EvalStrategy strategy;
+  /// "under" (0.5x measured closed-loop capacity) or "over" (4x).
+  const char* load = "under";
+  double arrival_qps = 0.0;
+  serving::OpenLoopReport report;
+};
+
 uint64_t HashResults(uint64_t h, const std::vector<search::ScoredDoc>& docs) {
   for (const search::ScoredDoc& sd : docs) {
     h = util::Fnv1aStep(h, sd.doc);
@@ -344,6 +352,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --------------------------------------------------- open-loop phase --
+  // Arrival-driven load against the K=1 engine of each strategy at 4
+  // driver threads. Rates are set RELATIVE to the closed-loop capacity
+  // measured above (same machine, same run), so "under" genuinely
+  // underloads and "over" genuinely overloads on any hardware: under 0.5x
+  // capacity nothing should shed; at 4x capacity the admission gate must
+  // shed hard while latency stays bounded by the queue cap instead of
+  // growing without limit.
+  const size_t open_arrivals =
+      EnvSize("TOPPRIV_OPENLOOP_ARRIVALS", smoke ? 120 : 600);
+  std::vector<OpenLoopCell> open_loop_cells;
+  auto closed_loop_cps = [&](search::EvalStrategy strategy) {
+    for (const ServingCell& c : serving_cells) {
+      if (c.strategy == strategy && c.shards == 1 && c.threads == 4) {
+        return c.report.cycles_per_second;
+      }
+    }
+    return 0.0;
+  };
+  for (const EngineCell& ec : engines) {
+    if (ec.shards != 1) continue;
+    const double capacity = closed_loop_cps(ec.strategy);
+    const double base_rate = capacity > 0.0 ? capacity : 50.0;
+    serving::DriverOptions options;
+    options.num_threads = 4;
+    options.seed = 42;
+    serving::SessionDriver driver(model, inferencer, *ec.engine, options);
+    for (const bool overload : {false, true}) {
+      serving::OpenLoopOptions open;
+      open.arrival_qps = overload ? 4.0 * base_rate : 0.5 * base_rate;
+      open.num_arrivals = open_arrivals;
+      open.deadline_seconds = 5.0;  // generous: a tripped deadline is news
+      open.admission.max_in_flight = 4;
+      open.admission.max_queue_depth = 8;
+      open.admission.degraded_watermark = 0.75;
+      OpenLoopCell cell;
+      cell.strategy = ec.strategy;
+      cell.load = overload ? "over" : "under";
+      cell.arrival_qps = open.arrival_qps;
+      cell.report = driver.RunOpenLoop(sessions, open);
+      open_loop_cells.push_back(cell);
+    }
+  }
+
   // MaxScore-vs-TAAT evaluator speedup at each shard count (the tentpole's
   // headline number at K = 1).
   auto eval_qps = [&](search::EvalStrategy strategy, size_t shards) {
@@ -429,6 +481,29 @@ int main(int argc, char** argv) {
       "digest equals the static K=1 engine's)\n",
       100.0 * upfront_fraction);
   std::printf("%s", live_table.ToString().c_str());
+  util::TablePrinter open_table({"strategy", "load", "arrival/s", "arrivals",
+                                 "shed", "shed_rate", "degraded", "done/s",
+                                 "p50(ms)", "p95(ms)", "p99(ms)"});
+  for (const OpenLoopCell& cell : open_loop_cells) {
+    open_table.AddRow(
+        {search::EvalStrategyName(cell.strategy), cell.load,
+         util::FormatDouble(cell.arrival_qps, 1),
+         std::to_string(cell.report.arrivals),
+         std::to_string(cell.report.shed),
+         util::FormatDouble(cell.report.shed_rate, 3),
+         std::to_string(cell.report.degraded_admissions),
+         util::FormatDouble(cell.report.cycles_per_second, 1),
+         util::FormatDouble(1e3 * cell.report.p50_latency_seconds, 2),
+         util::FormatDouble(1e3 * cell.report.p95_latency_seconds, 2),
+         util::FormatDouble(1e3 * cell.report.p99_latency_seconds, 2)});
+  }
+  std::printf(
+      "\nOpen-loop phase (K=1, 4 threads; Poisson arrivals at 0.5x and 4x\n"
+      "the measured closed-loop capacity; admission gate 4 in-flight + 8\n"
+      "queued, degraded-mode watermark 0.75 — past it, cycles shed ghost\n"
+      "CACHE REFRESH, never ghost emission)\n");
+  std::printf("%s", open_table.ToString().c_str());
+
   std::printf(
       "\nsession+retrieval digests identical across strategy AND shard AND\n"
       "thread counts: %s\nstatic-vs-live convergence digest parity: %s\n"
@@ -514,6 +589,30 @@ int main(int argc, char** argv) {
       json.Field("cycles_per_second", cell.report.cycles_per_second);
       json.Field("queries_per_second", cell.report.queries_per_second);
       json.Field("parity_with_static", cell.parity_with_static);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("open_loop_cells");
+    json.BeginArray();
+    for (const OpenLoopCell& cell : open_loop_cells) {
+      json.BeginObject();
+      json.Field("strategy", search::EvalStrategyName(cell.strategy));
+      json.Field("load", cell.load);
+      json.Field("arrival_qps", cell.arrival_qps);
+      json.Field("arrivals", static_cast<uint64_t>(cell.report.arrivals));
+      json.Field("admitted", static_cast<uint64_t>(cell.report.admitted));
+      json.Field("shed", static_cast<uint64_t>(cell.report.shed));
+      json.Field("shed_rate", cell.report.shed_rate);
+      json.Field("degraded_admissions",
+                 static_cast<uint64_t>(cell.report.degraded_admissions));
+      json.Field("completed", static_cast<uint64_t>(cell.report.completed));
+      json.Field("deadline_exceeded",
+                 static_cast<uint64_t>(cell.report.deadline_exceeded));
+      json.Field("wall_seconds", cell.report.wall_seconds);
+      json.Field("cycles_per_second", cell.report.cycles_per_second);
+      json.Field("p50_latency_ms", 1e3 * cell.report.p50_latency_seconds);
+      json.Field("p95_latency_ms", 1e3 * cell.report.p95_latency_seconds);
+      json.Field("p99_latency_ms", 1e3 * cell.report.p99_latency_seconds);
       json.EndObject();
     }
     json.EndArray();

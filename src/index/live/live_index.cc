@@ -878,14 +878,20 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Deserialize(
 
 // ------------------------------------------------------------ durability --
 
+void LiveIndex::RecordWalErrorLocked(const util::Status& s) {
+  wal_error_ = s;
+  last_error_ = s;
+}
+
 bool LiveIndex::LogMutationLocked(WalRecord&& record) {
   if (fs_ == nullptr) return true;
   if (!wal_error_.ok()) return false;
   util::Status s = wal_->Append(&record);
   if (!s.ok()) {
-    // The tragic event: the log can no longer promise to be ahead of
-    // memory, so all future mutations are refused (queries still serve).
-    wal_error_ = s;
+    // The degrading event: the log can no longer promise to be ahead of
+    // memory, so mutations are refused (queries still serve) until
+    // Repair() re-checkpoints into a fresh generation.
+    RecordWalErrorLocked(s);
     return false;
   }
   wal_seq_ = wal_->next_seq();
@@ -897,7 +903,7 @@ util::Status LiveIndex::SyncWalLocked() {
   if (wal_synced_seq_ >= wal_seq_) return util::Status::Ok();
   util::Status s = wal_->Sync();
   if (!s.ok()) {
-    wal_error_ = s;
+    RecordWalErrorLocked(s);
     return s;
   }
   // Everything appended so far (wal_seq_ cannot move while mu_ is held)
@@ -924,6 +930,15 @@ util::Status LiveIndex::CheckpointLocked() {
         "Checkpoint() on an in-memory LiveIndex");
   }
   if (!wal_error_.ok()) return wal_error_;
+  util::Status s = RecommitLocked();
+  if (!s.ok()) {
+    RecordWalErrorLocked(s);
+    return s;
+  }
+  return util::Status::Ok();
+}
+
+util::Status LiveIndex::RecommitLocked() {
   FlushLocked();
   WaitForMergesLocked();
   const std::string blob = SerializeLocked();
@@ -933,11 +948,7 @@ util::Status LiveIndex::CheckpointLocked() {
   // never touches); after the flip, the new manifest + empty WAL are
   // already fully synced. Stray files from a crash in between are inert
   // and swept by the next successful checkpoint.
-  util::Status s = CommitGenerationLocked(next_gen, blob);
-  if (!s.ok()) {
-    wal_error_ = s;
-    return s;
-  }
+  TOPPRIV_RETURN_IF_ERROR(CommitGenerationLocked(next_gen, blob));
   // Best-effort sweep of superseded generations and temp debris; recovery
   // only ever follows CURRENT, so leftovers cost disk, not correctness.
   auto names = fs_->List(dir_);
@@ -1003,6 +1014,83 @@ bool LiveIndex::healthy() const {
 util::Status LiveIndex::wal_status() const {
   util::MutexLock lock(&mu_);
   return wal_error_;
+}
+
+LiveIndex::Health LiveIndex::health() const {
+  util::MutexLock lock(&mu_);
+  return wal_error_.ok() ? Health::kHealthy : Health::kDegraded;
+}
+
+util::Status LiveIndex::last_error() const {
+  util::MutexLock lock(&mu_);
+  return last_error_;
+}
+
+util::StatusOr<std::vector<StableId>> LiveIndex::IngestChecked(
+    const std::vector<std::vector<text::TermId>>& docs) {
+  std::vector<StableId> ids = Ingest(docs);
+  if (ids.size() == docs.size()) return ids;
+  // Every short-return path in Ingest implies the WAL error latch is set
+  // (append or per-batch ack failed), so the typed translation is exact.
+  util::MutexLock lock(&mu_);
+  return util::Status::Unavailable("live index degraded: " +
+                                   wal_error_.ToString());
+}
+
+util::Status LiveIndex::DeleteChecked(StableId stable) {
+  {
+    util::MutexLock lock(&mu_);
+    if (fs_ != nullptr && !wal_error_.ok()) {
+      return util::Status::Unavailable("live index degraded: " +
+                                       wal_error_.ToString());
+    }
+  }
+  if (Delete(stable)) return util::Status::Ok();
+  // Disambiguate "not live" from "refused": the index may have degraded
+  // between the pre-check and the call.
+  util::MutexLock lock(&mu_);
+  if (fs_ != nullptr && !wal_error_.ok()) {
+    return util::Status::Unavailable("live index degraded: " +
+                                     wal_error_.ToString());
+  }
+  return util::Status::NotFound("stable id not live");
+}
+
+util::Status LiveIndex::Repair(const util::RetryPolicy& policy,
+                               util::Clock* clock) {
+  if (clock == nullptr) clock = util::Clock::Real();
+  const int attempts = std::max(1, policy.max_attempts);
+  util::Status last = util::Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Back off without holding mu_ so queries and (refused) mutation
+      // attempts are never blocked behind a repair sleep.
+      clock->SleepFor(policy.BackoffNanos(attempt - 1));
+    }
+    mu_.Lock();
+    if (fs_ == nullptr) {
+      mu_.Unlock();
+      return util::Status::FailedPrecondition(
+          "Repair() on an in-memory LiveIndex");
+    }
+    if (wal_error_.ok()) {
+      mu_.Unlock();
+      return util::Status::Ok();
+    }
+    // Memory holds exactly the logged-OK mutation prefix (a failed append
+    // is never applied), so re-checkpointing memory into a fresh
+    // generation + empty WAL is a sound repair — no replay needed.
+    util::Status s = RecommitLocked();
+    if (s.ok()) {
+      wal_error_ = util::Status::Ok();  // last_error_ stays sticky.
+      mu_.Unlock();
+      return util::Status::Ok();
+    }
+    last_error_ = s;
+    mu_.Unlock();
+    last = s;
+  }
+  return last;
 }
 
 uint64_t LiveIndex::wal_sequence() const {

@@ -57,6 +57,7 @@
 
 #include "index/inverted_index.h"
 #include "index/live/segment.h"
+#include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -310,9 +311,68 @@ class LiveIndex {
   bool durable() const EXCLUDES(mu_);
   /// False after a WAL/checkpoint I/O failure: the index refuses further
   /// mutations (queries still work) so memory can never run ahead of what
-  /// recovery could reconstruct. wal_status() carries the fatal error.
+  /// recovery could reconstruct. wal_status() carries the current error
+  /// (Ok again once Repair() succeeds; last_error() stays sticky).
   bool healthy() const EXCLUDES(mu_);
   util::Status wal_status() const EXCLUDES(mu_);
+
+  // ----------------------------------------------------------- self-healing --
+  // Health state machine, locked bit-parity with recovery semantics:
+  //
+  //             WAL append/sync or checkpoint I/O failure
+  //     Healthy ─────────────────────────────────────────▶ Degraded
+  //        ▲     reads: current snapshots       reads: LAST published
+  //        │     mutations: applied                    snapshot (unchanged)
+  //        │                                    mutations: kUnavailable
+  //        └───────────────────────────────────────────────────┘
+  //            Repair(): retry w/ backoff → fresh WAL generation,
+  //            re-checkpoint, error cleared
+  //
+  // Degraded is exactly "wal_error_ is set". The WAL-first discipline makes
+  // repair sound WITHOUT replay: a failed append was never applied, so at
+  // every instant memory holds precisely the mutations whose appends
+  // succeeded — the same state recovery would reconstruct from the log.
+  // Repair therefore just re-checkpoints memory into generation+1 (fresh
+  // manifest, fresh empty WAL, CURRENT flip), after which the on-disk image
+  // and the in-memory image are bit-identical by the same argument the
+  // Checkpoint/Recover round-trip tests lock down. Acked⊆durable stays
+  // one-directional: an applied-but-never-acked kPerBatch mutation becoming
+  // durable through the repair checkpoint is allowed (the caller saw a
+  // failure and may retry; deletes are idempotent, re-ingest is the
+  // caller's dedup problem exactly as with a crash between fsync and ack).
+
+  /// Healthy = accepting mutations; Degraded = serving reads from the last
+  /// published snapshot, refusing mutations with kUnavailable.
+  enum class Health { kHealthy = 0, kDegraded = 1 };
+  Health health() const EXCLUDES(mu_);
+
+  /// The most recent WAL/checkpoint error ever recorded — STICKY: unlike
+  /// wal_status(), a successful Repair() does not clear it, so operators
+  /// and tests can see WHY the index degraded after it recovered. Ok iff
+  /// the index never degraded.
+  util::Status last_error() const EXCLUDES(mu_);
+
+  /// Status-typed mutation surface for callers that need to distinguish
+  /// "degraded, try later" (kUnavailable, message carries the recorded WAL
+  /// error) from a plain no-op. Semantics otherwise identical to
+  /// Ingest/Delete (same WAL-first logging, same group-commit ack).
+  util::StatusOr<std::vector<StableId>> IngestChecked(
+      const std::vector<std::vector<text::TermId>>& docs) EXCLUDES(mu_);
+  /// kUnavailable when degraded; kNotFound when the id was never assigned,
+  /// already deleted, or compacted away; Ok when the tombstone landed.
+  util::Status DeleteChecked(StableId stable) EXCLUDES(mu_);
+
+  /// Drives Degraded → Healthy: up to policy.max_attempts re-checkpoints
+  /// (each rotating to a fresh WAL generation), sleeping the policy's
+  /// deterministic backoff on `clock` (Clock::Real() by default; tests
+  /// pass a ManualClock so repair is instant) between attempts. The writer
+  /// mutex is RELEASED during each backoff sleep, so reads — which only
+  /// touch snapshot_mu_ — keep serving throughout. Returns Ok once healthy
+  /// (trivially, when already healthy), FailedPrecondition on an in-memory
+  /// index, or the last commit error when every attempt failed (the index
+  /// stays Degraded and Repair can be called again).
+  util::Status Repair(const util::RetryPolicy& policy = util::RetryPolicy(),
+                      util::Clock* clock = nullptr) EXCLUDES(mu_);
   /// Logical mutation clock: sequence number the NEXT logged mutation
   /// would carry == total mutations ever logged (0 for in-memory indexes).
   uint64_t wal_sequence() const EXCLUDES(mu_);
@@ -402,6 +462,15 @@ class LiveIndex {
   /// must already be sealed and merges drained.
   std::string SerializeLocked() const REQUIRES(mu_);
   util::Status CheckpointLocked() REQUIRES(mu_);
+  /// The checkpoint WORK (flush, drain merges, serialize, commit the next
+  /// generation, sweep stale files) with NO health gate: unlike
+  /// CheckpointLocked it neither consults nor records wal_error_, so the
+  /// repair path can drive it while the index is Degraded. Callers own the
+  /// health bookkeeping around it.
+  util::Status RecommitLocked() REQUIRES(mu_);
+  /// Records a WAL/checkpoint failure: sets the live error (degrading the
+  /// index) and the sticky last_error_.
+  void RecordWalErrorLocked(const util::Status& s) REQUIRES(mu_);
   /// The checkpoint commit sequence (manifest tmp+rename, fresh WAL,
   /// CURRENT flip). A named member rather than a lambda so the capability
   /// analysis can see it runs under mu_ (the analysis does not propagate
@@ -458,6 +527,8 @@ class LiveIndex {
   /// concurrent leader's sync.
   uint64_t wal_synced_seq_ GUARDED_BY(mu_) = 0;
   util::Status wal_error_ GUARDED_BY(mu_);
+  /// Sticky copy of the last wal_error_ ever recorded; survives Repair().
+  util::Status last_error_ GUARDED_BY(mu_);
 };
 
 /// Streams corpus documents [begin, end) into `live` in `batch_size`-doc

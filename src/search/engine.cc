@@ -64,7 +64,8 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
                                       const std::vector<QueryTerm>& query,
                                       const std::vector<uint32_t>& dfs,
                                       size_t k, EvalScratch* scratch,
-                                      const std::vector<char>* exclude) {
+                                      const std::vector<char>* exclude,
+                                      const util::Deadline* deadline) {
   TOPPRIV_CHECK_EQ(query.size(), dfs.size());
   if (query.empty() || k == 0) return {};
   // Hoisted so the common no-tombstone case (exclude == nullptr, every
@@ -91,6 +92,10 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
     const uint32_t df = dfs[qi];
     const uint32_t qtf = query[qi].qtf;
     for (size_t b = 0; b < list.num_blocks(); ++b) {
+      // Cooperative cancellation, one check per 128-posting block. An
+      // abandoned query surfaces NOTHING (the scratch self-heals on the
+      // next Prepare), so a deadline can never leak a partial top-k.
+      if (deadline != nullptr && deadline->Expired()) return {};
       list.DecodeBlock(b, &block);
       for (uint32_t i = 0; i < block.count; ++i) {
         const corpus::DocId doc = block.docs[i];
@@ -252,7 +257,8 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
                                     const std::vector<uint32_t>& dfs,
                                     size_t k, EvalScratch* scratch,
                                     const std::vector<double>* term_bounds,
-                                    const std::vector<char>* exclude) {
+                                    const std::vector<char>* exclude,
+                                    const util::Deadline* deadline) {
   TOPPRIV_CHECK_EQ(query.size(), dfs.size());
   if (query.empty() || k == 0) return {};
   const char* excluded = exclude != nullptr ? exclude->data() : nullptr;
@@ -371,6 +377,10 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
   };
 
   while (!ess.empty()) {
+    // Cooperative cancellation: one check per pivot iteration (each
+    // iteration decodes at most a handful of blocks). Same contract as
+    // AccumulateTopK — an expired query returns empty, never partial.
+    if (deadline != nullptr && deadline->Expired()) return {};
     // When a single essential term remains, skip its blocks wholesale:
     // every doc in a block is bounded by the block-max tf bound (capped by
     // the term's own list bound) plus the whole non-essential budget, and
@@ -488,15 +498,35 @@ std::vector<ScoredDoc> EvaluateTopK(EvalStrategy strategy,
                                     const std::vector<uint32_t>& dfs,
                                     size_t k, EvalScratch* scratch,
                                     const std::vector<double>* term_bounds,
-                                    const std::vector<char>* exclude) {
+                                    const std::vector<char>* exclude,
+                                    const util::Deadline* deadline) {
   switch (strategy) {
     case EvalStrategy::kMaxScore:
       return MaxScoreTopK(index, stats, scorer, query, dfs, k, scratch,
-                          term_bounds, exclude);
+                          term_bounds, exclude, deadline);
     case EvalStrategy::kTAAT:
       break;
   }
-  return AccumulateTopK(index, stats, scorer, query, dfs, k, scratch, exclude);
+  return AccumulateTopK(index, stats, scorer, query, dfs, k, scratch, exclude,
+                        deadline);
+}
+
+util::StatusOr<std::vector<ScoredDoc>> QueryEngine::EvaluateWithOptions(
+    const std::vector<text::TermId>& terms, size_t k,
+    const QueryOptions& options) const {
+  // Coarse default for engines without an internal poll point: bracket the
+  // whole evaluation with expiry checks. The result of an expired call is
+  // always discarded — even when Evaluate happened to finish — so the
+  // accept/reject decision is a pure function of the deadline, not of how
+  // fast this particular engine ran relative to the check sites.
+  if (options.deadline != nullptr && options.deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  std::vector<ScoredDoc> results = Evaluate(terms, k);
+  if (options.deadline != nullptr && options.deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  return results;
 }
 
 SearchEngine::SearchEngine(const corpus::Corpus& corpus,
@@ -553,6 +583,37 @@ std::vector<ScoredDoc> SearchEngine::Evaluate(
   }
   return EvaluateTopK(strategy, index_, stats_, *scorer_, query, dfs, k,
                       scratch, bounds == nullptr ? nullptr : bounds.get());
+}
+
+util::StatusOr<std::vector<ScoredDoc>> SearchEngine::EvaluateWithOptions(
+    const std::vector<text::TermId>& terms, size_t k,
+    const QueryOptions& options) const {
+  const util::Deadline* deadline = options.deadline;
+  if (deadline != nullptr && deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  if (terms.empty() || k == 0) return std::vector<ScoredDoc>{};
+  EvalStrategy strategy;
+  std::shared_ptr<const std::vector<double>> bounds;
+  {
+    util::MutexLock lock(&strategy_mu_);
+    strategy = strategy_;
+    bounds = term_bounds_;
+  }
+  std::vector<QueryTerm> query = CollapseQuery(terms);
+  std::vector<uint32_t> dfs(query.size());
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    dfs[qi] = index_.DocFreq(query[qi].term);
+  }
+  static thread_local EvalScratch scratch;
+  std::vector<ScoredDoc> results =
+      EvaluateTopK(strategy, index_, stats_, *scorer_, query, dfs, k, &scratch,
+                   bounds == nullptr ? nullptr : bounds.get(),
+                   /*exclude=*/nullptr, deadline);
+  if (deadline != nullptr && deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  return results;
 }
 
 }  // namespace toppriv::search

@@ -13,7 +13,9 @@
 #include "search/scorer.h"
 #include "search/topk.h"
 #include "text/vocabulary.h"
+#include "util/deadline.h"
 #include "util/mutex.h"
+#include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace toppriv::search {
@@ -83,7 +85,8 @@ class EvalScratch {
                                                const std::vector<QueryTerm>&,
                                                const std::vector<uint32_t>&,
                                                size_t, EvalScratch*,
-                                               const std::vector<char>*);
+                                               const std::vector<char>*,
+                                               const util::Deadline*);
   friend std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex&,
                                              const CollectionStats&,
                                              const Scorer&,
@@ -91,7 +94,8 @@ class EvalScratch {
                                              const std::vector<uint32_t>&,
                                              size_t, EvalScratch*,
                                              const std::vector<double>*,
-                                             const std::vector<char>*);
+                                             const std::vector<char>*,
+                                             const util::Deadline*);
 
   /// Grows the accumulator to cover `num_documents` and resets any state a
   /// previous (possibly abandoned) query left behind.
@@ -138,6 +142,13 @@ std::vector<QueryTerm> CollapseQuery(const std::vector<text::TermId>& terms);
 /// masked documents changes no surviving document's score bits — which is
 /// what keeps the live engine bit-identical to a static build of the
 /// surviving corpus.
+///
+/// `deadline`, when given, is polled once per decoded block. On expiry the
+/// core abandons the query and returns an EMPTY list — a partial top-k is
+/// never surfaced, so accepted (non-expired) queries stay bit-identical to
+/// a run with no deadline at all. Callers that passed a deadline must
+/// re-check Expired() afterward and map the abandonment to
+/// kDeadlineExceeded (EvaluateWithOptions does).
 std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
                                       const CollectionStats& stats,
                                       const Scorer& scorer,
@@ -145,6 +156,8 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
                                       const std::vector<uint32_t>& dfs,
                                       size_t k, EvalScratch* scratch,
                                       const std::vector<char>* exclude =
+                                          nullptr,
+                                      const util::Deadline* deadline =
                                           nullptr);
 
 /// Exact per-term impact bounds: for each term, the maximum TermScore any
@@ -175,6 +188,9 @@ std::vector<double> ComputeTermImpactBounds(
 /// `exclude` is the tombstone mask of AccumulateTopK: a masked pivot is
 /// never scored or offered (its cursors advance past it), and the bounds
 /// stay valid — they dominate every posting, masked ones included.
+/// `deadline` follows the AccumulateTopK contract (polled per pivot
+/// iteration here — every iteration decodes at most a handful of blocks —
+/// and an expired query returns empty, never partial).
 std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
                                     const CollectionStats& stats,
                                     const Scorer& scorer,
@@ -184,6 +200,8 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
                                     const std::vector<double>* term_bounds =
                                         nullptr,
                                     const std::vector<char>* exclude =
+                                        nullptr,
+                                    const util::Deadline* deadline =
                                         nullptr);
 
 /// Strategy dispatch over the two cores above.
@@ -197,6 +215,8 @@ std::vector<ScoredDoc> EvaluateTopK(EvalStrategy strategy,
                                     const std::vector<double>* term_bounds =
                                         nullptr,
                                     const std::vector<char>* exclude =
+                                        nullptr,
+                                    const util::Deadline* deadline =
                                         nullptr);
 
 /// One entry in the engine-side query log: the adversary's view. Queries
@@ -242,6 +262,15 @@ class QueryLog {
   uint64_t next_seq_ = 0;
 };
 
+/// Per-call knobs for the failure-aware evaluation entry point.
+struct QueryOptions {
+  /// Cooperative deadline/cancellation, polled at block-decode granularity
+  /// inside the eval cores and across shard/segment fan-out. Null = none.
+  /// The Deadline's cancel flag is shared across the whole fan-out, so one
+  /// expiry observation stops every sibling shard.
+  const util::Deadline* deadline = nullptr;
+};
+
 /// Abstract ranked-retrieval engine: what the privacy layer (TrustedClient,
 /// SessionProtector) and the serving driver program against. Implemented by
 /// the monolithic SearchEngine and by ShardedSearchEngine; the sharding
@@ -261,6 +290,18 @@ class QueryEngine {
   /// concurrent callers (the serving driver's sessions) are safe.
   virtual std::vector<ScoredDoc> Evaluate(
       const std::vector<text::TermId>& terms, size_t k) const = 0;
+
+  /// Deadline-aware evaluation. An accepted query returns results
+  /// BIT-identical to Evaluate (the deadline machinery never perturbs
+  /// surviving arithmetic); an expired or cancelled one returns
+  /// kDeadlineExceeded and its partial work is discarded, never surfaced.
+  /// The base implementation brackets Evaluate with expiry checks (coarse:
+  /// a stuck engine still runs to completion); the real engines override
+  /// it to poll inside the eval cores and across the shard fan-out, so a
+  /// wedged shard costs at most one block decode past the deadline.
+  virtual util::StatusOr<std::vector<ScoredDoc>> EvaluateWithOptions(
+      const std::vector<text::TermId>& terms, size_t k,
+      const QueryOptions& options) const;
 
   virtual const QueryLog& query_log() const = 0;
   virtual QueryLog& mutable_query_log() = 0;
@@ -302,6 +343,11 @@ class SearchEngine : public QueryEngine {
   std::vector<ScoredDoc> Evaluate(const std::vector<text::TermId>& terms,
                                   size_t k, EvalScratch* scratch) const
       EXCLUDES(strategy_mu_);
+
+  /// Deadline threaded into the eval core (block-decode granularity).
+  util::StatusOr<std::vector<ScoredDoc>> EvaluateWithOptions(
+      const std::vector<text::TermId>& terms, size_t k,
+      const QueryOptions& options) const override EXCLUDES(strategy_mu_);
 
   const QueryLog& query_log() const override { return log_; }
   QueryLog& mutable_query_log() override { return log_; }

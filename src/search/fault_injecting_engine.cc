@@ -1,0 +1,74 @@
+#include "search/fault_injecting_engine.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace toppriv::search {
+
+namespace {
+
+/// A kHang advances the clock by this much: far past any deadline a test
+/// or serving path would set (an hour), while staying robustly clear of
+/// int64 nanosecond overflow even after many hangs.
+constexpr int64_t kHangNanos = int64_t{3600} * 1'000'000'000;
+
+}  // namespace
+
+void FaultInjectingEngine::ScheduleFault(EngineFault fault) {
+  util::MutexLock lock(&mu_);
+  faults_.push_back(fault);
+}
+
+void FaultInjectingEngine::ClearFaults() {
+  util::MutexLock lock(&mu_);
+  faults_.clear();
+}
+
+uint64_t FaultInjectingEngine::calls() const {
+  util::MutexLock lock(&mu_);
+  return calls_;
+}
+
+uint64_t FaultInjectingEngine::faults_fired() const {
+  util::MutexLock lock(&mu_);
+  return faults_fired_;
+}
+
+util::StatusOr<std::vector<ScoredDoc>> FaultInjectingEngine::
+    EvaluateWithOptions(const std::vector<text::TermId>& terms, size_t k,
+                        const QueryOptions& options) const {
+  // Claim this call's index and (at most) one matching fault under the
+  // lock; the fault's effects — clock advance, error, delegation — run
+  // outside it so concurrent queries never serialize on the wrapper.
+  bool fired = false;
+  EngineFault fault;
+  {
+    util::MutexLock lock(&mu_);
+    const uint64_t call = calls_++;
+    const auto it =
+        std::find_if(faults_.begin(), faults_.end(),
+                     [call](const EngineFault& f) { return f.at_call == call; });
+    if (it != faults_.end()) {
+      fired = true;
+      fault = *it;
+      faults_.erase(it);
+      ++faults_fired_;
+    }
+  }
+  if (fired) {
+    switch (fault.kind) {
+      case EngineFault::Kind::kError:
+        return util::Status::Unavailable("injected engine fault");
+      case EngineFault::Kind::kDelay:
+        clock_->Advance(fault.delay_nanos);
+        break;
+      case EngineFault::Kind::kHang:
+        clock_->Advance(kHangNanos);
+        break;
+    }
+  }
+  return inner_->EvaluateWithOptions(terms, k, options);
+}
+
+}  // namespace toppriv::search

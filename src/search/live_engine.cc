@@ -32,6 +32,22 @@ std::vector<ScoredDoc> LiveSearchEngine::Evaluate(
   return EvaluateOn(*snapshot, terms, k);
 }
 
+util::StatusOr<std::vector<ScoredDoc>> LiveSearchEngine::EvaluateWithOptions(
+    const std::vector<text::TermId>& terms, size_t k,
+    const QueryOptions& options) const {
+  const util::Deadline* deadline = options.deadline;
+  if (deadline != nullptr && deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  const std::shared_ptr<const index::live::IndexSnapshot> snapshot =
+      live_.Acquire();
+  std::vector<ScoredDoc> results = EvaluateOn(*snapshot, terms, k, deadline);
+  if (deadline != nullptr && deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  return results;
+}
+
 std::vector<std::shared_ptr<const std::vector<double>>>
 LiveSearchEngine::SegmentBounds(const index::live::IndexSnapshot& snapshot,
                                 const CollectionStats& stats) const {
@@ -87,7 +103,8 @@ LiveSearchEngine::SegmentBounds(const index::live::IndexSnapshot& snapshot,
 
 std::vector<ScoredDoc> LiveSearchEngine::EvaluateOn(
     const index::live::IndexSnapshot& snapshot,
-    const std::vector<text::TermId>& terms, size_t k) const {
+    const std::vector<text::TermId>& terms, size_t k,
+    const util::Deadline* deadline) const {
   if (terms.empty() || k == 0) return {};
 
   EvalStrategy strategy;
@@ -126,7 +143,7 @@ std::vector<ScoredDoc> LiveSearchEngine::EvaluateOn(
     per_segment[s] = EvaluateTopK(
         strategy, ss.segment->index(), stats, *scorer_, query, dfs, k,
         &scratch, bounds.empty() ? nullptr : bounds[s].get(),
-        ss.deleted.get());
+        ss.deleted.get(), deadline);
   };
   if (eval_pool_ != nullptr && n > 1) {
     eval_pool_->ParallelFor(n, eval_segment);

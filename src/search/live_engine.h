@@ -90,13 +90,24 @@ class LiveSearchEngine : public QueryEngine {
                                   size_t k) const override
       EXCLUDES(strategy_mu_, bounds_mu_);
 
+  /// Deadline-aware evaluation against the current snapshot: the deadline
+  /// (shared sticky cancel flag) reaches every segment's eval core, so one
+  /// expiry observation stops the whole per-segment fan-out. Accepted
+  /// queries are bit-identical to Evaluate. A Degraded index still serves
+  /// this path — reads come from the last published snapshot by design.
+  util::StatusOr<std::vector<ScoredDoc>> EvaluateWithOptions(
+      const std::vector<text::TermId>& terms, size_t k,
+      const QueryOptions& options) const override
+      EXCLUDES(strategy_mu_, bounds_mu_);
+
   /// Evaluation pinned to a caller-held snapshot (what Evaluate does with
   /// the current one). Exposed so tests can prove snapshot isolation:
   /// results against an old snapshot must not move while the index churns.
   std::vector<ScoredDoc> EvaluateOn(const index::live::IndexSnapshot& snapshot,
                                     const std::vector<text::TermId>& terms,
-                                    size_t k) const
-      EXCLUDES(strategy_mu_, bounds_mu_);
+                                    size_t k,
+                                    const util::Deadline* deadline = nullptr)
+      const EXCLUDES(strategy_mu_, bounds_mu_);
 
   const QueryLog& query_log() const override { return log_; }
   QueryLog& mutable_query_log() override { return log_; }

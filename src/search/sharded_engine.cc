@@ -49,6 +49,26 @@ std::vector<ScoredDoc> ShardedSearchEngine::Search(
 
 std::vector<ScoredDoc> ShardedSearchEngine::Evaluate(
     const std::vector<text::TermId>& terms, size_t k) const {
+  return EvaluateImpl(terms, k, /*deadline=*/nullptr);
+}
+
+util::StatusOr<std::vector<ScoredDoc>> ShardedSearchEngine::EvaluateWithOptions(
+    const std::vector<text::TermId>& terms, size_t k,
+    const QueryOptions& options) const {
+  const util::Deadline* deadline = options.deadline;
+  if (deadline != nullptr && deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  std::vector<ScoredDoc> results = EvaluateImpl(terms, k, deadline);
+  if (deadline != nullptr && deadline->Expired()) {
+    return util::Status::DeadlineExceeded("query deadline expired");
+  }
+  return results;
+}
+
+std::vector<ScoredDoc> ShardedSearchEngine::EvaluateImpl(
+    const std::vector<text::TermId>& terms, size_t k,
+    const util::Deadline* deadline) const {
   if (terms.empty() || k == 0) return {};
 
   // Snapshot the strategy knob: the enum by value, the bound tables by
@@ -81,9 +101,13 @@ std::vector<ScoredDoc> ShardedSearchEngine::Evaluate(
     // taking the next, so reuse is race-free even when several concurrent
     // Evaluate calls share the pool.
     static thread_local EvalScratch scratch;
+    // The deadline's cancel flag is shared: the first shard to observe
+    // expiry latches it and every sibling's next block-granular check
+    // returns without touching the clock.
     per_shard[s] = EvaluateTopK(
         strategy, index_.shard(s), stats_, *scorer_, query, dfs, k, &scratch,
-        bounds == nullptr ? nullptr : &(*bounds)[s]);
+        bounds == nullptr ? nullptr : &(*bounds)[s], /*exclude=*/nullptr,
+        deadline);
     const corpus::DocId base = index_.manifest().ranges[s].begin;
     for (ScoredDoc& sd : per_shard[s]) sd.doc += base;
   };

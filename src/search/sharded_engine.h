@@ -60,6 +60,15 @@ class ShardedSearchEngine : public QueryEngine {
                                   size_t k) const override
       EXCLUDES(strategy_mu_);
 
+  /// Deadline-aware scatter-gather: the deadline (with its SHARED sticky
+  /// cancel flag) is threaded into every shard's eval core, so the first
+  /// worker to observe expiry stops the whole fan-out — a stuck shard
+  /// cannot wedge the session past the deadline. Accepted queries are
+  /// bit-identical to Evaluate.
+  util::StatusOr<std::vector<ScoredDoc>> EvaluateWithOptions(
+      const std::vector<text::TermId>& terms, size_t k,
+      const QueryOptions& options) const override EXCLUDES(strategy_mu_);
+
   const QueryLog& query_log() const override { return log_; }
   QueryLog& mutable_query_log() override { return log_; }
 
@@ -85,6 +94,12 @@ class ShardedSearchEngine : public QueryEngine {
   void set_eval_strategy(EvalStrategy strategy) EXCLUDES(strategy_mu_);
 
  private:
+  /// Shared scatter-gather body; `deadline` may be null (Evaluate's path).
+  std::vector<ScoredDoc> EvaluateImpl(const std::vector<text::TermId>& terms,
+                                      size_t k,
+                                      const util::Deadline* deadline) const
+      EXCLUDES(strategy_mu_);
+
   const corpus::Corpus& corpus_;
   const index::ShardedIndex& index_;
   std::unique_ptr<Scorer> scorer_;

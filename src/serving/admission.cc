@@ -1,0 +1,67 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace toppriv::serving {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options),
+      capacity_(options.max_in_flight + options.max_queue_depth),
+      degraded_at_(static_cast<size_t>(std::ceil(
+          options.degraded_watermark *
+          static_cast<double>(options.max_in_flight +
+                              options.max_queue_depth)))) {
+  TOPPRIV_CHECK_GE(capacity_, 1u);
+}
+
+bool AdmissionController::DegradedLocked() const {
+  return in_system_ >= degraded_at_;
+}
+
+util::Status AdmissionController::TryAdmit() {
+  util::MutexLock lock(&mu_);
+  if (in_system_ >= capacity_) {
+    ++shed_;
+    return util::Status::ResourceExhausted("admission capacity exhausted");
+  }
+  ++in_system_;
+  ++admitted_;
+  if (DegradedLocked()) ++degraded_admissions_;
+  return util::Status::Ok();
+}
+
+void AdmissionController::Finish() {
+  util::MutexLock lock(&mu_);
+  TOPPRIV_CHECK_GE(in_system_, 1u);
+  --in_system_;
+}
+
+bool AdmissionController::degraded() const {
+  util::MutexLock lock(&mu_);
+  return DegradedLocked();
+}
+
+size_t AdmissionController::in_system() const {
+  util::MutexLock lock(&mu_);
+  return in_system_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  util::MutexLock lock(&mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed() const {
+  util::MutexLock lock(&mu_);
+  return shed_;
+}
+
+uint64_t AdmissionController::degraded_admissions() const {
+  util::MutexLock lock(&mu_);
+  return degraded_admissions_;
+}
+
+}  // namespace toppriv::serving

@@ -1,0 +1,89 @@
+// Admission control with load shedding for the serving front-end.
+//
+// Open-loop traffic does not wait for capacity: arrivals keep coming while
+// the engine is saturated, so an unprotected server builds an unbounded
+// queue and every query's latency diverges. The controller bounds the
+// number of protection cycles "in the system" (queued + in flight); an
+// arrival past the bound is REJECTED with kResourceExhausted immediately —
+// the classic load-shedding trade: a cheap typed failure now instead of a
+// timeout for everyone later.
+//
+// Degraded mode (the privacy-aware part): as the system approaches
+// saturation it first sheds ghost CACHE-REFRESH work — the session stops
+// absorbing fresh masking topics into its cover story and reuses the
+// memoized ghost queries as-is — while ghost EMISSION is never shed.
+// Every admitted genuine query still ships its full complement of v-1
+// decoys, because a dropped ghost silently voids the (epsilon1, epsilon2)
+// contract; protection degrades LAST, after freshness and after
+// throughput. See ARCHITECTURE.md "Failure domains & degraded modes".
+#ifndef TOPPRIV_SERVING_ADMISSION_H_
+#define TOPPRIV_SERVING_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace toppriv::serving {
+
+struct AdmissionOptions {
+  /// Cycles allowed to execute concurrently.
+  size_t max_in_flight = 16;
+  /// Cycles allowed to wait beyond the in-flight cap. Total capacity is
+  /// max_in_flight + max_queue_depth; an arrival past it is shed.
+  size_t max_queue_depth = 64;
+  /// Occupancy fraction (of total capacity) at which degraded mode begins:
+  /// ghost cache refresh is shed while ghost emission continues in full.
+  double degraded_watermark = 0.75;
+};
+
+/// Counts cycles in the system and applies the caps. Thread-safe: the
+/// open-loop driver admits from its dispatcher thread and releases from
+/// pool workers.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits one cycle (Ok, occupancy incremented — the caller MUST pair it
+  /// with Finish) or sheds it (kResourceExhausted, nothing to release).
+  util::Status TryAdmit() EXCLUDES(mu_);
+
+  /// Releases one admitted cycle.
+  void Finish() EXCLUDES(mu_);
+
+  /// True while occupancy is at or above the degraded watermark. Sampled
+  /// at admission time by the driver to decide whether the cycle runs with
+  /// ghost cache refresh shed.
+  bool degraded() const EXCLUDES(mu_);
+
+  size_t in_system() const EXCLUDES(mu_);
+  uint64_t admitted() const EXCLUDES(mu_);
+  uint64_t shed() const EXCLUDES(mu_);
+  /// Admissions that ran in degraded (refresh-shedding) mode.
+  uint64_t degraded_admissions() const EXCLUDES(mu_);
+
+  const AdmissionOptions& options() const { return options_; }
+  /// Total capacity (max_in_flight + max_queue_depth).
+  size_t capacity() const { return capacity_; }
+
+ private:
+  bool DegradedLocked() const REQUIRES(mu_);
+
+  const AdmissionOptions options_;
+  const size_t capacity_;
+  const size_t degraded_at_;  // occupancy threshold for degraded mode
+  mutable util::Mutex mu_;
+  size_t in_system_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t shed_ GUARDED_BY(mu_) = 0;
+  uint64_t degraded_admissions_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace toppriv::serving
+
+#endif  // TOPPRIV_SERVING_ADMISSION_H_

@@ -1,8 +1,13 @@
 #include "serving/session_driver.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -29,6 +34,18 @@ class Digest {
  private:
   uint64_t h_ = util::kFnv1aOffsetBasis;
 };
+
+// Rng stream id for the open-loop arrival schedule; far outside the dense
+// session-id space so arrivals and session randomness never share a stream.
+constexpr uint64_t kArrivalStream = 0x9e3779b97f4a7c15ull;
+
+// Nearest-rank percentile over an ascending-sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(rank + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
 
 }  // namespace
 
@@ -121,6 +138,135 @@ ServingReport SessionDriver::Run(const std::vector<SessionWorkload>& sessions) {
     report.queries_per_second =
         static_cast<double>(report.total_queries) / report.wall_seconds;
   }
+  return report;
+}
+
+OpenLoopReport SessionDriver::RunOpenLoop(
+    const std::vector<SessionWorkload>& sessions, const OpenLoopOptions& open) {
+  util::MutexLock lock(&run_mu_);
+  OpenLoopReport report;
+  if (sessions.empty() || open.num_arrivals == 0) return report;
+  TOPPRIV_CHECK_GT(open.arrival_qps, 0.0);
+  for (const SessionWorkload& w : sessions) {
+    TOPPRIV_CHECK(!w.queries.empty());
+  }
+
+  // Arrival schedule: exponential inter-arrival gaps drawn from a stream
+  // forked off the driver seed, so the OFFERED load is reproducible even
+  // though service times are wall clock.
+  util::Rng arrival_rng = util::Rng(options_.seed).Fork(kArrivalStream);
+  std::vector<double> arrival_times(open.num_arrivals);
+  double t = 0.0;
+  for (size_t i = 0; i < open.num_arrivals; ++i) {
+    t += -std::log1p(-arrival_rng.Uniform()) / open.arrival_qps;
+    arrival_times[i] = t;
+  }
+
+  // Per-session serialized state: arrivals for one session can overlap in
+  // the pool, and the protector (cover story, memoized ghosts) is mutable.
+  struct Ctx {
+    util::Mutex mu;
+    std::unique_ptr<core::SessionProtector> protector GUARDED_BY(mu);
+    util::Rng rng GUARDED_BY(mu) = util::Rng(0);
+    size_t next_query GUARDED_BY(mu) = 0;
+  };
+  std::vector<std::unique_ptr<Ctx>> ctxs;
+  ctxs.reserve(sessions.size());
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    auto ctx = std::make_unique<Ctx>();
+    util::MutexLock init(&ctx->mu);  // no concurrent observer yet
+    ctx->protector = std::make_unique<core::SessionProtector>(
+        model_, inferencer_, options_.spec, options_.session);
+    ctx->rng = util::Rng(options_.seed).Fork(s);
+    ctxs.push_back(std::move(ctx));
+  }
+
+  AdmissionController admission(open.admission);
+  util::Mutex stats_mu;
+  std::vector<double> latencies;
+  size_t completed = 0;
+  size_t deadline_exceeded = 0;
+  util::WallTimer timer;
+
+  auto run_cycle = [&](size_t session_idx, double arrival_s) {
+    // Degraded-mode choice is made at service time: if the system drained
+    // below the watermark while this cycle queued, it serves at full
+    // freshness again.
+    const bool degraded = admission.degraded();
+    size_t expired = 0;
+    bool ok = true;
+    {
+      Ctx& ctx = *ctxs[session_idx];
+      util::MutexLock l(&ctx.mu);
+      const SessionWorkload& w = sessions[session_idx];
+      const std::vector<text::TermId>& query =
+          w.queries[ctx.next_query % w.queries.size()];
+      ++ctx.next_query;
+      core::QueryCycle cycle =
+          degraded ? ctx.protector->ProtectShedRefresh(query, &ctx.rng)
+                   : ctx.protector->Protect(query, &ctx.rng);
+      util::Deadline deadline = open.deadline_seconds > 0.0
+                                    ? util::Deadline::After(open.deadline_seconds)
+                                    : util::Deadline::Infinite();
+      search::QueryOptions qopts;
+      qopts.deadline = &deadline;
+      for (const std::vector<text::TermId>& q : cycle.queries) {
+        util::StatusOr<std::vector<search::ScoredDoc>> result =
+            engine_.EvaluateWithOptions(q, options_.top_k, qopts);
+        if (!result.ok()) {
+          ok = false;
+          if (result.status().code() == util::StatusCode::kDeadlineExceeded) {
+            ++expired;
+          }
+          break;  // the cycle's budget is spent; drop its remaining fan-out
+        }
+      }
+    }
+    const double done_s = timer.ElapsedSeconds();
+    {
+      util::MutexLock l(&stats_mu);
+      latencies.push_back(done_s - arrival_s);
+      if (ok) ++completed;
+      deadline_exceeded += expired;
+    }
+    admission.Finish();
+  };
+
+  for (size_t i = 0; i < open.num_arrivals; ++i) {
+    const double target = arrival_times[i];
+    const double now = timer.ElapsedSeconds();
+    if (now < target) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(target - now));
+    }
+    ++report.arrivals;
+    if (!admission.TryAdmit().ok()) continue;  // shed, counted by the gate
+    const size_t s = i % sessions.size();
+    if (pool_ == nullptr) {
+      run_cycle(s, target);
+    } else {
+      pool_->Submit([&run_cycle, s, target] { run_cycle(s, target); });
+    }
+  }
+  if (pool_ != nullptr) pool_->Wait();
+
+  report.wall_seconds = timer.ElapsedSeconds();
+  report.admitted = admission.admitted();
+  report.shed = admission.shed();
+  report.degraded_admissions = admission.degraded_admissions();
+  report.completed = completed;
+  report.deadline_exceeded = deadline_exceeded;
+  if (report.arrivals > 0) {
+    report.shed_rate = static_cast<double>(report.shed) /
+                       static_cast<double>(report.arrivals);
+  }
+  if (report.wall_seconds > 0.0) {
+    report.cycles_per_second =
+        static_cast<double>(report.completed) / report.wall_seconds;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency_seconds = Percentile(latencies, 0.50);
+  report.p95_latency_seconds = Percentile(latencies, 0.95);
+  report.p99_latency_seconds = Percentile(latencies, 0.99);
   return report;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "search/engine.h"
+#include "serving/admission.h"
 #include "topicmodel/inference.h"
 #include "topicmodel/lda_model.h"
 #include "toppriv/privacy_spec.h"
@@ -84,6 +85,50 @@ struct ServingReport {
   double queries_per_second = 0.0;
 };
 
+/// Open-loop (arrival-driven) load configuration. Unlike Run — which is
+/// closed-loop (each session issues its next query the instant the previous
+/// one returns, so offered load self-throttles to capacity) — RunOpenLoop
+/// offers cycles on a deterministic Poisson schedule that does NOT slow
+/// down when the engine does. Under overload the backlog grows and the
+/// admission controller sheds, which is exactly the regime the latency
+/// percentiles and shed rate are meant to expose.
+struct OpenLoopOptions {
+  /// Mean cycle arrivals per second (> 0).
+  double arrival_qps = 100.0;
+  /// Total cycle arrivals to offer.
+  size_t num_arrivals = 200;
+  /// Per-cycle engine deadline in seconds; 0 disables deadlines.
+  double deadline_seconds = 0.0;
+  /// Load-shedding and degraded-mode thresholds.
+  AdmissionOptions admission;
+};
+
+/// Outcome of one RunOpenLoop call. Wall-clock driven (no determinism
+/// digest): the arrival SCHEDULE is a pure function of the driver seed,
+/// but latencies and shed decisions depend on real time by design.
+struct OpenLoopReport {
+  size_t arrivals = 0;
+  size_t admitted = 0;
+  /// Rejected with kResourceExhausted at the admission gate.
+  size_t shed = 0;
+  /// Admitted above the degraded watermark (served via ProtectShedRefresh:
+  /// ghost cache refresh shed, ghost emission intact).
+  size_t degraded_admissions = 0;
+  /// Admitted cycles whose every engine evaluation returned Ok.
+  size_t completed = 0;
+  /// Engine evaluations rejected with kDeadlineExceeded.
+  size_t deadline_exceeded = 0;
+  double wall_seconds = 0.0;
+  double cycles_per_second = 0.0;
+  /// shed / arrivals.
+  double shed_rate = 0.0;
+  /// Admitted-cycle latency (scheduled arrival -> completion, so queueing
+  /// delay counts), nearest-rank percentiles in seconds.
+  double p50_latency_seconds = 0.0;
+  double p95_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+};
+
 /// Runs independent TopPriv sessions concurrently over a shared engine —
 /// monolithic or sharded (a driver-owned shard fleet serves every session
 /// identically; the parity suite makes the two indistinguishable).
@@ -107,6 +152,15 @@ class SessionDriver {
   /// second caller now waits instead of corrupting the first one's fleet).
   ServingReport Run(const std::vector<SessionWorkload>& sessions)
       EXCLUDES(run_mu_);
+
+  /// Offers `open.num_arrivals` cycles on a deterministic Poisson schedule,
+  /// dealing arrivals round-robin across `sessions` (each session's queries
+  /// are replayed cyclically). Every arrival passes the admission gate:
+  /// shed arrivals are counted and dropped; admitted arrivals run on the
+  /// pool, in degraded mode via ProtectShedRefresh once the controller is
+  /// past its watermark. Serializes with Run on run_mu_.
+  OpenLoopReport RunOpenLoop(const std::vector<SessionWorkload>& sessions,
+                             const OpenLoopOptions& open) EXCLUDES(run_mu_);
 
   const DriverOptions& options() const { return options_; }
 

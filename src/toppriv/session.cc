@@ -23,15 +23,31 @@ SessionProtector::SessionProtector(const topicmodel::LdaModel& model,
 
 QueryCycle SessionProtector::Protect(
     const std::vector<text::TermId>& user_query, util::Rng* rng) {
+  return ProtectImpl(user_query, rng, /*refresh_cover=*/true);
+}
+
+QueryCycle SessionProtector::ProtectShedRefresh(
+    const std::vector<text::TermId>& user_query, util::Rng* rng) {
+  return ProtectImpl(user_query, rng, /*refresh_cover=*/false);
+}
+
+QueryCycle SessionProtector::ProtectImpl(
+    const std::vector<text::TermId>& user_query, util::Rng* rng,
+    bool refresh_cover) {
   generator_.set_preferred_masking_topics({cover_.begin(), cover_.end()});
   QueryCycle cycle = generator_.Protect(user_query, rng);
 
   // Absorb newly used masking topics into the cover story (bounded).
-  for (topicmodel::TopicId t : cycle.masking_topics) {
-    if (cover_.size() >= options_.max_cover_topics && !cover_.count(t)) {
-      continue;
+  // Skipped in degraded mode: the cover story freezes (stale but intact)
+  // while the generator above still emitted every ghost — maintenance is
+  // shed, protection is not.
+  if (refresh_cover) {
+    for (topicmodel::TopicId t : cycle.masking_topics) {
+      if (cover_.size() >= options_.max_cover_topics && !cover_.count(t)) {
+        continue;
+      }
+      cover_.insert(t);
     }
-    cover_.insert(t);
   }
   return cycle;
 }

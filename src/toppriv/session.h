@@ -50,6 +50,17 @@ class SessionProtector {
   QueryCycle Protect(const std::vector<text::TermId>& user_query,
                      util::Rng* rng);
 
+  /// Degraded-mode Protect: the ghost CACHE-REFRESH work is shed — the
+  /// cycle reuses the frozen cover story and the memoized per-topic ghost
+  /// queries verbatim, and newly used masking topics are NOT absorbed.
+  /// Ghost EMISSION is untouched: the cycle still carries its full
+  /// complement of decoys, because shedding one would silently void the
+  /// (epsilon1, epsilon2) contract. This is what the serving layer's
+  /// admission controller calls near saturation — freshness degrades
+  /// before protection ever does.
+  QueryCycle ProtectShedRefresh(const std::vector<text::TermId>& user_query,
+                                util::Rng* rng);
+
   /// Current cover story (sorted).
   std::vector<topicmodel::TopicId> cover_story() const {
     return {cover_.begin(), cover_.end()};
@@ -58,6 +69,9 @@ class SessionProtector {
   const PrivacySpec& spec() const { return spec_; }
 
  private:
+  QueryCycle ProtectImpl(const std::vector<text::TermId>& user_query,
+                         util::Rng* rng, bool refresh_cover);
+
   PrivacySpec spec_;
   SessionOptions options_;
   std::set<topicmodel::TopicId> cover_;

@@ -1,0 +1,62 @@
+#include "util/deadline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace toppriv::util {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepFor(int64_t nanos) override {
+    if (nanos > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* const kClock = new RealClock;
+  return kClock;
+}
+
+Deadline Deadline::After(double seconds, Clock* clock) {
+  if (clock == nullptr) clock = Clock::Real();
+  const double nanos = seconds * 1e9;
+  int64_t deadline_nanos = std::numeric_limits<int64_t>::max();
+  if (nanos < static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    const int64_t now = clock->NowNanos();
+    const auto delta = static_cast<int64_t>(nanos);
+    // Saturate instead of overflowing when now + delta wraps.
+    deadline_nanos = (delta > std::numeric_limits<int64_t>::max() - now)
+                         ? std::numeric_limits<int64_t>::max()
+                         : now + delta;
+  }
+  return Deadline(clock, deadline_nanos);
+}
+
+int64_t RetryPolicy::BackoffNanos(int attempt) const {
+  double backoff = static_cast<double>(initial_backoff_nanos) *
+                   std::pow(multiplier, static_cast<double>(attempt));
+  backoff = std::min(backoff, static_cast<double>(max_backoff_nanos));
+  if (jitter > 0.0) {
+    // One Rng stream per attempt: the schedule is a pure function of
+    // (policy, attempt), independent of how many draws earlier attempts
+    // made, so partial retry sequences replay identically.
+    Rng rng = Rng(seed).Fork(static_cast<uint64_t>(attempt));
+    backoff *= rng.Uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(backoff));
+}
+
+}  // namespace toppriv::util

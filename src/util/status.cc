@@ -20,6 +20,12 @@ const char* CodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -18,6 +18,9 @@ enum class StatusCode {
   kInternal = 4,
   kIoError = 5,
   kDataLoss = 6,
+  kDeadlineExceeded = 7,
+  kUnavailable = 8,
+  kResourceExhausted = 9,
 };
 
 /// Result of an operation that can fail without being a programming error.
@@ -51,6 +54,15 @@ class Status {
   }
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

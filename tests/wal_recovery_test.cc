@@ -25,6 +25,7 @@
 #include "search/engine.h"
 #include "search/live_engine.h"
 #include "search/scorer.h"
+#include "util/deadline.h"
 #include "util/filesystem.h"
 #include "util/rng.h"
 
@@ -688,6 +689,87 @@ TEST(WalRecoveryTest, GroupCommitConcurrentWritersLoseNoAcknowledgedWrite) {
   for (size_t t = 0; t < vocab; ++t) {
     EXPECT_EQ(snapshot->DocFreq(static_cast<text::TermId>(t)), 1u)
         << "term " << t;
+  }
+}
+
+TEST(WalRecoveryTest, PowerCutDuringGroupCommitSyncFaultKeepsAckExact) {
+  // The nasty corner of group commit: a follower is parked on the
+  // synced-seq watermark when the leader's fsync DIES. The follower must
+  // observe the latched WAL error and return un-acked — a false ack here
+  // would be an acknowledged write the power cut then erases. Sweep the
+  // one-shot fault across the storm's whole I/O range so it lands on
+  // appends, leader fsyncs and (at high contention) mid-wait watermark
+  // checks alike; after every landing, power-cut and prove ack-exactness:
+  // under kPerBatch an un-acked single-doc ingest's record can never have
+  // been covered by a SUCCESSFUL sync (syncs stop at the latch), so the
+  // recovered image must hold EXACTLY the acknowledged docs — acked in,
+  // un-acked out.
+  constexpr size_t kThreads = 4;
+  constexpr size_t kDocsPerThread = 16;
+  const size_t vocab = kThreads * kDocsPerThread;
+  LiveIndexOptions options;
+  options.durability = DurabilityPolicy::kPerBatch;
+  options.max_writer_docs = 8;
+  options.merge_factor = 2;
+  for (uint64_t fault_at : {uint64_t{10}, uint64_t{40}, uint64_t{90}}) {
+    FaultInjectingFileSystem fs;
+    std::vector<std::vector<bool>> acked(kThreads,
+                                         std::vector<bool>(kDocsPerThread));
+    {
+      auto live = LiveIndex::Recover(&fs, kDir, options);
+      ASSERT_TRUE(live.ok()) << live.status().message();
+      (*live)->EnsureTermSpace(vocab);
+      fs.ArmFault(fault_at, FaultMode::kFailOp);
+      std::vector<std::thread> writers;
+      for (size_t w = 0; w < kThreads; ++w) {
+        writers.emplace_back([&live, &acked, w] {
+          for (size_t i = 0; i < kDocsPerThread; ++i) {
+            // One single-term doc per call, the term unique to (writer, i),
+            // so the crash image proves every ack individually.
+            const text::TermId term =
+                static_cast<text::TermId>(w * kDocsPerThread + i);
+            if (!(*live)->Ingest({{term, term}}).empty()) acked[w][i] = true;
+          }
+        });
+      }
+      for (std::thread& t : writers) t.join();
+      ASSERT_TRUE(fs.fault_fired()) << "fault_at=" << fault_at;
+      fs.DisarmFault();
+      // The fleet ran into the latch: the index is degraded and says so
+      // through the typed mutation API.
+      EXPECT_FALSE((*live)->healthy());
+      EXPECT_EQ((*live)->health(), LiveIndex::Health::kDegraded);
+      EXPECT_EQ((*live)->IngestChecked({{0}}).status().code(),
+                util::StatusCode::kUnavailable);
+      EXPECT_FALSE((*live)->last_error().ok());
+    }
+    fs.PowerCut();  // un-synced bytes die with the machine
+    auto recovered = LiveIndex::Recover(&fs, kDir, options);
+    ASSERT_TRUE(recovered.ok())
+        << "fault_at=" << fault_at << ": " << recovered.status().message();
+    auto snapshot = (*recovered)->Refresh();
+    size_t total_acked = 0;
+    for (size_t w = 0; w < kThreads; ++w) {
+      for (size_t i = 0; i < kDocsPerThread; ++i) {
+        const text::TermId term =
+            static_cast<text::TermId>(w * kDocsPerThread + i);
+        const size_t df = snapshot->DocFreq(term);
+        if (acked[w][i]) {
+          ++total_acked;
+          EXPECT_EQ(df, 1u) << "acked term " << term << " lost (fault_at="
+                            << fault_at << ")";
+        } else {
+          EXPECT_EQ(df, 0u) << "un-acked term " << term
+                            << " fabricated (fault_at=" << fault_at << ")";
+        }
+      }
+    }
+    EXPECT_EQ(snapshot->num_documents(), total_acked)
+        << "fault_at=" << fault_at;
+    // A freshly recovered image is healthy; Repair is a clean no-op.
+    util::ManualClock clock;
+    EXPECT_TRUE((*recovered)->Repair(util::RetryPolicy(), &clock).ok());
+    EXPECT_TRUE((*recovered)->healthy());
   }
 }
 
