@@ -32,7 +32,9 @@
 #include "topicmodel/inference.h"
 #include "toppriv/ghost_generator.h"
 #include "util/filesystem.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -237,6 +239,31 @@ uint64_t KernelQueryEvaluation(search::SearchEngine& engine, size_t* qi) {
   return engine.Evaluate(q.term_ids, 10).size();
 }
 
+constexpr size_t kCounterOpsPerCall = 65536;
+
+uint64_t KernelMetricsCounter() {
+  // 64Ki striped-counter increments through the instrumentation macro —
+  // the cost every enabled counter site pays. In a TOPPRIV_METRICS=OFF
+  // build the macro vanishes and this times the bare checksum loop, so
+  // the ON-vs-OFF delta IS the per-increment overhead.
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kCounterOpsPerCall; ++i) {
+    TOPPRIV_COUNTER_ADD("bench.metrics_counter", 1);
+    sum += i & 7;
+  }
+  return sum;
+}
+
+uint64_t KernelInstrumentedQuery(search::SearchEngine& engine, size_t* qi) {
+  // KernelQueryEvaluation plus the full per-query instrumentation set a
+  // serving cycle attaches: one trace span and one latency histogram
+  // observation. Compare against QueryEvaluation/maxscore — the delta is
+  // what the <5% bench_compare gate bounds.
+  TOPPRIV_TRACE_SPAN(span, "bench.query");
+  TOPPRIV_SCOPED_TIMER_US("bench.query_latency_us");
+  return KernelQueryEvaluation(engine, qi);
+}
+
 uint64_t KernelLdaInference(const topicmodel::LdaInferencer& inferencer,
                             size_t* qi) {
   const auto& world = World();
@@ -367,6 +394,28 @@ BENCHMARK(BM_QueryEvaluation)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_MetricsCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelMetricsCounter());
+  }
+  // items/s = counter increments per second.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kCounterOpsPerCall));
+}
+BENCHMARK(BM_MetricsCounter)->Unit(benchmark::kMicrosecond);
+
+void BM_InstrumentedQuery(benchmark::State& state) {
+  const auto& world = World();
+  search::SearchEngine engine(world.corpus, world.index,
+                              search::MakeBm25Scorer(),
+                              search::EvalStrategy::kMaxScore);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelInstrumentedQuery(engine, &qi));
+  }
+}
+BENCHMARK(BM_InstrumentedQuery)->Unit(benchmark::kMicrosecond);
+
 void BM_LdaInference(benchmark::State& state) {
   const auto& world = World();
   topicmodel::LdaInferencer inferencer(world.model);
@@ -467,6 +516,9 @@ void WriteJson(const std::string& path) {
   w.Key("context");
   w.BeginObject();
   w.Field("harness", "fallback");
+  // Bumped when the emitted cell set changes; bench_compare.py warns
+  // (never fails) when baseline and current disagree.
+  w.Field("schema_version", static_cast<uint64_t>(2));
   w.EndObject();
   w.Key("benchmarks");
   w.BeginArray();
@@ -536,6 +588,15 @@ int main(int argc, char** argv) {
     size_t qi = 0;
     RunKernel("QueryEvaluation/maxscore", 2000,
               [&] { return KernelQueryEvaluation(engine, &qi); });
+  }
+  RunKernel("MetricsCounter", 200, [] { return KernelMetricsCounter(); });
+  {
+    search::SearchEngine engine(world.corpus, world.index,
+                                search::MakeBm25Scorer(),
+                                search::EvalStrategy::kMaxScore);
+    size_t qi = 0;
+    RunKernel("InstrumentedQuery", 2000,
+              [&] { return KernelInstrumentedQuery(engine, &qi); });
   }
   {
     topicmodel::LdaInferencer inferencer(world.model);

@@ -103,6 +103,9 @@ int main(int argc, char** argv) {
     util::JsonWriter json;
     json.BeginObject();
     json.Field("bench", "retrieval_fidelity");
+    // Bumped when the emitted fields change; bench_compare.py warns (never
+    // fails) when baseline and current disagree.
+    json.Field("schema_version", static_cast<uint64_t>(2));
     json.Field("k", static_cast<uint64_t>(k));
     json.Field("num_topics", static_cast<uint64_t>(num_topics));
     json.Field("strategy", search::EvalStrategyName(engine.eval_strategy()));

@@ -34,6 +34,7 @@
 // whole grid as a stable machine-readable summary (CI uploads it as
 // BENCH_serving.json, the perf trajectory artifact).
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,15 +53,22 @@
 #include "util/hash.h"
 #include "util/io.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 using namespace toppriv;
 using experiments::ExperimentFixture;
 
 namespace {
+
+/// Version of this binary's --json document layout. Bump when cells gain,
+/// lose or rename fields; tools/bench_compare.py warns (never fails) on
+/// skew against the committed baseline.
+constexpr uint64_t kJsonSchemaVersion = 2;
 
 size_t EnvSize(const char* name, size_t fallback) {
   const char* v = std::getenv(name);
@@ -127,15 +135,29 @@ uint64_t HashResults(uint64_t h, const std::vector<search::ScoredDoc>& docs) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json <path>] [--trace-out=<path>]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  // Spans record only while a global sink is installed; without
+  // --trace-out every TOPPRIV_TRACE_SPAN stays inert (null sink).
+  std::unique_ptr<util::TraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<util::TraceSink>(/*capacity=*/8192);
+    util::TraceSink::SetGlobal(trace_sink.get());
   }
   if (smoke) {
     // Tiny corpus/model; pre-set env vars still take precedence.
@@ -483,7 +505,7 @@ int main(int argc, char** argv) {
   std::printf("%s", live_table.ToString().c_str());
   util::TablePrinter open_table({"strategy", "load", "arrival/s", "arrivals",
                                  "shed", "shed_rate", "degraded", "done/s",
-                                 "p50(ms)", "p95(ms)", "p99(ms)"});
+                                 "p50(ms)", "p95(ms)", "p99(ms)", "peak_q"});
   for (const OpenLoopCell& cell : open_loop_cells) {
     open_table.AddRow(
         {search::EvalStrategyName(cell.strategy), cell.load,
@@ -495,7 +517,8 @@ int main(int argc, char** argv) {
          util::FormatDouble(cell.report.cycles_per_second, 1),
          util::FormatDouble(1e3 * cell.report.p50_latency_seconds, 2),
          util::FormatDouble(1e3 * cell.report.p95_latency_seconds, 2),
-         util::FormatDouble(1e3 * cell.report.p99_latency_seconds, 2)});
+         util::FormatDouble(1e3 * cell.report.p99_latency_seconds, 2),
+         std::to_string(cell.report.peak_queue_depth)});
   }
   std::printf(
       "\nOpen-loop phase (K=1, 4 threads; Poisson arrivals at 0.5x and 4x\n"
@@ -524,6 +547,7 @@ int main(int argc, char** argv) {
     util::JsonWriter json;
     json.BeginObject();
     json.Field("bench", "serving_throughput");
+    json.Field("schema_version", kJsonSchemaVersion);
     json.Field("mode", smoke ? "smoke" : "full");
     json.Field("num_topics", static_cast<uint64_t>(num_topics));
     json.Field("hardware_threads", static_cast<uint64_t>(hw));
@@ -613,9 +637,18 @@ int main(int argc, char** argv) {
       json.Field("p50_latency_ms", 1e3 * cell.report.p50_latency_seconds);
       json.Field("p95_latency_ms", 1e3 * cell.report.p95_latency_seconds);
       json.Field("p99_latency_ms", 1e3 * cell.report.p99_latency_seconds);
+      json.Field("peak_in_system",
+                 static_cast<uint64_t>(cell.report.peak_in_system));
+      json.Field("peak_queue_depth",
+                 static_cast<uint64_t>(cell.report.peak_queue_depth));
       json.EndObject();
     }
     json.EndArray();
+    // Whole-run registry snapshot: every counter/gauge/histogram the
+    // instrumented request path recorded across all phases. Empty objects
+    // under TOPPRIV_METRICS=OFF.
+    json.Key("metrics");
+    util::MetricsRegistry::Default().ExportJson(&json);
     json.EndObject();
     util::Status status = util::WriteFile(json_path, json.str() + "\n");
     if (!status.ok()) {
@@ -624,6 +657,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (trace_sink != nullptr) {
+    // Detach before export so no span started past this point can race the
+    // ring buffer while we serialize (and none can dangle once the sink
+    // dies at end of scope).
+    util::TraceSink::SetGlobal(nullptr);
+    util::JsonWriter trace_json;
+    trace_sink->ExportJson(&trace_json);
+    util::Status status = util::WriteFile(trace_path, trace_json.str() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", trace_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans, %" PRIu64 " dropped)\n",
+                trace_path.c_str(), trace_sink->Events().size(),
+                trace_sink->dropped());
   }
   return deterministic && live_parity ? 0 : 1;
 }

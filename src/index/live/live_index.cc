@@ -6,6 +6,8 @@
 #include "util/check.h"
 #include "util/filesystem.h"
 #include "util/io.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace toppriv::index::live {
 
@@ -109,6 +111,9 @@ LiveIndex::~LiveIndex() {
 
 std::vector<StableId> LiveIndex::Ingest(
     const std::vector<std::vector<text::TermId>>& docs) {
+  TOPPRIV_TRACE_SPAN(ingest_span, "live.ingest");
+  TOPPRIV_SCOPED_TIMER_US("live.ingest_us");
+  TOPPRIV_COUNTER_ADD("live.ingest_docs", docs.size());
   uint64_t ack_seq = 0;
   bool need_ack = false;
   std::vector<StableId> ids;
@@ -248,6 +253,9 @@ void LiveIndex::Flush() {
 }
 
 std::shared_ptr<const IndexSnapshot> LiveIndex::Refresh() {
+  TOPPRIV_TRACE_SPAN(refresh_span, "live.refresh");
+  TOPPRIV_SCOPED_TIMER_US("live.refresh_us");
+  TOPPRIV_COUNTER_INC("live.refreshes");
   util::MutexLock lock(&mu_);
   if (fs_ != nullptr && !writer_.empty()) {
     // Only a non-empty writer seals; an idle Refresh leaves the WAL
@@ -544,6 +552,10 @@ void LiveIndex::MaybeScheduleMergeLocked() {
 
 std::shared_ptr<const Segment> LiveIndex::BuildMerged(
     const std::vector<MergeInput>& inputs) {
+  TOPPRIV_TRACE_SPAN(merge_span, "live.merge");
+  TOPPRIV_SCOPED_TIMER_US("live.merge_us");
+  TOPPRIV_HISTOGRAM_OBSERVE("live.merge_inputs", inputs.size(),
+                            util::CountBuckets());
   size_t num_terms = 0;
   size_t total_live = 0;
   for (const MergeInput& in : inputs) {
@@ -879,6 +891,11 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Deserialize(
 // ------------------------------------------------------------ durability --
 
 void LiveIndex::RecordWalErrorLocked(const util::Status& s) {
+  // Count the Healthy -> Degraded EDGE, not every refused mutation that
+  // re-latches the same error.
+  if (wal_error_.ok()) {
+    TOPPRIV_COUNTER_INC("live.health.degraded_transitions");
+  }
   wal_error_ = s;
   last_error_ = s;
 }
@@ -895,12 +912,15 @@ bool LiveIndex::LogMutationLocked(WalRecord&& record) {
     return false;
   }
   wal_seq_ = wal_->next_seq();
+  TOPPRIV_COUNTER_INC("live.wal.appends");
   return true;
 }
 
 util::Status LiveIndex::SyncWalLocked() {
   if (!wal_error_.ok()) return wal_error_;
   if (wal_synced_seq_ >= wal_seq_) return util::Status::Ok();
+  const uint64_t batch = wal_seq_ - wal_synced_seq_;
+  (void)batch;  // recorded below; the macro vanishes under TOPPRIV_METRICS=OFF
   util::Status s = wal_->Sync();
   if (!s.ok()) {
     RecordWalErrorLocked(s);
@@ -909,13 +929,21 @@ util::Status LiveIndex::SyncWalLocked() {
   // Everything appended so far (wal_seq_ cannot move while mu_ is held)
   // is now durable — concurrent group-commit followers free-ride on this.
   wal_synced_seq_ = wal_seq_;
+  TOPPRIV_COUNTER_INC("live.wal.fsyncs");
+  TOPPRIV_HISTOGRAM_OBSERVE("live.wal.group_commit_batch", batch,
+                            util::CountBuckets());
   return s;
 }
 
 bool LiveIndex::AckDurableThrough(uint64_t ack_seq) {
   util::MutexLock lock(&mu_);
-  if (!wal_error_.ok()) return false;
+  // Watermark BEFORE the error latch: a record a successful group-commit
+  // sync already covered is durable no matter what broke afterwards, and
+  // refusing it would be a false negative — the power cut would then
+  // PRESERVE a write its caller was told failed. The latch only refuses
+  // writes whose durability was never established.
   if (wal_synced_seq_ >= ack_seq) return true;  // follower: leader paid
+  if (!wal_error_.ok()) return false;
   return SyncWalLocked().ok();                  // leader: one fsync for all
 }
 
@@ -1077,12 +1105,17 @@ util::Status LiveIndex::Repair(const util::RetryPolicy& policy,
       mu_.Unlock();
       return util::Status::Ok();
     }
-    // Memory holds exactly the logged-OK mutation prefix (a failed append
-    // is never applied), so re-checkpointing memory into a fresh
-    // generation + empty WAL is a sound repair — no replay needed.
+    // Memory holds the logged-OK mutation prefix (a failed append is
+    // never applied) plus, possibly, an appended-but-unsynced suffix
+    // whose writers were refused when the group-commit fsync died. Both
+    // are in log order, so re-checkpointing memory into a fresh
+    // generation + empty WAL is a sound repair — no replay needed. An
+    // indeterminate write may thus be promoted to durable, never lost:
+    // acked ⊆ recovered holds either way.
     util::Status s = RecommitLocked();
     if (s.ok()) {
       wal_error_ = util::Status::Ok();  // last_error_ stays sticky.
+      TOPPRIV_COUNTER_INC("live.health.repaired_transitions");
       mu_.Unlock();
       return util::Status::Ok();
     }
@@ -1107,6 +1140,9 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Recover(
     util::FileSystem* fs, const std::string& dir, LiveIndexOptions options,
     RecoveryStats* stats) {
   TOPPRIV_RETURN_IF_ERROR(fs->MakeDirs(dir));
+  TOPPRIV_TRACE_SPAN(recover_span, "live.recover");
+  TOPPRIV_SCOPED_TIMER_US("live.recover_us");
+  TOPPRIV_COUNTER_INC("live.recovery.runs");
   RecoveryStats found;
   std::unique_ptr<LiveIndex> live;
   auto current = ReadCurrentFile(fs, dir);
@@ -1171,6 +1207,9 @@ util::StatusOr<std::unique_ptr<LiveIndex>> LiveIndex::Recover(
     }
     found.replayed_records = replay->records.size();
     found.wal_tail_lost = replay->tail_lost;
+    TOPPRIV_COUNTER_ADD("live.recovery.replayed_records",
+                        found.replayed_records);
+    if (found.wal_tail_lost) TOPPRIV_COUNTER_INC("live.recovery.tail_lost");
     util::MutexLock lock(&live->mu_);
     live->wal_seq_ = replay->next_seq;
     live->wal_synced_seq_ = replay->next_seq;  // it was read back from disk

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace toppriv::search {
 
@@ -86,6 +87,10 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
   std::vector<char>& is_touched = scratch->is_touched_;
   std::vector<corpus::DocId>& touched = scratch->touched_;
   index::PostingBlock block;
+  // Instrumentation accumulates in locals and flushes ONCE per call:
+  // per-posting atomic traffic would swamp the <5% overhead budget.
+  uint64_t blocks_decoded = 0;
+  uint64_t postings_scored = 0;
   for (size_t qi = 0; qi < query.size(); ++qi) {
     const index::PostingList& list = index.Postings(query[qi].term);
     if (list.empty() || dfs[qi] == 0) continue;
@@ -95,8 +100,14 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
       // Cooperative cancellation, one check per 128-posting block. An
       // abandoned query surfaces NOTHING (the scratch self-heals on the
       // next Prepare), so a deadline can never leak a partial top-k.
-      if (deadline != nullptr && deadline->Expired()) return {};
+      if (deadline != nullptr && deadline->Expired()) {
+        TOPPRIV_COUNTER_ADD("search.taat.blocks_decoded", blocks_decoded);
+        TOPPRIV_COUNTER_ADD("search.taat.postings_scored", postings_scored);
+        return {};
+      }
       list.DecodeBlock(b, &block);
+      ++blocks_decoded;
+      postings_scored += block.count;
       for (uint32_t i = 0; i < block.count; ++i) {
         const corpus::DocId doc = block.docs[i];
         TOPPRIV_DCHECK(doc < scores.size());
@@ -119,6 +130,8 @@ std::vector<ScoredDoc> AccumulateTopK(const index::InvertedIndex& index,
   // Leave the scratch clean for the next query (O(touched), not O(docs)).
   for (corpus::DocId doc : touched) is_touched[doc] = 0;
   touched.clear();
+  TOPPRIV_COUNTER_ADD("search.taat.blocks_decoded", blocks_decoded);
+  TOPPRIV_COUNTER_ADD("search.taat.postings_scored", postings_scored);
   return topk.Finish();
 }
 
@@ -341,6 +354,19 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
   size_t ne = 0;  // terms order[0..ne) are non-essential
   double threshold = -std::numeric_limits<double>::infinity();
 
+  // Pruning telemetry, accumulated locally and flushed once per call (the
+  // prune rate is 1 - offered/considered). Reads nothing the evaluation
+  // depends on, writes nothing it reads.
+  uint64_t pivots_considered = 0;
+  uint64_t pivots_offered = 0;
+  uint64_t pivots_abandoned = 0;
+  auto flush_metrics = [&]() {
+    TOPPRIV_COUNTER_ADD("search.maxscore.pivots_considered",
+                        pivots_considered);
+    TOPPRIV_COUNTER_ADD("search.maxscore.pivots_offered", pivots_offered);
+    TOPPRIV_COUNTER_ADD("search.maxscore.pivots_abandoned", pivots_abandoned);
+  };
+
   // (Re)builds `ess` from order[ne..m), doc-sorted.
   auto rebuild_ess = [&]() {
     ess.clear();
@@ -380,7 +406,10 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
     // Cooperative cancellation: one check per pivot iteration (each
     // iteration decodes at most a handful of blocks). Same contract as
     // AccumulateTopK — an expired query returns empty, never partial.
-    if (deadline != nullptr && deadline->Expired()) return {};
+    if (deadline != nullptr && deadline->Expired()) {
+      flush_metrics();
+      return {};
+    }
     // When a single essential term remains, skip its blocks wholesale:
     // every doc in a block is bounded by the block-max tf bound (capped by
     // the term's own list bound) plus the whole non-essential budget, and
@@ -409,6 +438,7 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
     // order: ess.front() is minimal, the leading run of equal doc ids is
     // the hit set. Every pivot therefore scores at least one term.
     const corpus::DocId pivot = cursors[ess[0]].doc;
+    ++pivots_considered;
     size_t h = 1;
     while (h < ess.size() && cursors[ess[h]].doc == pivot) ++h;
 
@@ -464,13 +494,16 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
           hits.push_back(static_cast<uint32_t>(i));
         }
       }
-      if (!abandoned) {
+      if (abandoned) {
+        ++pivots_abandoned;
+      } else {
         // Canonical re-accumulation from the cache — the IDENTICAL
         // floating-point sum TAAT computes for this document.
         std::sort(hits.begin(), hits.end());
         double acc = 0.0;
         for (const uint32_t i : hits) acc += contrib[i];
         topk.Offer(pivot, scorer.Normalize(stats, doc_length, acc));
+        ++pivots_offered;
         raise_threshold();
       }
     }
@@ -486,6 +519,7 @@ std::vector<ScoredDoc> MaxScoreTopK(const index::InvertedIndex& index,
     for (size_t x = 0; x < still; ++x) CursorAdvanceOne(&cursors[ess[x]]);
     reposition_front(still);
   }
+  flush_metrics();
   return topk.Finish();
 }
 
@@ -520,10 +554,12 @@ util::StatusOr<std::vector<ScoredDoc>> QueryEngine::EvaluateWithOptions(
   // accept/reject decision is a pure function of the deadline, not of how
   // fast this particular engine ran relative to the check sites.
   if (options.deadline != nullptr && options.deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   std::vector<ScoredDoc> results = Evaluate(terms, k);
   if (options.deadline != nullptr && options.deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   return results;
@@ -590,6 +626,7 @@ util::StatusOr<std::vector<ScoredDoc>> SearchEngine::EvaluateWithOptions(
     const QueryOptions& options) const {
   const util::Deadline* deadline = options.deadline;
   if (deadline != nullptr && deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   if (terms.empty() || k == 0) return std::vector<ScoredDoc>{};
@@ -611,6 +648,7 @@ util::StatusOr<std::vector<ScoredDoc>> SearchEngine::EvaluateWithOptions(
                    bounds == nullptr ? nullptr : bounds.get(),
                    /*exclude=*/nullptr, deadline);
   if (deadline != nullptr && deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   return results;

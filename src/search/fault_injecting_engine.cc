@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace toppriv::search {
@@ -57,6 +58,7 @@ util::StatusOr<std::vector<ScoredDoc>> FaultInjectingEngine::
     }
   }
   if (fired) {
+    TOPPRIV_COUNTER_INC("chaos.faults_injected");
     switch (fault.kind) {
       case EngineFault::Kind::kError:
         return util::Status::Unavailable("injected engine fault");

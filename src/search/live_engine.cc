@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace toppriv::search {
 
@@ -37,12 +39,14 @@ util::StatusOr<std::vector<ScoredDoc>> LiveSearchEngine::EvaluateWithOptions(
     const QueryOptions& options) const {
   const util::Deadline* deadline = options.deadline;
   if (deadline != nullptr && deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   const std::shared_ptr<const index::live::IndexSnapshot> snapshot =
       live_.Acquire();
   std::vector<ScoredDoc> results = EvaluateOn(*snapshot, terms, k, deadline);
   if (deadline != nullptr && deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   return results;
@@ -137,6 +141,10 @@ std::vector<ScoredDoc> LiveSearchEngine::EvaluateOn(
   // thread counts (see file comment).
   const size_t n = snapshot.num_segments();
   std::vector<std::vector<ScoredDoc>> per_segment(n);
+  TOPPRIV_TRACE_SPAN(fanout_span, "search.segment_fanout");
+  TOPPRIV_SCOPED_TIMER_US("search.segment_fanout_us");
+  TOPPRIV_HISTOGRAM_OBSERVE("search.segment_fanout_width", n,
+                            util::CountBuckets());
   const auto eval_segment = [&](size_t s) {
     static thread_local EvalScratch scratch;
     const index::live::SnapshotSegment& ss = snapshot.segment(s);

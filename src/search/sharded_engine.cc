@@ -1,6 +1,8 @@
 #include "search/sharded_engine.h"
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace toppriv::search {
 
@@ -57,10 +59,12 @@ util::StatusOr<std::vector<ScoredDoc>> ShardedSearchEngine::EvaluateWithOptions(
     const QueryOptions& options) const {
   const util::Deadline* deadline = options.deadline;
   if (deadline != nullptr && deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   std::vector<ScoredDoc> results = EvaluateImpl(terms, k, deadline);
   if (deadline != nullptr && deadline->Expired()) {
+    TOPPRIV_COUNTER_INC("search.deadline_exceeded");
     return util::Status::DeadlineExceeded("query deadline expired");
   }
   return results;
@@ -96,6 +100,10 @@ std::vector<ScoredDoc> ShardedSearchEngine::EvaluateImpl(
   // candidates per shard always suffice.
   const size_t num_shards = index_.num_shards();
   std::vector<std::vector<ScoredDoc>> per_shard(num_shards);
+  TOPPRIV_TRACE_SPAN(fanout_span, "search.shard_fanout");
+  TOPPRIV_SCOPED_TIMER_US("search.shard_fanout_us");
+  TOPPRIV_HISTOGRAM_OBSERVE("search.shard_fanout_width", num_shards,
+                            util::CountBuckets());
   auto evaluate_shard = [&](size_t s) {
     // One scratch per worker thread; a worker finishes a shard before
     // taking the next, so reuse is race-free even when several concurrent

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace toppriv::serving {
 
@@ -21,22 +22,45 @@ bool AdmissionController::DegradedLocked() const {
   return in_system_ >= degraded_at_;
 }
 
+size_t AdmissionController::QueueDepthLocked() const {
+  return in_system_ > options_.max_in_flight
+             ? in_system_ - options_.max_in_flight
+             : 0;
+}
+
 util::Status AdmissionController::TryAdmit() {
-  util::MutexLock lock(&mu_);
-  if (in_system_ >= capacity_) {
-    ++shed_;
-    return util::Status::ResourceExhausted("admission capacity exhausted");
+  bool degraded_admission = false;
+  {
+    util::MutexLock lock(&mu_);
+    if (in_system_ >= capacity_) {
+      ++shed_;
+      TOPPRIV_COUNTER_INC("admission.shed.capacity");
+      return util::Status::ResourceExhausted("admission capacity exhausted");
+    }
+    ++in_system_;
+    ++admitted_;
+    peak_in_system_ = std::max(peak_in_system_, in_system_);
+    peak_queue_depth_ = std::max(peak_queue_depth_, QueueDepthLocked());
+    if (DegradedLocked()) {
+      ++degraded_admissions_;
+      degraded_admission = true;
+    }
+    TOPPRIV_GAUGE_SET("admission.queue_depth", QueueDepthLocked());
   }
-  ++in_system_;
-  ++admitted_;
-  if (DegradedLocked()) ++degraded_admissions_;
+  TOPPRIV_COUNTER_INC("admission.admitted");
+  if (degraded_admission) TOPPRIV_COUNTER_INC("admission.degraded_admissions");
+  TOPPRIV_GAUGE_ADD("admission.in_system", 1);
   return util::Status::Ok();
 }
 
 void AdmissionController::Finish() {
-  util::MutexLock lock(&mu_);
-  TOPPRIV_CHECK_GE(in_system_, 1u);
-  --in_system_;
+  {
+    util::MutexLock lock(&mu_);
+    TOPPRIV_CHECK_GE(in_system_, 1u);
+    --in_system_;
+    TOPPRIV_GAUGE_SET("admission.queue_depth", QueueDepthLocked());
+  }
+  TOPPRIV_GAUGE_ADD("admission.in_system", -1);
 }
 
 bool AdmissionController::degraded() const {
@@ -47,6 +71,21 @@ bool AdmissionController::degraded() const {
 size_t AdmissionController::in_system() const {
   util::MutexLock lock(&mu_);
   return in_system_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  util::MutexLock lock(&mu_);
+  return QueueDepthLocked();
+}
+
+size_t AdmissionController::peak_in_system() const {
+  util::MutexLock lock(&mu_);
+  return peak_in_system_;
+}
+
+size_t AdmissionController::peak_queue_depth() const {
+  util::MutexLock lock(&mu_);
+  return peak_queue_depth_;
 }
 
 uint64_t AdmissionController::admitted() const {

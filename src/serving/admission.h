@@ -62,6 +62,13 @@ class AdmissionController {
   bool degraded() const EXCLUDES(mu_);
 
   size_t in_system() const EXCLUDES(mu_);
+  /// Occupancy beyond the in-flight cap right now: cycles waiting rather
+  /// than executing (0 while in_system <= max_in_flight).
+  size_t queue_depth() const EXCLUDES(mu_);
+  /// High-water mark of in_system over the controller's lifetime.
+  size_t peak_in_system() const EXCLUDES(mu_);
+  /// High-water mark of queue_depth over the controller's lifetime.
+  size_t peak_queue_depth() const EXCLUDES(mu_);
   uint64_t admitted() const EXCLUDES(mu_);
   uint64_t shed() const EXCLUDES(mu_);
   /// Admissions that ran in degraded (refresh-shedding) mode.
@@ -73,12 +80,15 @@ class AdmissionController {
 
  private:
   bool DegradedLocked() const REQUIRES(mu_);
+  size_t QueueDepthLocked() const REQUIRES(mu_);
 
   const AdmissionOptions options_;
   const size_t capacity_;
   const size_t degraded_at_;  // occupancy threshold for degraded mode
   mutable util::Mutex mu_;
   size_t in_system_ GUARDED_BY(mu_) = 0;
+  size_t peak_in_system_ GUARDED_BY(mu_) = 0;
+  size_t peak_queue_depth_ GUARDED_BY(mu_) = 0;
   uint64_t admitted_ GUARDED_BY(mu_) = 0;
   uint64_t shed_ GUARDED_BY(mu_) = 0;
   uint64_t degraded_admissions_ GUARDED_BY(mu_) = 0;

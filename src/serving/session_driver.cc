@@ -9,8 +9,10 @@
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace toppriv::serving {
 
@@ -84,12 +86,20 @@ SessionStats SessionDriver::RunSession(uint64_t session_id,
   SessionStats stats;
   Digest digest;
   for (const std::vector<text::TermId>& query : workload.queries) {
+    TOPPRIV_TRACE_SPAN(cycle_span, "serving.cycle");
+    TOPPRIV_SCOPED_TIMER_US("serving.cycle_latency_us");
     core::QueryCycle cycle = protector.Protect(query, &rng);
     ++stats.cycles;
     stats.ghosts += cycle.num_ghosts();
     stats.generation_seconds += cycle.generation_seconds;
     stats.exposure_after_sum += cycle.exposure_after;
     if (cycle.met_epsilon2) ++stats.met_epsilon2;
+    TOPPRIV_COUNTER_INC("serving.cycles");
+    TOPPRIV_HISTOGRAM_OBSERVE("toppriv.ghost_generation_us",
+                              cycle.generation_seconds * 1e6,
+                              util::LatencyBucketsUs());
+    TOPPRIV_HISTOGRAM_OBSERVE("toppriv.ghosts_per_cycle", cycle.num_ghosts(),
+                              util::CountBuckets());
 
     digest.Mix(cycle.user_index);
     digest.Mix(cycle.queries.size());
@@ -97,9 +107,14 @@ SessionStats SessionDriver::RunSession(uint64_t session_id,
       const std::vector<text::TermId>& q = cycle.queries[i];
       digest.Mix(q.size());
       for (text::TermId t : q) digest.Mix(t);
-      std::vector<search::ScoredDoc> results =
-          engine_.Evaluate(q, options_.top_k);
+      std::vector<search::ScoredDoc> results;
+      {
+        TOPPRIV_TRACE_SPAN(query_span, "serving.query");
+        TOPPRIV_SCOPED_TIMER_US("serving.query_latency_us");
+        results = engine_.Evaluate(q, options_.top_k);
+      }
       ++stats.queries_submitted;
+      TOPPRIV_COUNTER_INC("serving.queries");
       digest.Mix(results.size());
       for (const search::ScoredDoc& r : results) {
         digest.Mix(r.doc);
@@ -189,6 +204,7 @@ OpenLoopReport SessionDriver::RunOpenLoop(
   util::WallTimer timer;
 
   auto run_cycle = [&](size_t session_idx, double arrival_s) {
+    TOPPRIV_TRACE_SPAN(cycle_span, "serving.open_loop.cycle");
     // Degraded-mode choice is made at service time: if the system drained
     // below the watermark while this cycle queued, it serves at full
     // freshness again.
@@ -205,12 +221,16 @@ OpenLoopReport SessionDriver::RunOpenLoop(
       core::QueryCycle cycle =
           degraded ? ctx.protector->ProtectShedRefresh(query, &ctx.rng)
                    : ctx.protector->Protect(query, &ctx.rng);
+      TOPPRIV_HISTOGRAM_OBSERVE("toppriv.ghost_generation_us",
+                                cycle.generation_seconds * 1e6,
+                                util::LatencyBucketsUs());
       util::Deadline deadline = open.deadline_seconds > 0.0
                                     ? util::Deadline::After(open.deadline_seconds)
                                     : util::Deadline::Infinite();
       search::QueryOptions qopts;
       qopts.deadline = &deadline;
       for (const std::vector<text::TermId>& q : cycle.queries) {
+        TOPPRIV_TRACE_SPAN(query_span, "serving.query");
         util::StatusOr<std::vector<search::ScoredDoc>> result =
             engine_.EvaluateWithOptions(q, options_.top_k, qopts);
         if (!result.ok()) {
@@ -223,6 +243,12 @@ OpenLoopReport SessionDriver::RunOpenLoop(
       }
     }
     const double done_s = timer.ElapsedSeconds();
+    TOPPRIV_COUNTER_INC("serving.cycles");
+    TOPPRIV_COUNTER_ADD("serving.deadline_exceeded", expired);
+    if (ok) TOPPRIV_COUNTER_INC("serving.open_loop.completed");
+    TOPPRIV_HISTOGRAM_OBSERVE("serving.cycle_latency_us",
+                              (done_s - arrival_s) * 1e6,
+                              util::LatencyBucketsUs());
     {
       util::MutexLock l(&stats_mu);
       latencies.push_back(done_s - arrival_s);
@@ -239,6 +265,7 @@ OpenLoopReport SessionDriver::RunOpenLoop(
       std::this_thread::sleep_for(std::chrono::duration<double>(target - now));
     }
     ++report.arrivals;
+    TOPPRIV_COUNTER_INC("serving.open_loop.arrivals");
     if (!admission.TryAdmit().ok()) continue;  // shed, counted by the gate
     const size_t s = i % sessions.size();
     if (pool_ == nullptr) {
@@ -253,6 +280,8 @@ OpenLoopReport SessionDriver::RunOpenLoop(
   report.admitted = admission.admitted();
   report.shed = admission.shed();
   report.degraded_admissions = admission.degraded_admissions();
+  report.peak_in_system = admission.peak_in_system();
+  report.peak_queue_depth = admission.peak_queue_depth();
   report.completed = completed;
   report.deadline_exceeded = deadline_exceeded;
   if (report.arrivals > 0) {

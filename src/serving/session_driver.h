@@ -127,6 +127,11 @@ struct OpenLoopReport {
   double p50_latency_seconds = 0.0;
   double p95_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+  /// High-water marks from the run's admission controller: most cycles ever
+  /// simultaneously in the system, and most ever waiting beyond the
+  /// in-flight cap.
+  size_t peak_in_system = 0;
+  size_t peak_queue_depth = 0;
 };
 
 /// Runs independent TopPriv sessions concurrently over a shared engine —

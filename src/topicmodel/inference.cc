@@ -2,6 +2,7 @@
 
 #include "util/check.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace toppriv::topicmodel {
@@ -110,6 +111,12 @@ std::vector<double> LdaInferencer::InferQuery(
 
   TOPPRIV_CHECK_GT(samples, 0u);
   for (double& v : accum) v /= static_cast<double>(samples);
+  // One flush per inference call, after the sampler is done: the metrics
+  // layer must never interleave with (let alone read) the RNG stream.
+  TOPPRIV_COUNTER_INC("lda.inferences");
+  TOPPRIV_COUNTER_ADD("lda.gibbs_iterations", options_.iterations);
+  TOPPRIV_COUNTER_ADD("lda.gibbs_token_sweeps",
+                      options_.iterations * tokens.size());
   return accum;
 }
 

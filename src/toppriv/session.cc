@@ -1,5 +1,7 @@
 #include "toppriv/session.h"
 
+#include "util/trace.h"
+
 namespace toppriv::core {
 
 namespace {
@@ -34,6 +36,7 @@ QueryCycle SessionProtector::ProtectShedRefresh(
 QueryCycle SessionProtector::ProtectImpl(
     const std::vector<text::TermId>& user_query, util::Rng* rng,
     bool refresh_cover) {
+  TOPPRIV_TRACE_SPAN(protect_span, "toppriv.protect");
   generator_.set_preferred_masking_topics({cover_.begin(), cover_.end()});
   QueryCycle cycle = generator_.Protect(user_query, rng);
 

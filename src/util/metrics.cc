@@ -1,0 +1,214 @@
+#include "util/metrics.h"
+
+#include <functional>
+#include <thread>
+
+#include "util/json.h"
+
+namespace toppriv::util {
+
+namespace metrics_internal {
+
+size_t StripeIndex() {
+  // Hashed once, cached per thread. The +1 salt spreads the (often
+  // sequential) libstdc++ thread-id hashes across stripes.
+  static thread_local const size_t stripe =
+      (std::hash<std::thread::id>()(std::this_thread::get_id()) * 31 + 1) %
+      kMetricStripes;
+  return stripe;
+}
+
+}  // namespace metrics_internal
+
+// ------------------------------------------------------------------ Counter
+
+uint64_t Counter::Sum() const {
+  uint64_t total = 0;
+  for (const metrics_internal::Cell& c : cells_) {
+    total += c.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (metrics_internal::Cell& c : cells_) {
+    c.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// -------------------------------------------------------------------- Gauge
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      num_buckets_(bounds_.size() + 1),
+      buckets_(new metrics_internal::Cell[kMetricStripes * num_buckets_]) {}
+
+void Histogram::Observe(uint64_t value) {
+  // Branchless-ish lower_bound over a handful of bounds; the ladders this
+  // repo uses have <= 16 rungs, so linear scan beats binary search.
+  size_t b = 0;
+  while (b < bounds_.size() && value > bounds_[b]) ++b;
+  const size_t stripe = metrics_internal::StripeIndex();
+  buckets_[stripe * num_buckets_ + b].value.fetch_add(
+      1, std::memory_order_relaxed);
+  count_[stripe].value.fetch_add(1, std::memory_order_relaxed);
+  sum_[stripe].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(num_buckets_, 0);
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      snap.counts[b] +=
+          buckets_[s * num_buckets_ + b].value.load(std::memory_order_relaxed);
+    }
+    snap.count += count_[s].value.load(std::memory_order_relaxed);
+    snap.sum += sum_[s].value.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < kMetricStripes * num_buckets_; ++i) {
+    buckets_[i].value.store(0, std::memory_order_relaxed);
+  }
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    count_[s].value.store(0, std::memory_order_relaxed);
+    sum_[s].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------- bucket sets
+
+std::vector<uint64_t> ExponentialBuckets(uint64_t start, uint64_t factor,
+                                         size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  uint64_t bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<uint64_t>& LatencyBucketsUs() {
+  // 1us .. ~4.2s in x4 steps: covers block decode through merge stalls.
+  static const std::vector<uint64_t>* const kBuckets =
+      new std::vector<uint64_t>(ExponentialBuckets(1, 4, 12));
+  return *kBuckets;
+}
+
+const std::vector<uint64_t>& CountBuckets() {
+  // 1 .. 1024 in x2 steps: batch sizes, fan-outs, iteration counts.
+  static const std::vector<uint64_t>* const kBuckets =
+      new std::vector<uint64_t>(ExponentialBuckets(1, 2, 11));
+  return *kBuckets;
+}
+
+// ----------------------------------------------------------------- registry
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked singleton: metric pointers handed to call-site statics must stay
+  // valid through static destruction.
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<uint64_t>& bounds) {
+  MutexLock lock(&mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(bounds));
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot snap;
+  MutexLock lock(&mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(CounterValue{name, counter->Sum()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeValue{name, gauge->Value(), gauge->Peak()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back(HistogramValue{name, hist->Snap()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  MutexLock lock(&mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+void MetricsRegistry::ExportJson(JsonWriter* w) const {
+  const Snapshot snap = Snap();
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const CounterValue& c : snap.counters) {
+    w->Field(c.name, c.value);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const GaugeValue& g : snap.gauges) {
+    w->Key(g.name);
+    w->BeginObject();
+    w->Field("value", g.value);
+    w->Field("peak", g.peak);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const HistogramValue& h : snap.histograms) {
+    w->Key(h.name);
+    w->BeginObject();
+    w->Field("count", h.snap.count);
+    w->Field("sum", h.snap.sum);
+    w->Key("bounds");
+    w->BeginArray();
+    for (uint64_t b : h.snap.bounds) w->UInt(b);
+    w->EndArray();
+    w->Key("counts");
+    w->BeginArray();
+    for (uint64_t c : h.snap.counts) w->UInt(c);
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace toppriv::util

@@ -1,0 +1,347 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms in the Prometheus mold, built for hot-path writes.
+//
+// Write path: each metric owns a small fixed array of cache-line-padded
+// std::atomic cells; a writer picks its stripe by hashed thread id and does
+// one relaxed fetch_add. No locks, no thread registration, no contention
+// between threads that land on different stripes. Read path (Snapshot) sums
+// the stripes; it is racy-by-design in the usual monitoring sense (a sum may
+// split a concurrent burst) but every individual add is counted exactly once.
+//
+// Instrumentation sites use the TOPPRIV_COUNTER_ADD / TOPPRIV_GAUGE_* /
+// TOPPRIV_HISTOGRAM_* / TOPPRIV_SCOPED_TIMER_US macros below, never the
+// classes directly. The macros cache the registry lookup in a function-local
+// static (one name lookup per site per process) and collapse to nothing when
+// the TOPPRIV_METRICS compile definition is absent (CMake option
+// TOPPRIV_METRICS=OFF), so a stripped build carries zero instrumentation
+// cost — not even the clock reads of the scoped timers.
+//
+// Determinism contract (locked, tested by metrics_test digest-parity): the
+// metrics layer reads no RNG and feeds nothing back into request handling.
+// Recording a metric may read a wall clock, but never a random stream, so
+// toggling instrumentation (compile-time OFF or the runtime enabled() gate)
+// cannot move a single result bit.
+#ifndef TOPPRIV_UTIL_METRICS_H_
+#define TOPPRIV_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace toppriv::util {
+
+class JsonWriter;
+
+/// Stripes per metric. Threads hash onto stripes, so this bounds write
+/// contention, not thread count; 16 covers the pools this repo runs.
+inline constexpr size_t kMetricStripes = 16;
+
+namespace metrics_internal {
+
+/// One cache line per cell so two stripes never false-share.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// This thread's stripe in [0, kMetricStripes). Hashed once per thread and
+/// cached in a thread_local.
+size_t StripeIndex();
+
+}  // namespace metrics_internal
+
+/// Monotone event count. Writes are one relaxed fetch_add on a private-ish
+/// stripe; Sum() merges the stripes.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    cells_[metrics_internal::StripeIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all stripes. Concurrent adds may or may not be included;
+  /// each add is included by every later Sum.
+  uint64_t Sum() const;
+
+  /// Zeroes all stripes. For test / bench-phase isolation only; racing a
+  /// Reset against writers loses the raced writes by design.
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  metrics_internal::Cell cells_[kMetricStripes];
+};
+
+/// Instantaneous level (queue depth, in-flight requests) with a high-water
+/// mark. Single atomic, not striped: gauges track a shared level, so the
+/// stripe trick cannot apply; updates stay one relaxed RMW plus a CAS-max.
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    RaisePeak(value);
+  }
+  void Add(int64_t delta) {
+    const int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0) RaisePeak(now);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Highest value ever Set/reached via Add (monotone CAS-max watermark).
+  int64_t Peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  void RaisePeak(int64_t candidate) {
+    int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !peak_.compare_exchange_weak(seen, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+/// one overflow bucket. Buckets, count and sum are striped like Counter.
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value);
+
+  struct Snapshot {
+    std::vector<uint64_t> bounds;  ///< upper-inclusive bucket bounds
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    uint64_t count = 0;            ///< total observations
+    uint64_t sum = 0;              ///< sum of observed values
+  };
+  Snapshot Snap() const;
+
+  void Reset();
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  const std::vector<uint64_t> bounds_;
+  /// stripe-major: stripe s, bucket b lives at s * num_buckets + b.
+  const size_t num_buckets_;
+  const std::unique_ptr<metrics_internal::Cell[]> buckets_;
+  metrics_internal::Cell count_[kMetricStripes];
+  metrics_internal::Cell sum_[kMetricStripes];
+};
+
+/// Exponentially spaced upper bounds: start, start*factor, ... (count of
+/// them). The canonical latency ladder is ExponentialBuckets(1, 4, 12) in
+/// microseconds: 1us .. ~4.2s.
+std::vector<uint64_t> ExponentialBuckets(uint64_t start, uint64_t factor,
+                                         size_t count);
+/// The default microsecond latency ladder used by the serving-path timers.
+const std::vector<uint64_t>& LatencyBucketsUs();
+/// Small-count ladder (batch sizes, fan-outs): 1,2,4,...,1024.
+const std::vector<uint64_t>& CountBuckets();
+
+/// Name -> metric map. Metrics are created on first use and live for the
+/// process lifetime (pointers are stable, safe to cache in function-local
+/// statics). Lookup takes a mutex; the macros below amortize it to once per
+/// call site.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the instrumentation macros write to.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  /// Creates with `bounds` on first use; later calls return the existing
+  /// histogram unchanged (first registration wins).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<uint64_t>& bounds) EXCLUDES(mu_);
+
+  /// Runtime gate checked by the instrumentation macros. Compile-time OFF is
+  /// the zero-overhead path; this flag exists so one binary can compare
+  /// instrumented vs quiesced runs (the digest-parity test) and so benches
+  /// can isolate phases.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+    int64_t peak = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Histogram::Snapshot snap;
+  };
+  struct Snapshot {
+    std::vector<CounterValue> counters;      ///< name-sorted
+    std::vector<GaugeValue> gauges;          ///< name-sorted
+    std::vector<HistogramValue> histograms;  ///< name-sorted
+  };
+
+  /// Merged point-in-time view of every registered metric.
+  Snapshot Snap() const EXCLUDES(mu_);
+
+  /// Zeroes every registered metric (names stay registered). Test/bench
+  /// phase isolation only.
+  void ResetAll() EXCLUDES(mu_);
+
+  /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} as one JSON
+  /// object value (caller owns the surrounding Key or document).
+  void ExportJson(JsonWriter* w) const EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII microsecond timer: observes elapsed wall time into a histogram at
+/// scope exit. Used via TOPPRIV_SCOPED_TIMER_US so OFF builds skip even the
+/// clock reads.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* hist) : hist_(hist) {}
+  ~ScopedTimerUs() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<uint64_t>(timer_.ElapsedSeconds() * 1e6));
+    }
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* const hist_;
+  WallTimer timer_;
+};
+
+}  // namespace toppriv::util
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. The only sanctioned way to record from product
+// code: they compile away under TOPPRIV_METRICS=OFF and honor the runtime
+// enabled() gate when ON. Each site pays one static-init name lookup, then
+// a relaxed load (the gate) + a relaxed RMW per record.
+// ---------------------------------------------------------------------------
+
+#ifdef TOPPRIV_METRICS
+
+#define TOPPRIV_METRICS_CONCAT_INNER(a, b) a##b
+#define TOPPRIV_METRICS_CONCAT(a, b) TOPPRIV_METRICS_CONCAT_INNER(a, b)
+
+#define TOPPRIV_COUNTER_ADD(name, delta)                                \
+  do {                                                                  \
+    static ::toppriv::util::Counter* const _toppriv_metric =            \
+        ::toppriv::util::MetricsRegistry::Default().GetCounter(name);   \
+    if (::toppriv::util::MetricsRegistry::Default().enabled()) {        \
+      _toppriv_metric->Add(static_cast<uint64_t>(delta));               \
+    }                                                                   \
+  } while (0)
+
+#define TOPPRIV_COUNTER_INC(name) TOPPRIV_COUNTER_ADD(name, 1)
+
+#define TOPPRIV_GAUGE_ADD(name, delta)                                  \
+  do {                                                                  \
+    static ::toppriv::util::Gauge* const _toppriv_metric =              \
+        ::toppriv::util::MetricsRegistry::Default().GetGauge(name);     \
+    if (::toppriv::util::MetricsRegistry::Default().enabled()) {        \
+      _toppriv_metric->Add(static_cast<int64_t>(delta));                \
+    }                                                                   \
+  } while (0)
+
+#define TOPPRIV_GAUGE_SET(name, value)                                  \
+  do {                                                                  \
+    static ::toppriv::util::Gauge* const _toppriv_metric =              \
+        ::toppriv::util::MetricsRegistry::Default().GetGauge(name);     \
+    if (::toppriv::util::MetricsRegistry::Default().enabled()) {        \
+      _toppriv_metric->Set(static_cast<int64_t>(value));                \
+    }                                                                   \
+  } while (0)
+
+#define TOPPRIV_HISTOGRAM_OBSERVE(name, value, bounds_expr)             \
+  do {                                                                  \
+    static ::toppriv::util::Histogram* const _toppriv_metric =          \
+        ::toppriv::util::MetricsRegistry::Default().GetHistogram(       \
+            name, bounds_expr);                                         \
+    if (::toppriv::util::MetricsRegistry::Default().enabled()) {        \
+      _toppriv_metric->Observe(static_cast<uint64_t>(value));           \
+    }                                                                   \
+  } while (0)
+
+/// Observes the enclosing scope's wall time, in microseconds, into the named
+/// latency histogram. The timer only runs when the registry is enabled.
+#define TOPPRIV_SCOPED_TIMER_US(name)                                   \
+  static ::toppriv::util::Histogram* const TOPPRIV_METRICS_CONCAT(      \
+      _toppriv_timer_hist_, __LINE__) =                                 \
+      ::toppriv::util::MetricsRegistry::Default().GetHistogram(         \
+          name, ::toppriv::util::LatencyBucketsUs());                   \
+  ::toppriv::util::ScopedTimerUs TOPPRIV_METRICS_CONCAT(                \
+      _toppriv_timer_, __LINE__)(                                       \
+      ::toppriv::util::MetricsRegistry::Default().enabled()             \
+          ? TOPPRIV_METRICS_CONCAT(_toppriv_timer_hist_, __LINE__)      \
+          : nullptr)
+
+#else  // !TOPPRIV_METRICS
+
+#define TOPPRIV_COUNTER_ADD(name, delta) \
+  do {                                   \
+  } while (0)
+#define TOPPRIV_COUNTER_INC(name) \
+  do {                            \
+  } while (0)
+#define TOPPRIV_GAUGE_ADD(name, delta) \
+  do {                                 \
+  } while (0)
+#define TOPPRIV_GAUGE_SET(name, value) \
+  do {                                 \
+  } while (0)
+#define TOPPRIV_HISTOGRAM_OBSERVE(name, value, bounds_expr) \
+  do {                                                      \
+  } while (0)
+#define TOPPRIV_SCOPED_TIMER_US(name) \
+  do {                                \
+  } while (0)
+
+#endif  // TOPPRIV_METRICS
+
+#endif  // TOPPRIV_UTIL_METRICS_H_

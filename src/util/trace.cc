@@ -1,0 +1,119 @@
+#include "util/trace.h"
+
+#include <utility>
+
+#include "util/json.h"
+
+namespace toppriv::util {
+
+namespace {
+
+/// Innermost open span on this thread (the parent for the next one).
+thread_local TraceSpan* tls_current_span = nullptr;
+
+constexpr int kTraceSchemaVersion = 1;
+
+}  // namespace
+
+std::atomic<TraceSink*> TraceSink::global_{nullptr};
+
+TraceSink::TraceSink(size_t capacity, Clock* clock)
+    : clock_(clock), capacity_(capacity) {
+  MutexLock lock(&mu_);
+  ring_.reserve(capacity_);
+}
+
+void TraceSink::Record(TraceEvent event) {
+  MutexLock lock(&mu_);
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_slot_] = std::move(event);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  MutexLock lock(&mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: next_slot_ is the oldest retained span.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceSink::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+void TraceSink::Clear() {
+  MutexLock lock(&mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  dropped_ = 0;
+}
+
+void TraceSink::ExportJson(JsonWriter* w) const {
+  const std::vector<TraceEvent> events = Events();
+  w->BeginObject();
+  w->Field("schema_version", static_cast<int64_t>(kTraceSchemaVersion));
+  w->Field("dropped", dropped());
+  w->Key("spans");
+  w->BeginArray();
+  for (const TraceEvent& e : events) {
+    w->BeginObject();
+    w->Field("trace_id", e.trace_id);
+    w->Field("span_id", e.span_id);
+    w->Field("parent_id", e.parent_id);
+    w->Field("name", e.name);
+    w->Field("start_ns", static_cast<int64_t>(e.start_nanos));
+    w->Field("end_ns", static_cast<int64_t>(e.end_nanos));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+TraceSpan::TraceSpan(TraceSink* sink, const char* name)
+    : sink_(sink), name_(name) {
+  if (sink_ == nullptr) return;  // inert: never touches the stack or clock
+  parent_ = tls_current_span;
+  span_id_ = sink_->NextId();
+  // Children inherit their trace; a parent recorded to a DIFFERENT sink
+  // (the global was swapped mid-request) cannot share an id space, so the
+  // span roots a fresh trace instead.
+  trace_id_ = (parent_ != nullptr && parent_->sink_ == sink_)
+                  ? parent_->trace_id_
+                  : span_id_;
+  start_nanos_ = sink_->clock()->NowNanos();
+  tls_current_span = this;
+}
+
+TraceSpan::~TraceSpan() {
+  if (sink_ == nullptr) return;
+  tls_current_span = parent_;
+  TraceEvent event;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_id = (parent_ != nullptr && parent_->sink_ == sink_)
+                        ? parent_->span_id_
+                        : 0;
+  event.name = name_;
+  event.start_nanos = start_nanos_;
+  event.end_nanos = sink_->clock()->NowNanos();
+  sink_->Record(std::move(event));
+}
+
+}  // namespace toppriv::util

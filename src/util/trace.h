@@ -1,0 +1,141 @@
+// Per-query tracing: RAII spans in the Dapper mold, recorded into a
+// fixed-capacity ring buffer and exported as JSON.
+//
+// A TraceSpan measures one named region of one request. Spans nest through a
+// thread-local stack: a span constructed while another span on the same
+// thread is open becomes its child (parent_id links them) and inherits its
+// trace id; a span opened with no ancestor starts a fresh trace. Timestamps
+// come from the sink's injected util::Clock, so tests drive a ManualClock
+// and get bit-for-bit deterministic traces; ids come from a per-sink atomic
+// counter, deterministic whenever span creation order is (single-threaded
+// tests, or any serialized request path).
+//
+// The sink is a mutex-guarded ring buffer of COMPLETED spans (recorded at
+// destruction, so a parent appears after its children — standard for span
+// traces). When the ring wraps, the oldest spans are dropped and counted;
+// export never blocks recording for long since Record is O(1).
+//
+// Product code opens spans via TOPPRIV_TRACE_SPAN, which targets the
+// process-global sink (null by default => every operation is a no-op) and
+// compiles away entirely under TOPPRIV_METRICS=OFF. The determinism contract
+// matches metrics.h: tracing reads clocks, never RNG, and feeds nothing back
+// into request handling, so digests are identical with tracing on or off.
+#ifndef TOPPRIV_UTIL_TRACE_H_
+#define TOPPRIV_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/deadline.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace toppriv::util {
+
+class JsonWriter;
+
+/// One completed span. parent_id 0 means root (span ids start at 1).
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+};
+
+/// Fixed-capacity ring buffer of completed spans.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity, Clock* clock = Clock::Real());
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  Clock* clock() const { return clock_; }
+
+  /// Appends a completed span, evicting the oldest when full.
+  void Record(TraceEvent event) EXCLUDES(mu_);
+
+  /// Retained spans, oldest first (completion order).
+  std::vector<TraceEvent> Events() const EXCLUDES(mu_);
+
+  /// Spans evicted because the ring was full.
+  uint64_t dropped() const EXCLUDES(mu_);
+
+  /// Discards all retained spans and the dropped count; ids keep counting.
+  void Clear() EXCLUDES(mu_);
+
+  /// Emits {"schema_version":N,"dropped":D,"spans":[...]} as one JSON
+  /// object value. Spans carry trace_id/span_id/parent_id/name/
+  /// start_ns/end_ns.
+  void ExportJson(JsonWriter* w) const EXCLUDES(mu_);
+
+  /// Fresh monotonically increasing id (first call returns 1).
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// The sink TOPPRIV_TRACE_SPAN records to. Null (the default) disables
+  /// tracing everywhere. The caller keeps ownership and must keep the sink
+  /// alive until after SetGlobal(nullptr) — spans already open when the
+  /// global changes still record to the sink they started with.
+  static TraceSink* Global() {
+    return global_.load(std::memory_order_acquire);
+  }
+  static void SetGlobal(TraceSink* sink) {
+    global_.store(sink, std::memory_order_release);
+  }
+
+ private:
+  Clock* const clock_;
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);  ///< ring storage
+  size_t next_slot_ GUARDED_BY(mu_) = 0;          ///< write cursor when full
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> next_id_{0};
+
+  static std::atomic<TraceSink*> global_;
+};
+
+/// RAII span. Null sink => fully inert (no clock read, no allocation).
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  TraceSink* const sink_;
+  const char* const name_;
+  TraceSpan* parent_ = nullptr;  ///< thread-local stack link
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  int64_t start_nanos_ = 0;
+};
+
+}  // namespace toppriv::util
+
+#ifdef TOPPRIV_METRICS
+
+/// Opens a scope-long span named `name` on the global sink. `var` is the
+/// local variable name (spans may be referenced, e.g. for span_id).
+#define TOPPRIV_TRACE_SPAN(var, name) \
+  ::toppriv::util::TraceSpan var(::toppriv::util::TraceSink::Global(), name)
+
+#else  // !TOPPRIV_METRICS
+
+#define TOPPRIV_TRACE_SPAN(var, name) \
+  do {                                \
+  } while (0)
+
+#endif  // TOPPRIV_METRICS
+
+#endif  // TOPPRIV_UTIL_TRACE_H_

@@ -44,6 +44,7 @@
 #include "util/deadline.h"
 #include "util/filesystem.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace toppriv {
@@ -116,6 +117,16 @@ uint64_t MixResults(uint64_t h, const std::vector<ScoredDoc>& docs) {
   return h;
 }
 
+/// Current value of a process-wide counter (0 if never registered). The
+/// chaos scenarios assert counter DELTAS across a fault schedule, so other
+/// suites' traffic in the same binary cannot interfere.
+uint64_t CounterNow(const std::string& name) {
+  for (const auto& c : util::MetricsRegistry::Default().Snap().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
 // ------------------------------------------------- query-plane schedules --
 
 TEST(ChaosEngineTest, AcceptedCallsAreBitIdenticalRejectionsAreTyped) {
@@ -127,6 +138,8 @@ TEST(ChaosEngineTest, AcceptedCallsAreBitIdenticalRejectionsAreTyped) {
   ManualClock clock;
   FaultInjectingEngine chaos(&inner, &clock);
   const std::vector<Doc> queries = SynthQueries(vocab, 8, 0xF00D);
+  const uint64_t faults_before = CounterNow("chaos.faults_injected");
+  const uint64_t expired_before = CounterNow("search.deadline_exceeded");
 
   // Schedule: errors, a hang (expires any finite deadline), and a delay
   // short enough to make the deadline anyway.
@@ -166,6 +179,16 @@ TEST(ChaosEngineTest, AcceptedCallsAreBitIdenticalRejectionsAreTyped) {
   EXPECT_EQ(expired, 1u);
   EXPECT_EQ(chaos.calls(), 16u);
   EXPECT_EQ(chaos.faults_fired(), 3u);
+#ifdef TOPPRIV_METRICS
+  // The observability layer saw the same story the statuses told: every
+  // fired fault counted, and the hang's expiry recorded as a
+  // deadline-exceeded rejection at the engine layer.
+  EXPECT_EQ(CounterNow("chaos.faults_injected") - faults_before, 3u);
+  EXPECT_EQ(CounterNow("search.deadline_exceeded") - expired_before, 1u);
+#else
+  (void)faults_before;
+  (void)expired_before;
+#endif
 
   // A hang under an INFINITE deadline still completes bit-identically —
   // the wrapper models lost time, never lost work.
@@ -298,6 +321,10 @@ LiveIndexOptions DurableOptions() {
 TEST(ChaosWalTest, DegradedIndexHealsAndLosesNothingAcknowledged) {
   FaultInjectingFileSystem fs;
   const LiveIndexOptions options = DurableOptions();
+  const uint64_t degraded_before =
+      CounterNow("live.health.degraded_transitions");
+  const uint64_t repaired_before =
+      CounterNow("live.health.repaired_transitions");
   auto live = LiveIndex::Recover(&fs, kDir, options);
   ASSERT_TRUE(live.ok()) << live.status().message();
   (*live)->EnsureTermSpace(16);
@@ -317,6 +344,12 @@ TEST(ChaosWalTest, DegradedIndexHealsAndLosesNothingAcknowledged) {
   fs.DisarmFault();
   EXPECT_EQ((*live)->health(), LiveIndex::Health::kDegraded);
   EXPECT_FALSE((*live)->last_error().ok());
+#ifdef TOPPRIV_METRICS
+  // The Healthy->Degraded EDGE counted exactly once — the refused
+  // mutations below re-latch the same error without re-counting.
+  EXPECT_EQ(CounterNow("live.health.degraded_transitions") - degraded_before,
+            1u);
+#endif
 
   // Degraded: every mutation refused with a TYPED status, reads still
   // serve the pre-fault state.
@@ -332,6 +365,15 @@ TEST(ChaosWalTest, DegradedIndexHealsAndLosesNothingAcknowledged) {
   ASSERT_TRUE((*live)->Repair(policy, &clock).ok());
   EXPECT_EQ((*live)->health(), LiveIndex::Health::kHealthy);
   EXPECT_GT((*live)->wal_generation(), degraded_generation);
+#ifdef TOPPRIV_METRICS
+  EXPECT_EQ(CounterNow("live.health.degraded_transitions") - degraded_before,
+            1u);
+  EXPECT_EQ(CounterNow("live.health.repaired_transitions") - repaired_before,
+            1u);
+#else
+  (void)degraded_before;
+  (void)repaired_before;
+#endif
   // last_error is STICKY across repair — the post-mortem survives.
   EXPECT_FALSE((*live)->last_error().ok());
   EXPECT_TRUE((*live)->wal_status().ok());
@@ -434,7 +476,11 @@ TEST(ChaosWalTest, ConcurrentMutatorFleetDegradesCleanlyAndHeals) {
   EXPECT_EQ((*live)->health(), LiveIndex::Health::kHealthy);
 
   // After healing, every acknowledged write is present and queryable, and
-  // post-repair traffic lands on top.
+  // post-repair traffic lands on top. A REFUSED write may also be present:
+  // when the armed fault lands on the group-commit fsync (rather than an
+  // append), the batch was already logged and applied before the sync
+  // verdict, so the refusal is indeterminate — standard WAL semantics.
+  // The contract is therefore acked ⊆ visible ⊆ submitted, not equality.
   auto extra = (*live)->IngestChecked({{0, 1, 2}});
   ASSERT_TRUE(extra.ok());
   auto snapshot = (*live)->Refresh();
@@ -449,14 +495,18 @@ TEST(ChaosWalTest, ConcurrentMutatorFleetDegradesCleanlyAndHeals) {
       }
     }
   }
-  EXPECT_EQ(snapshot->num_documents(), total_acked + 1);
+  EXPECT_GE(snapshot->num_documents(), total_acked + 1);
+  EXPECT_LE(snapshot->num_documents(), kThreads * kDocsPerThread + 1);
 
-  // And the crash image agrees: acked ⇒ durable, through degrade+repair.
+  // And the crash image agrees with the healed live image EXACTLY: Repair
+  // re-checkpointed everything memory held and the post-repair batch was
+  // acked per-batch, so the crash may neither lose nor resurrect a doc.
+  const size_t live_docs = snapshot->num_documents();
   live->reset();
   fs.PowerCut();
   auto recovered = LiveIndex::Recover(&fs, kDir, options);
   ASSERT_TRUE(recovered.ok());
-  EXPECT_EQ((*recovered)->Refresh()->num_documents(), total_acked + 1);
+  EXPECT_EQ((*recovered)->Refresh()->num_documents(), live_docs);
 }
 
 // --------------------------------------------------- fixed-schedule smoke --

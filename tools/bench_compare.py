@@ -129,6 +129,32 @@ def extract(doc, path):
     return "serving", serving_cells(doc, path)
 
 
+def schema_version(doc):
+    """The emitter's schema_version, wherever the format keeps it.
+
+    serving_throughput writes it at the top level; the micro harnesses
+    write it in Google Benchmark's context object. Absent (pre-versioning
+    baselines) -> None.
+    """
+    if "schema_version" in doc:
+        return doc["schema_version"]
+    context = doc.get("context")
+    if isinstance(context, dict):
+        return context.get("schema_version")
+    return None
+
+
+def warn_on_schema_skew(base_doc, cur_doc, base_path, cur_path):
+    """Version skew is a heads-up, never a failure: the cell-level
+    one-side-only check below is what actually gates format drift."""
+    base_v, cur_v = schema_version(base_doc), schema_version(cur_doc)
+    if base_v != cur_v:
+        print("bench_compare: WARNING: schema_version skew — %s has %r, "
+              "%s has %r (comparing anyway; refresh the baseline with "
+              "--update to silence this)" %
+              (base_path, base_v, cur_path, cur_v))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -147,6 +173,7 @@ def main():
         return 0
 
     base_doc, cur_doc = load(args.baseline), load(args.current)
+    warn_on_schema_skew(base_doc, cur_doc, args.baseline, args.current)
     try:
         base_fmt, base = extract(base_doc, args.baseline)
         cur_fmt, cur = extract(cur_doc, args.current)
